@@ -1,0 +1,34 @@
+"""Benchmark-suite conventions.
+
+Every benchmark runs its experiment once (the simulations are
+deterministic, so repeated timing rounds would only re-measure the same
+run), prints the paper-style series/tables, and asserts the *shape*
+claims from the paper's evaluation — who wins, by roughly what factor,
+where the curves flatten.  Absolute values are model-calibrated, not
+hardware measurements; see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark fixture."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a report even under pytest's capture."""
+
+    def printer(report_fn, *args, **kwargs):
+        with capsys.disabled():
+            report_fn(*args, **kwargs)
+
+    return printer

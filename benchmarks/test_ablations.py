@@ -1,0 +1,62 @@
+"""Design-choice ablations (DESIGN.md section 5)."""
+
+from repro.bench.experiments import ablations as experiment
+
+
+def test_delta_sweep(run_once, show):
+    result = run_once(experiment.delta_sweep)
+
+    def report():
+        from repro.bench.reporting import print_header, print_series
+
+        print_header("Ablation — phase-2 read fraction vs time-sync bound delta")
+        print_series(result.name, result.xs, result.ys, "delta (s)", result.y_label)
+
+    show(report)
+    # A larger delta makes freshness harder to prove, forcing more reads
+    # into phase 2 (monotone non-decreasing, with a real jump by the end).
+    assert all(b >= a - 1e-9 for a, b in zip(result.ys, result.ys[1:]))
+    assert result.ys[-1] > result.ys[0]
+
+
+def test_batch_size_sweep(run_once, show):
+    result = run_once(experiment.batch_size_sweep)
+
+    def report():
+        from repro.bench.reporting import print_header, print_series
+
+        print_header("Ablation — write latency vs memtable batch size")
+        print_series(result.name, result.xs, result.ys, "batch", result.y_label)
+
+    show(report)
+    # Bigger batches amortise flush/compaction cost per write.
+    assert result.ys[-1] < result.ys[0]
+
+
+def test_inflight_cap_sweep(run_once, show):
+    result = run_once(experiment.inflight_cap_sweep)
+
+    def report():
+        from repro.bench.reporting import print_header, print_series
+
+        print_header("Ablation — write tail latency vs in-flight table cap")
+        print_series(result.name, result.xs, result.ys, "cap", result.y_label)
+
+    show(report)
+    # A looser cap can only help the tail (less backpressure stalling).
+    assert result.ys[-1] <= result.ys[0] * 1.05
+
+
+def test_overlap_vs_partitioned(run_once, show):
+    result = run_once(experiment.overlap_vs_partitioned)
+
+    def report():
+        from repro.bench.reporting import print_header, print_series
+
+        print_header("Ablation — partitioned vs overlapping Compactors")
+        print_series(result.name, result.xs, result.ys, "layout", result.y_label)
+
+    show(report)
+    # Same node count: both layouts land in the same latency ballpark
+    # (overlap pays fan-out reads, partitioning pays split routing).
+    assert 0.5 < result.ys[0] / result.ys[1] < 2.0

@@ -1,0 +1,40 @@
+"""Figure 3: write latency and throughput vs number of Compactors."""
+
+from repro.bench.experiments import fig3_write_scaling as experiment
+
+
+def test_fig3_write_scaling(run_once, show):
+    rows = run_once(experiment.run, ops=10_000)
+    show(experiment.report, rows)
+
+    by = {(r.system, r.key_range): r for r in rows}
+    for key_range in experiment.KEY_RANGES:
+        mono = by[("monolithic", key_range)]
+        counts = experiment.COMPACTOR_COUNTS
+        latencies = [by[(f"coolsm-{c}c", key_range)].mean_write for c in counts]
+        throughputs = [by[(f"coolsm-{c}c", key_range)].throughput for c in counts]
+
+        # Fig 3(a): latency falls as compactors are added (tiny float
+        # noise tolerated on the plateau)...
+        assert all(b <= a * 1.01 for a, b in zip(latencies, latencies[1:]))
+        # ... the monolithic case is the slowest ...
+        assert mono.mean_write > latencies[0] * 0.99
+        # ... with a large reduction by 3 compactors ...
+        assert latencies[2] < 0.65 * mono.mean_write
+        # ... and a plateau after 5 (5 -> 7 changes little).
+        assert abs(latencies[3] - latencies[4]) < 0.15 * latencies[3]
+
+        # Fig 3(b): throughput grows with compactors.
+        assert throughputs[-1] > 1.5 * throughputs[0]
+
+    # The bigger tree (300K) is slower wherever compaction is the
+    # bottleneck (up to the plateau).
+    assert (
+        by[("coolsm-1c", 300_000)].mean_write
+        > by[("coolsm-1c", 100_000)].mean_write
+    )
+    # The single-machine reference engines land in the same magnitude
+    # as monolithic CooLSM ("within milliseconds").
+    for kind in ("leveldb", "rocksdb"):
+        ref = by[(kind, 100_000)]
+        assert ref.mean_write < 0.005  # same order as the monolithic case

@@ -1,0 +1,27 @@
+"""Figure 4: L2/L3 compaction latency vs number of Compactors."""
+
+from repro.bench.experiments import fig4_compaction as experiment
+
+
+def test_fig4_compaction_latency(run_once, show):
+    points = run_once(experiment.run, ops=12_000)
+    show(experiment.report, points)
+
+    for key_range in experiment.KEY_RANGES:
+        series = [p for p in points if p.key_range == key_range]
+        l2 = [p.l2_mean for p in series]
+        l3 = [p.l3_mean for p in series if p.l3_mean > 0]
+        # More compactors -> less stress per compactor -> lower latency,
+        # by a large factor end to end.  This is Figure 4's headline
+        # trend and it must hold for both levels.
+        assert l2[0] > l2[-1] * 1.5
+        if len(l3) >= 2:
+            assert l3[0] > l3[-1] * 1.5
+        # (The paper's L3 < L2 relation is workload-dependent — it holds
+        # while L3 is sparsely filled; our runs fill L3 further.  The
+        # report prints the measured relation; see EXPERIMENTS.md.)
+
+    # Bigger tree -> longer compactions at equal compactor count.
+    l2_100 = {p.compactors: p.l2_mean for p in points if p.key_range == 100_000}
+    l2_300 = {p.compactors: p.l2_mean for p in points if p.key_range == 300_000}
+    assert l2_300[1] > l2_100[1]

@@ -1,0 +1,27 @@
+"""Figure 5: throughput under distributed / colocated / multithreaded
+client scaling."""
+
+from repro.bench.experiments import fig5_client_scaling as experiment
+
+
+def test_fig5_client_scaling(run_once, show):
+    points = run_once(experiment.run, ops_per_client=6_000)
+    show(experiment.report, points)
+
+    series = {
+        mode: [p.throughput for p in points if p.mode == mode]
+        for mode in experiment.MODES
+    }
+    # Distributed and colocated scaling increase performance ...
+    assert series["distributed"][-1] > 1.5 * series["distributed"][0]
+    assert series["colocated"][-1] > 1.2 * series["colocated"][0]
+    # ... with the 1 -> 2 step the most significant one.
+    assert (series["distributed"][1] - series["distributed"][0]) >= 0.8 * (
+        series["distributed"][3] - series["distributed"][2]
+    )
+    # Multithreaded clients sharing one Ingestor do not scale the same
+    # way (one client can stress one Ingestor).
+    multithreaded_gain = series["multithreaded"][-1] / series["multithreaded"][0]
+    distributed_gain = series["distributed"][-1] / series["distributed"][0]
+    assert multithreaded_gain < distributed_gain
+    assert multithreaded_gain < 1.5

@@ -1,0 +1,21 @@
+"""Figure 6: read latency vs read percentage for 2 and 5 Compactors."""
+
+from repro.bench.experiments import fig6_read_latency as experiment
+
+
+def test_fig6_read_latency(run_once, show):
+    points = run_once(experiment.run, ops=2_000)
+    show(experiment.report, points)
+
+    means = [p.mean_read for p in points]
+    # Consistent read latency: flat across read %, compactor count, and
+    # key range (bloom filters + fence pointers + single-compactor
+    # routing).
+    spread = (max(means) - min(means)) / max(means)
+    assert spread < 0.35
+    # Sub-millisecond reads, the paper's magnitude (~0.7ms).
+    assert all(m < 0.0012 for m in means)
+    # Larger tree does not raise read latency materially.
+    small = [p.mean_read for p in points if p.key_range == 100_000]
+    large = [p.mean_read for p in points if p.key_range == 300_000]
+    assert sum(large) / len(large) < 1.25 * sum(small) / len(small)

@@ -1,0 +1,57 @@
+"""Figure 7: reads with vs without a backup server, plus the
+replication-overhead observation of Section IV-C."""
+
+from repro.bench.experiments import fig7_backup_reads as experiment
+
+
+def test_fig7_backup_reads(run_once, show):
+    points = run_once(experiment.run, reads=800)
+    replication = experiment.run_replication_overhead(ops=8_000)
+    show(experiment.report, points, replication)
+
+    # Backup reads are (slightly) faster: the request goes directly to
+    # the Reader instead of through the Ingestor to a Compactor.
+    for p in points:
+        assert p.with_backup < p.without_backup
+        # "though not significant": same magnitude, not a 10x change.
+        assert p.with_backup > 0.4 * p.without_backup
+
+    # Replicating Compactor state to 2 backup replicas raises write
+    # latency (paper: 0.11 -> 0.17 ms).
+    base, replicated = replication
+    assert replicated > base
+
+
+def test_backup_read_isolation(run_once, show):
+    """The paper's main point for Readers: analytics load is isolated
+    from the ingestion path."""
+    from repro.bench.harness import drive, scaled_config
+    from repro.core import ClusterSpec, build_cluster
+    from repro.workloads import preload
+
+    def run():
+        config = scaled_config(100_000)
+        cluster = build_cluster(
+            ClusterSpec(config=config, num_compactors=2, num_readers=1)
+        )
+        client = cluster.add_client(colocate_with="ingestor-0", record_history=False)
+        cluster.run_process(preload(client, 10_000, key_range=config.key_range))
+        cluster.run()
+        ingestor_reads = cluster.ingestors[0].stats.reads
+        compactor_reads = sum(c.stats.reads for c in cluster.compactors)
+
+        def analytics():
+            for key in range(0, 2_000, 2):
+                yield from client.read_from_backup(key)
+
+        drive(cluster, [analytics()])
+        return (
+            cluster.ingestors[0].stats.reads - ingestor_reads,
+            sum(c.stats.reads for c in cluster.compactors) - compactor_reads,
+            cluster.readers[0].stats.reads,
+        )
+
+    ingestor_delta, compactor_delta, reader_reads = run_once(run)
+    assert ingestor_delta == 0
+    assert compactor_delta == 0
+    assert reader_reads >= 1_000

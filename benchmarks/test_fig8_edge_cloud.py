@@ -1,0 +1,24 @@
+"""Figure 8: edge-cloud write performance across edge locations."""
+
+from repro.bench.experiments import fig8_edge_cloud as experiment
+from repro.sim.regions import Region, rtt
+
+
+def test_fig8_edge_cloud(run_once, show):
+    points = run_once(experiment.run, ops=8_000)
+    show(experiment.report, points)
+
+    for key_range in experiment.KEY_RANGES:
+        series = [p for p in points if p.key_range == key_range]
+        # The edge Ingestor masks the WAN: all locations sub-millisecond
+        # (paper band: 0.1-0.35 ms) even though London is ~76ms RTT away.
+        assert all(p.mean_write < 0.001 for p in series)
+        # But latency and throughput still degrade with distance.
+        ordered = sorted(series, key=lambda p: rtt(Region.VIRGINIA, p.edge))
+        assert ordered[0].mean_write <= ordered[-1].mean_write
+        assert ordered[0].throughput >= ordered[-1].throughput
+        # Virginia (local) clearly beats London (farthest).
+        virginia = next(p for p in series if p.edge == Region.VIRGINIA)
+        london = next(p for p in series if p.edge == Region.LONDON)
+        assert london.mean_write > virginia.mean_write
+        assert london.throughput < virginia.throughput

@@ -1,0 +1,25 @@
+"""Figure 9: the smart traffic benchmark (exploration + analytics)."""
+
+from repro.bench.experiments import fig9_smart_traffic as experiment
+
+
+def test_fig9_smart_traffic(run_once, show):
+    result = run_once(experiment.run, rounds=30)
+    show(experiment.report, result)
+
+    # Fig 9(a): cumulative latency grows with the number of
+    # explorations — each is a dependent round trip to the cloud.
+    exploration = list(result.exploration_latency.values())
+    assert exploration == sorted(exploration)
+    assert exploration[-1] > 4 * exploration[0]
+    # Roughly linear in the round-trip count: N=16 is within 2x of
+    # 16/1 times the N=1 latency.
+    assert exploration[-1] < 32 * exploration[0]
+
+    # Fig 9(b): per-read analytics latency decreases with query size
+    # (setup amortised), approaching an asymptote.
+    analytics = list(result.analytics_latency.values())
+    assert analytics[0] > analytics[-1]
+    tail_delta = abs(analytics[-1] - analytics[-2]) / analytics[-2]
+    head_delta = abs(analytics[1] - analytics[0]) / analytics[0]
+    assert tail_delta < head_delta  # flattening

@@ -1,0 +1,20 @@
+"""Table I: the consistency matrix, regenerated and asserted."""
+
+from repro.bench.experiments import table1_consistency as experiment
+
+
+def test_table1_consistency(run_once, show):
+    results = run_once(experiment.run, ops=300)
+    show(experiment.report, results)
+
+    assert len(results) == 4
+    for cell in results:
+        assert cell.operations > 0
+        assert cell.ok, f"{cell.cell}: {cell.violations} violations"
+    guarantees = [r.guarantee for r in results]
+    assert guarantees == [
+        "Linearizable",
+        "Snapshot Linearizable",
+        "Linearizable+Concurrent",
+        "Snapshot Linearizable+Concurrent",
+    ]

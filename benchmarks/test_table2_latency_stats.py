@@ -1,0 +1,21 @@
+"""Table II: latency percentiles with 1 Ingestor and 5 Compactors."""
+
+from repro.bench.experiments import table2_latency as experiment
+
+
+def test_table2_latency_stats(run_once, show):
+    result = run_once(experiment.run, ops=20_000)
+    show(experiment.report, result)
+
+    s = result.summary
+    # Percentiles are monotone by construction; the paper's shape is a
+    # heavy tail: p99 is tiny, the extreme tail is orders of magnitude
+    # above it (compaction-triggering requests).
+    assert s.p99 <= s.p999 <= s.p9999 <= s.maximum
+    assert s.p99 < 0.001  # sub-millisecond for 99% of writes
+    assert s.maximum > 50 * s.p99
+    # Average dominated by the common case, not the tail.
+    assert s.mean < 5 * s.p99 + s.maximum / 100
+    # Only a handful of operations sit above the slow threshold
+    # (paper: 10 ops above 50ms out of the run).
+    assert 0 < result.slow_ops < s.count * 0.01

@@ -1,0 +1,20 @@
+"""Table III: real-time V2X action latency across placements."""
+
+from repro.bench.experiments import table3_realtime as experiment
+
+
+def test_table3_realtime(run_once, show):
+    rows = run_once(experiment.run, rounds=200)
+    show(experiment.report, rows)
+
+    cloud, edge, traditional = rows
+    # Best case: everything in the cloud (paper 0.5584 ms).
+    assert cloud.mean_latency < 0.002
+    # CooLSM's case: Ingestor at the edge near the client — slightly
+    # above the best case but still sub-millisecond-ish (paper 0.84 ms).
+    assert edge.mean_latency < 0.002
+    assert edge.mean_latency > cloud.mean_latency
+    # Traditional case: client at the edge, system in the cloud — two
+    # WAN round trips (paper 122 ms; CA<->VA RTT ~61 ms each).
+    assert traditional.mean_latency > 0.1
+    assert traditional.mean_latency > 50 * edge.mean_latency

@@ -1,0 +1,49 @@
+"""YCSB-style core workloads on a standard CooLSM deployment.
+
+Not a paper artefact — a comparison surface against other KV systems'
+evaluations, run on the paper's 5-Compactor cloud deployment.
+"""
+
+from repro.bench.harness import scaled_config
+from repro.bench.reporting import print_header, print_table
+from repro.core import ClusterSpec, build_cluster
+from repro.workloads import preload
+from repro.workloads.ycsb import WORKLOADS
+
+
+def run_suite(ops=800):
+    results = {}
+    for name, runner in WORKLOADS.items():
+        config = scaled_config(100_000)
+        cluster = build_cluster(ClusterSpec(config=config, num_compactors=5))
+        client = cluster.add_client(colocate_with="ingestor-0", record_history=False)
+        cluster.run_process(preload(client, config.key_range, key_range=config.key_range))
+        workload_ops = ops if name != "E" else max(60, ops // 10)
+        results[name] = cluster.run_process(runner(client, ops=workload_ops, seed=13))
+    return results
+
+
+def test_ycsb_suite(run_once, show):
+    results = run_once(run_suite)
+
+    def report():
+        print_header("YCSB-style core workloads (5 Compactors, zipfian keys)")
+        rows = []
+        for name, result in results.items():
+            kinds = {k: f"{result.mean(k) * 1e3:.3f}ms" for k in result.latencies}
+            rows.append((name, result.total_ops, str(kinds)))
+        print_table(("workload", "ops", "mean latency by op kind"), rows)
+
+    show(report)
+
+    # Structural expectations.
+    for name, result in results.items():
+        assert result.total_ops > 0, name
+    # C is read-only and its reads stay sub-millisecond.
+    assert results["C"].updates == 0
+    assert results["C"].mean("read") < 0.001
+    # Scans (E) cost more than point reads (C): they fan out to every
+    # partition and stream entries.
+    assert results["E"].mean("scan") > results["C"].mean("read")
+    # RMW (F) costs at least a read plus a write.
+    assert results["F"].mean("rmw") > results["F"].mean("read")

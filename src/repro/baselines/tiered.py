@@ -1,0 +1,181 @@
+"""A universal-compaction (size-tiered) LSM engine, RocksDB-style.
+
+RocksDB's Universal Compaction keeps the tree as a sequence of sorted
+runs, newest first, where runs never overlap in *time* range.  When the
+run count exceeds a trigger, adjacent-in-age runs of similar size are
+merged ("sorted runs ... can overlap in key-range but avoid overlap in
+time-ranges" — the paper's Related Work).  Compared with leveled
+compaction this trades lower write amplification for higher space
+amplification — which is exactly why it serves as the second reference
+point next to the LevelDB-like leveled engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lsm.compaction import CompactionStats, merge_tables
+from repro.lsm.entry import Entry, encode_key, make_tombstone, make_upsert
+from repro.lsm.errors import InvalidConfigError
+from repro.lsm.memtable import Memtable
+from repro.lsm.sstable import SSTable
+
+
+@dataclass(frozen=True, slots=True)
+class TieredConfig:
+    """Universal compaction parameters.
+
+    Attributes:
+        memtable_entries: Flush threshold.
+        run_count_trigger: Max sorted runs before a compaction.
+        size_ratio: A merge window grows while the next (older) run is
+            at most this factor larger than the window so far.
+        run_size_entries: Output sstable chunking within merged runs.
+    """
+
+    memtable_entries: int = 500
+    run_count_trigger: int = 8
+    size_ratio: float = 2.0
+    run_size_entries: int = 10_000_000  # one table per run by default
+
+    def __post_init__(self) -> None:
+        if self.memtable_entries <= 0 or self.run_count_trigger < 2:
+            raise InvalidConfigError("bad tiered config")
+        if self.size_ratio < 1.0:
+            raise InvalidConfigError("size_ratio must be >= 1")
+
+
+@dataclass(slots=True)
+class TieredEvent:
+    """One universal compaction occurrence."""
+
+    runs_merged: int
+    stats: CompactionStats
+
+
+@dataclass(slots=True)
+class TieredStats:
+    puts: int = 0
+    gets: int = 0
+    flushes: int = 0
+    compactions: list[TieredEvent] = field(default_factory=list)
+
+
+class TieredTree:
+    """A size-tiered ("universal") LSM key-value store."""
+
+    def __init__(self, config: TieredConfig | None = None, clock=None) -> None:
+        self.config = config or TieredConfig()
+        self._clock = clock or self._logical_clock
+        self._logical_time = 0.0
+        self._seqno = 0
+        #: Sorted runs, newest first; disjoint in time range.
+        self.runs: list[SSTable] = []
+        self.stats = TieredStats()
+        self._memtable = Memtable(self.config.memtable_entries)
+
+    def _logical_clock(self) -> float:
+        self._logical_time += 1.0
+        return self._logical_time
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def put(self, key, value) -> Entry:
+        self._seqno += 1
+        entry = make_upsert(key, value, self._seqno, self._clock())
+        self.put_entry(entry)
+        return entry
+
+    def delete(self, key) -> Entry:
+        self._seqno += 1
+        entry = make_tombstone(key, self._seqno, self._clock())
+        self.put_entry(entry)
+        return entry
+
+    def put_entry(self, entry: Entry) -> None:
+        self._seqno = max(self._seqno, entry.seqno)
+        self._memtable.put(entry)
+        self.stats.puts += 1
+        if self._memtable.is_full():
+            self.flush()
+
+    def flush(self) -> None:
+        entries = self._memtable.entries()
+        if not entries:
+            return
+        self.runs.insert(0, SSTable(entries))
+        self._memtable = Memtable(self.config.memtable_entries)
+        self.stats.flushes += 1
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        while len(self.runs) > self.config.run_count_trigger:
+            start, end = self._pick_window()
+            window = self.runs[start:end]
+            result = merge_tables(window, self.config.run_size_entries)
+            merged = result.tables
+            # A merged window collapses to one run (list of chunks kept
+            # as a single concatenated run table when chunked).
+            if len(merged) > 1:
+                all_entries = [e for t in merged for e in t.entries]
+                merged = [SSTable(all_entries)]
+            self.runs[start:end] = merged
+            self.stats.compactions.append(TieredEvent(len(window), result.stats))
+
+    def _pick_window(self) -> tuple[int, int]:
+        """Choose adjacent-in-age runs to merge (newest-first order).
+
+        Greedy universal heuristic: starting from the newest run, grow
+        the window while the next older run is within ``size_ratio`` of
+        the window's accumulated size; if no such window of >= 2 runs
+        exists, merge the two oldest runs.
+        """
+        ratio = self.config.size_ratio
+        for start in range(len(self.runs) - 1):
+            window_size = len(self.runs[start])
+            end = start + 1
+            while end < len(self.runs) and len(self.runs[end]) <= ratio * window_size:
+                window_size += len(self.runs[end])
+                end += 1
+            if end - start >= 2:
+                return start, end
+        return len(self.runs) - 2, len(self.runs)
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def get(self, key) -> bytes | None:
+        entry = self.get_entry(encode_key(key))
+        if entry is None or entry.tombstone:
+            return None
+        return entry.value
+
+    def get_entry(self, key: bytes) -> Entry | None:
+        """Probe the memtable, then runs newest-first (first hit wins —
+        runs are disjoint in time)."""
+        self.stats.gets += 1
+        found = self._memtable.get(key)
+        if found is not None:
+            return found
+        for run in self.runs:
+            hit = run.get(key)
+            if hit is not None:
+                return hit
+        return None
+
+    def total_entries(self) -> int:
+        """Entries across all runs (includes obsolete versions — the
+        space amplification of tiering)."""
+        return sum(len(run) for run in self.runs)
+
+    def live_keys(self) -> int:
+        seen: set[bytes] = set()
+        live = 0
+        for source in [self._memtable.entries()] + [r.entries for r in self.runs]:
+            for entry in source:
+                if entry.key not in seen:
+                    seen.add(entry.key)
+                    if not entry.tombstone:
+                        live += 1
+        return live

@@ -1,0 +1,37 @@
+"""Benchmark harness: metrics, the experiment runner, reporting, and
+one experiment module per table/figure (``repro.bench.experiments``)."""
+
+from .harness import (
+    SCALE,
+    ExperimentResult,
+    build,
+    compaction_summary,
+    drive,
+    scaled_config,
+)
+from .metrics import LatencySummary, count_above, percentile, throughput
+from .reporting import (
+    ms,
+    paper_vs_measured,
+    print_header,
+    print_series,
+    print_table,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "LatencySummary",
+    "SCALE",
+    "build",
+    "compaction_summary",
+    "count_above",
+    "drive",
+    "ms",
+    "paper_vs_measured",
+    "percentile",
+    "print_header",
+    "print_series",
+    "print_table",
+    "scaled_config",
+    "throughput",
+]

@@ -1,0 +1,48 @@
+"""One module per table/figure of the paper's evaluation.
+
+| module                | paper artefact            |
+|-----------------------|---------------------------|
+| fig3_write_scaling    | Figure 3 (a) and (b)      |
+| table2_latency        | Table II                  |
+| fig4_compaction       | Figure 4                  |
+| fig5_client_scaling   | Figure 5                  |
+| fig6_read_latency     | Figure 6                  |
+| fig7_backup_reads     | Figure 7 + §IV-C replication overhead |
+| fig8_edge_cloud       | Figure 8 (a) and (b)      |
+| table3_realtime       | Table III                 |
+| fig9_smart_traffic    | Figure 9 (a) and (b)      |
+| table1_consistency    | Table I (machine-checked) |
+| ablations             | design-choice sweeps (DESIGN.md §5) |
+
+Each module exposes ``run(...)`` returning structured results and
+``report(results)`` printing the paper-style series plus
+paper-vs-measured shape checks.
+"""
+
+from . import (
+    ablations,
+    table1_consistency,
+    fig3_write_scaling,
+    fig4_compaction,
+    fig5_client_scaling,
+    fig6_read_latency,
+    fig7_backup_reads,
+    fig8_edge_cloud,
+    fig9_smart_traffic,
+    table2_latency,
+    table3_realtime,
+)
+
+__all__ = [
+    "ablations",
+    "fig3_write_scaling",
+    "fig4_compaction",
+    "fig5_client_scaling",
+    "fig6_read_latency",
+    "fig7_backup_reads",
+    "fig8_edge_cloud",
+    "fig9_smart_traffic",
+    "table1_consistency",
+    "table2_latency",
+    "table3_realtime",
+]

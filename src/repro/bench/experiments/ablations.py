@@ -1,0 +1,127 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+These are not paper figures; they quantify the knobs CooLSM's design
+rests on:
+
+* **delta sweep** — how the time-sync error bound δ drives the fraction
+  of multi-Ingestor reads that need phase 2 (Compactor round trip).
+* **batch size sweep** — memtable batch size vs write latency and
+  throughput (latency amortisation vs compaction burst size).
+* **in-flight cap sweep** — the ack-retention flow-control limit vs
+  write tail latency (backpressure vs memory).
+* **partitioned vs overlapping Compactors** — same node count, routed
+  exclusively vs load-balanced over overlapping members.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.harness import SCALE, drive, scaled_config
+from repro.bench.reporting import print_header, print_series
+from repro.core import ClusterSpec, build_cluster
+from repro.workloads import preload, write_only
+
+
+@dataclass(slots=True)
+class AblationResult:
+    name: str
+    xs: list
+    ys: list[float]
+    y_label: str
+
+
+def delta_sweep(deltas=(0.0005, 0.002, 0.01, 0.05), ops: int = 1_000, scale: int = SCALE) -> AblationResult:
+    """Fraction of two-phase reads vs δ (multi-Ingestor deployment).
+
+    Uses a read-your-write workload: a read of a just-written key can
+    skip phase 2 only if its timestamp provably (by the 2δ rule)
+    exceeds everything forwarded to the Compactors, so a larger δ
+    forces more reads into the Compactor round trip.
+    """
+    fractions = []
+    for delta in deltas:
+        config = scaled_config(100_000, scale, delta=delta, gc_slack=max(2.0, 4 * delta))
+        cluster = build_cluster(
+            ClusterSpec(config=config, num_ingestors=2, num_compactors=2)
+        )
+        client = cluster.add_client(colocate_with="ingestor-0", record_history=False)
+        cluster.run_process(preload(client, 3_000, key_range=config.key_range))
+        client.stats.phase2_reads = 0
+
+        def read_your_writes():
+            for index in range(ops):
+                key = index % config.key_range
+                yield from client.upsert(key, b"ryw-%d" % index)
+                yield from client.read(key)
+
+        reads_before = len(client.stats.all("read"))
+        drive(cluster, [read_your_writes()])
+        reads = len(client.stats.all("read")) - reads_before or 1
+        fractions.append(client.stats.phase2_reads / reads)
+    return AblationResult(
+        "phase-2 read fraction vs delta", list(deltas), fractions, "phase-2 fraction"
+    )
+
+
+def batch_size_sweep(sizes=(10, 50, 200, 1_000), ops: int = 8_000, scale: int = SCALE) -> AblationResult:
+    """Mean write latency vs memtable batch size."""
+    means = []
+    for size in sizes:
+        config = scaled_config(100_000, scale, memtable_entries=size)
+        cluster = build_cluster(ClusterSpec(config=config, num_compactors=5))
+        client = cluster.add_client(colocate_with="ingestor-0", record_history=False)
+        result = drive(cluster, [write_only(client, ops=ops)])
+        means.append(result.writes.mean * 1_000)
+    return AblationResult(
+        "mean write latency vs batch size", list(sizes), means, "latency (ms)"
+    )
+
+
+def inflight_cap_sweep(caps=(2, 6, 12, 48), ops: int = 8_000, scale: int = SCALE) -> AblationResult:
+    """p99.99 write latency vs the in-flight table cap."""
+    tails = []
+    for cap in caps:
+        config = scaled_config(100_000, scale, max_inflight_tables=cap)
+        cluster = build_cluster(ClusterSpec(config=config, num_compactors=2))
+        client = cluster.add_client(colocate_with="ingestor-0", record_history=False)
+        result = drive(cluster, [write_only(client, ops=ops)])
+        tails.append(result.writes.p9999 * 1_000)
+    return AblationResult(
+        "write p99.99 vs in-flight cap", list(caps), tails, "p99.99 (ms)"
+    )
+
+
+def overlap_vs_partitioned(ops: int = 8_000, scale: int = SCALE) -> AblationResult:
+    """Mean write latency: 4 partitioned vs 4 overlapping (2x2) Compactors."""
+    means = []
+    labels = ["4 partitioned", "2x2 overlapping"]
+    for replicas in (1, 2):
+        config = scaled_config(100_000, scale)
+        cluster = build_cluster(
+            ClusterSpec(config=config, num_compactors=4, compactor_replicas=replicas)
+        )
+        client = cluster.add_client(colocate_with="ingestor-0", record_history=False)
+        result = drive(cluster, [write_only(client, ops=ops)])
+        means.append(result.writes.mean * 1_000)
+    return AblationResult(
+        "mean write latency: partitioned vs overlapping Compactors",
+        labels,
+        means,
+        "latency (ms)",
+    )
+
+
+def run(scale: int = SCALE) -> list[AblationResult]:
+    return [
+        delta_sweep(scale=scale),
+        batch_size_sweep(scale=scale),
+        inflight_cap_sweep(scale=scale),
+        overlap_vs_partitioned(scale=scale),
+    ]
+
+
+def report(results: list[AblationResult]) -> None:
+    print_header("Ablations — design-choice sensitivity")
+    for result in results:
+        print_series(result.name, result.xs, result.ys, "setting", result.y_label)

@@ -1,0 +1,84 @@
+"""Figure 6: read latency of the mixed workload while varying the read
+percentage (25/50/75%), for 2 and 5 Compactors and both key ranges.
+
+The paper's observation: read latency is flat (~0.7 ms) across key
+ranges, compactor counts, and read percentages, thanks to bloom filters
+and fence pointers plus single-Compactor read routing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.harness import SCALE, drive, scaled_config
+from repro.bench.reporting import paper_vs_measured, print_header, print_series
+from repro.core import ClusterSpec, build_cluster
+from repro.workloads import READ_BATCH, mixed, preload
+
+READ_FRACTIONS = (0.25, 0.50, 0.75)
+COMPACTOR_COUNTS = (2, 5)
+KEY_RANGES = (100_000, 300_000)
+
+
+@dataclass(slots=True)
+class Fig6Point:
+    key_range: int
+    compactors: int
+    read_fraction: float
+    mean_read: float
+
+
+def run(ops: int = 4 * READ_BATCH, scale: int = SCALE) -> list[Fig6Point]:
+    points: list[Fig6Point] = []
+    for key_range in KEY_RANGES:
+        config = scaled_config(key_range, scale)
+        for count in COMPACTOR_COUNTS:
+            for fraction in READ_FRACTIONS:
+                cluster = build_cluster(
+                    ClusterSpec(config=config, num_compactors=count)
+                )
+                client = cluster.add_client(
+                    colocate_with="ingestor-0", record_history=False
+                )
+                cluster.run_process(
+                    preload(client, config.key_range, key_range=config.key_range)
+                )
+                client.stats.latencies.clear()
+                result = drive(cluster, [mixed(client, fraction, ops=ops)])
+                points.append(
+                    Fig6Point(key_range, count, fraction, result.reads.mean)
+                )
+    return points
+
+
+def report(points: list[Fig6Point]) -> None:
+    print_header("Figure 6 — read latency vs read percentage")
+    for key_range in KEY_RANGES:
+        for count in COMPACTOR_COUNTS:
+            series = [
+                p
+                for p in points
+                if p.key_range == key_range and p.compactors == count
+            ]
+            print_series(
+                f"key range {key_range // 1000}K, {count} compactors",
+                [f"{p.read_fraction:.0%}" for p in series],
+                [p.mean_read * 1_000 for p in series],
+                "read %",
+                "mean read latency (ms)",
+            )
+    means = [p.mean_read for p in points]
+    spread = (max(means) - min(means)) / max(means)
+    paper_vs_measured(
+        "consistent read latency (~0.7ms) across key ranges and compactor counts",
+        f"all points within {spread:.0%} of each other "
+        f"({min(means) * 1e3:.3f}-{max(means) * 1e3:.3f}ms)",
+        spread < 0.35,
+    )
+    big = [p.mean_read for p in points if p.key_range == 300_000]
+    small = [p.mean_read for p in points if p.key_range == 100_000]
+    ratio = (sum(big) / len(big)) / (sum(small) / len(small))
+    paper_vs_measured(
+        "larger LSM tree does not affect read latency (bloom + fence pointers)",
+        f"300K/100K mean-read ratio {ratio:.2f}",
+        0.8 < ratio < 1.25,
+    )

@@ -1,0 +1,108 @@
+"""Figure 9: the smart traffic benchmark.
+
+(a) Update-and-exploration: cumulative latency of one location write
+    plus N interactive vicinity reads, as N grows — each read is a
+    dependent round trip, so latency grows as a multiple of the
+    round-trip count.
+(b) Analytics: average per-read latency of region queries served by a
+    Backup placed near the analyst, as query size grows — per-read
+    latency falls toward an asymptote as setup costs amortise."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.harness import SCALE, scaled_config
+from repro.bench.reporting import paper_vs_measured, print_header, print_series
+from repro.core import ClusterSpec, build_cluster
+from repro.sim.regions import Region
+from repro.workloads import (
+    CityModel,
+    analytics_queries,
+    populate_city,
+    update_and_explore,
+)
+
+EXPLORATION_COUNTS = (1, 2, 4, 8, 16)
+QUERY_SIZES = (50, 100, 500, 1_000, 2_000)
+
+
+@dataclass(slots=True)
+class Fig9Result:
+    exploration_latency: dict[int, float]  # N -> mean sequence latency
+    analytics_latency: dict[int, float]  # query size -> mean per-read latency
+
+
+def run(rounds: int = 40, scale: int = SCALE) -> Fig9Result:
+    config = scaled_config(100_000, scale)
+    city = CityModel(num_cars=4_000, num_intersections=100)
+
+    # (a) exploration: edge Ingestor in California, cloud in Virginia —
+    # vicinity reads of not-recently-updated cars go to the cloud.
+    cluster = build_cluster(
+        ClusterSpec(
+            config=config,
+            num_compactors=5,
+            ingestor_regions=(Region.CALIFORNIA,),
+        )
+    )
+    client = cluster.add_client(colocate_with="ingestor-0", record_history=False)
+    cluster.run_process(populate_city(client, city))
+    exploration: dict[int, float] = {}
+    for count in EXPLORATION_COUNTS:
+        result = cluster.run_process(
+            update_and_explore(client, city, explorations=count, rounds=rounds)
+        )
+        exploration[count] = result.mean
+
+    # (b) analytics: Backup placed near the analyst (same region).
+    cluster = build_cluster(
+        ClusterSpec(
+            config=config,
+            num_compactors=5,
+            num_readers=1,
+            reader_regions=(Region.CALIFORNIA,),
+        )
+    )
+    loader = cluster.add_client(colocate_with="ingestor-0", record_history=False)
+    cluster.run_process(populate_city(loader, city))
+    cluster.run()  # quiesce so the Backup holds the whole city
+    analyst = cluster.add_client(region=Region.CALIFORNIA, record_history=False)
+    analytics: dict[int, float] = {}
+    for size in QUERY_SIZES:
+        result = cluster.run_process(
+            analytics_queries(analyst, city, query_size=size, rounds=10)
+        )
+        analytics[size] = result.mean
+    return Fig9Result(exploration, analytics)
+
+
+def report(result: Fig9Result) -> None:
+    print_header("Figure 9 — smart traffic benchmark")
+    print_series(
+        "Fig 9(a) update+exploration cumulative latency",
+        list(result.exploration_latency.keys()),
+        [v * 1_000 for v in result.exploration_latency.values()],
+        "#explorations",
+        "latency (ms)",
+    )
+    print_series(
+        "Fig 9(b) analytics mean per-read latency (via Backup)",
+        list(result.analytics_latency.keys()),
+        [v * 1_000 for v in result.analytics_latency.values()],
+        "query size",
+        "per-read latency (ms)",
+    )
+    exploration = list(result.exploration_latency.values())
+    paper_vs_measured(
+        "exploration latency grows as a multiple of the round trips to the cloud",
+        f"{exploration[0] * 1e3:.1f}ms at N=1 -> {exploration[-1] * 1e3:.1f}ms at N=16",
+        exploration[-1] > 4 * exploration[0],
+    )
+    analytics = list(result.analytics_latency.values())
+    paper_vs_measured(
+        "per-read analytics latency decreases with query size (amortised setup)",
+        f"{analytics[0] * 1e3:.4f}ms at {QUERY_SIZES[0]} -> "
+        f"{analytics[-1] * 1e3:.4f}ms at {QUERY_SIZES[-1]}",
+        analytics[-1] < analytics[0],
+    )

@@ -1,0 +1,64 @@
+"""Table II: detailed write latency statistics with 1 Ingestor and 5
+Compactors (percentiles, average, maximum, slow-op count)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.harness import SCALE, drive, scaled_config
+from repro.bench.metrics import LatencySummary, count_above
+from repro.bench.reporting import paper_vs_measured, print_header, print_table
+from repro.core import ClusterSpec, build_cluster
+from repro.workloads import write_only
+
+#: Table II's slow-op threshold.  The paper uses 50 ms on its testbed,
+#: where compaction stalls reach 200 ms; our scaled configuration's
+#: stalls top out around 40 ms, so the equivalent cut is 10 ms (same
+#: position relative to the tail: between p99.9 and the maximum).
+SLOW_THRESHOLD = 0.010
+
+
+@dataclass(slots=True)
+class Table2Result:
+    summary: LatencySummary
+    slow_ops: int
+
+
+def run(ops: int = 20_000, scale: int = SCALE) -> Table2Result:
+    config = scaled_config(100_000, scale)
+    cluster = build_cluster(ClusterSpec(config=config, num_compactors=5))
+    client = cluster.add_client(colocate_with="ingestor-0", record_history=False)
+    result = drive(cluster, [write_only(client, ops=ops)])
+    samples = []
+    for c in cluster.clients:
+        samples.extend(c.stats.all("write"))
+    return Table2Result(result.writes, count_above(samples, SLOW_THRESHOLD))
+
+
+def report(result: Table2Result) -> None:
+    s = result.summary
+    print_header(
+        "Table II — latency statistics, 1 Ingestor and 5 Compactors",
+        "(paper: p99 0.04ms, p999 1.4ms, p9999 100ms, avg 0.11ms, max 200ms, >50ms: 10 ops)",
+    )
+    print_table(
+        ("Percentile/Measure", "Value"),
+        [
+            ("0.99", f"{s.ms('p99'):.4f}ms"),
+            ("0.999", f"{s.ms('p999'):.4f}ms"),
+            ("0.9999", f"{s.ms('p9999'):.4f}ms"),
+            ("Average", f"{s.ms('mean'):.4f}ms"),
+            ("Maximum", f"{s.ms('maximum'):.4f}ms"),
+            (f"latency>{SLOW_THRESHOLD * 1e3:.0f}ms", f"{result.slow_ops} ops"),
+        ],
+    )
+    paper_vs_measured(
+        "most requests fast (p99 well under the average-dominating tail)",
+        f"p99 {s.ms('p99'):.4f}ms vs max {s.ms('maximum'):.2f}ms",
+        s.p99 < s.maximum / 10,
+    )
+    paper_vs_measured(
+        "a small fraction of requests (compaction-triggering) are 100x+ slower",
+        f"{result.slow_ops} ops above {SLOW_THRESHOLD * 1e3:.0f}ms out of {s.count}",
+        result.slow_ops < s.count * 0.01,
+    )

@@ -1,0 +1,160 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.cli list                 # show available experiments
+    python -m repro.cli run fig3             # one experiment
+    python -m repro.cli run fig3 fig8        # several
+    python -m repro.cli run all              # everything
+    python -m repro.cli run fig3 --ops 20000 # bigger run
+    python -m repro.cli run fig3 --scale 1   # paper-sized configuration
+
+Each experiment prints its series/tables in the paper's shape followed
+by paper-vs-measured checks (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import (
+    ablations,
+    table1_consistency,
+    fig3_write_scaling,
+    fig4_compaction,
+    fig5_client_scaling,
+    fig6_read_latency,
+    fig7_backup_reads,
+    fig8_edge_cloud,
+    fig9_smart_traffic,
+    table2_latency,
+    table3_realtime,
+)
+
+
+def _run_fig7(ops, scale):
+    points = fig7_backup_reads.run(scale=scale)
+    replication = fig7_backup_reads.run_replication_overhead(
+        ops=ops or 10_000, scale=scale
+    )
+    fig7_backup_reads.report(points, replication)
+
+
+#: name -> (description, runner(ops, scale))
+EXPERIMENTS = {
+    "table1": (
+        "Table I: consistency matrix, machine-checked",
+        lambda ops, scale: table1_consistency.report(
+            table1_consistency.run(ops=ops or 300, scale=scale)
+        ),
+    ),
+    "fig3": (
+        "Figure 3: write latency/throughput vs #compactors (+ baselines)",
+        lambda ops, scale: fig3_write_scaling.report(
+            fig3_write_scaling.run(ops=ops or 10_000, scale=scale)
+        ),
+    ),
+    "table2": (
+        "Table II: write latency percentiles (1 Ingestor, 5 Compactors)",
+        lambda ops, scale: table2_latency.report(
+            table2_latency.run(ops=ops or 20_000, scale=scale)
+        ),
+    ),
+    "fig4": (
+        "Figure 4: L2/L3 compaction latency vs #compactors",
+        lambda ops, scale: fig4_compaction.report(
+            fig4_compaction.run(ops=ops or 12_000, scale=scale)
+        ),
+    ),
+    "fig5": (
+        "Figure 5: client scaling (distributed/colocated/multithreaded)",
+        lambda ops, scale: fig5_client_scaling.report(
+            fig5_client_scaling.run(ops_per_client=ops or 6_000, scale=scale)
+        ),
+    ),
+    "fig6": (
+        "Figure 6: read latency vs read percentage",
+        lambda ops, scale: fig6_read_latency.report(
+            fig6_read_latency.run(ops=ops or 2_000, scale=scale)
+        ),
+    ),
+    "fig7": (
+        "Figure 7: reads with/without backup + replication overhead",
+        lambda ops, scale: _run_fig7(ops, scale),
+    ),
+    "fig8": (
+        "Figure 8: edge-cloud write performance by edge location",
+        lambda ops, scale: fig8_edge_cloud.report(
+            fig8_edge_cloud.run(ops=ops or 8_000, scale=scale)
+        ),
+    ),
+    "table3": (
+        "Table III: real-time V2X action latency by placement",
+        lambda ops, scale: table3_realtime.report(
+            table3_realtime.run(rounds=ops or 200, scale=scale)
+        ),
+    ),
+    "fig9": (
+        "Figure 9: smart traffic benchmark (exploration + analytics)",
+        lambda ops, scale: fig9_smart_traffic.report(
+            fig9_smart_traffic.run(rounds=ops or 30, scale=scale)
+        ),
+    ),
+    "ablations": (
+        "Design-choice ablations (delta, batch size, in-flight cap, overlap)",
+        lambda ops, scale: ablations.report(ablations.run(scale=scale)),
+    ),
+}
+
+
+def _cmd_list() -> int:
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, (description, __) in EXPERIMENTS.items():
+        print(f"  {name.ljust(width)}  {description}")
+    return 0
+
+
+def _cmd_run(names: list[str], ops: int | None, scale: int) -> int:
+    if "all" in names:
+        names = list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print("use `python -m repro.cli list`", file=sys.stderr)
+        return 2
+    for name in names:
+        description, runner = EXPERIMENTS[name]
+        started = time.time()
+        runner(ops, scale)
+        print(f"\n[{name}] done in {time.time() - started:.1f}s wall time")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Regenerate the CooLSM paper's tables and figures.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list available experiments")
+    run_parser = subparsers.add_parser("run", help="run experiments")
+    run_parser.add_argument("names", nargs="+", help="experiment names, or 'all'")
+    run_parser.add_argument(
+        "--ops", type=int, default=None, help="operation count (experiment-specific default)"
+    )
+    run_parser.add_argument(
+        "--scale",
+        type=int,
+        default=10,
+        help="configuration shrink factor (1 = paper-sized; default 10)",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    return _cmd_run(args.names, args.ops, args.scale)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,248 @@
+"""The CooLSM client library.
+
+A :class:`Client` is a simulated application node.  It implements the
+paper's client-side protocols:
+
+* **upsert/delete** — sent to an Ingestor (the nearest by default).
+* **read** (single Ingestor) — sent to the Ingestor, which owns the
+  full read path (memtable, L0, L1, then the right Compactor).
+* **read** (multiple Ingestors) — the two-phase protocol of Section
+  III-E.2: phase 1 asks a coordinator Ingestor to stamp the read and
+  gather every Ingestor's newest visible version plus its ts_c; the
+  client then asks the Compactors only if the phase-1 results cannot
+  prove freshness (ts_h - min ts_c < 2δ) or nothing was found.
+* **read_from_backup / analytics_query** — served by a Reader without
+  touching the ingestion path (Sections III-D, IV-E).
+
+Every completed operation is appended to the client's
+:class:`~repro.core.history.History` and its latency recorded, feeding
+both the consistency checkers and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lsm.entry import Entry, encode_key, encode_value
+from repro.sim.clock import definitely_after
+from repro.sim.kernel import Kernel
+from repro.sim.machine import Machine
+from repro.sim.network import Network
+from repro.sim.rpc import RpcNode
+
+from .config import CooLSMConfig
+from .history import History
+from .keyspace import Partitioning
+from .messages import (
+    Phase1Reply,
+    Phase1Request,
+    RangeQuery,
+    RangeQueryReply,
+    ReadReply,
+    ReadRequest,
+    UpsertReply,
+    UpsertRequest,
+)
+
+
+@dataclass(slots=True)
+class ClientStats:
+    """Per-kind operation latencies (true simulation time, seconds)."""
+
+    latencies: dict[str, list[float]] = field(default_factory=dict)
+    phase2_reads: int = 0
+
+    def record(self, kind: str, latency: float) -> None:
+        self.latencies.setdefault(kind, []).append(latency)
+
+    def all(self, kind: str) -> list[float]:
+        return self.latencies.get(kind, [])
+
+
+class Client(RpcNode):
+    """A CooLSM client.
+
+    Operation methods are coroutines — drive them with
+    ``yield from client.upsert(...)`` inside a process, or via the
+    harness helpers.
+
+    Args:
+        kernel/network/machine/name: Simulation plumbing.
+        config: Deployment parameters (δ, costs).
+        partitioning: Compactor map, needed for phase-2 reads.
+        ingestors: Ingestor names this client may talk to; the first is
+            its default (nearest) Ingestor and read coordinator.
+        readers: Reader names for backup reads and analytics.
+        multi_ingestor: Selects the read protocol.
+        history: Optional shared history for consistency checking.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        network: Network,
+        machine: Machine,
+        name: str,
+        config: CooLSMConfig,
+        partitioning: Partitioning,
+        ingestors: list[str],
+        readers: list[str] | None = None,
+        multi_ingestor: bool = False,
+        history: History | None = None,
+    ) -> None:
+        super().__init__(kernel, network, machine, name)
+        if not ingestors:
+            raise ValueError("a client needs at least one Ingestor")
+        self.config = config
+        self.partitioning = partitioning
+        self.ingestors = list(ingestors)
+        self.readers = list(readers or [])
+        self.multi_ingestor = multi_ingestor
+        self.history = history
+        self.stats = ClientStats()
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def upsert(self, key, value, ingestor: str | None = None):
+        """Insert or overwrite ``key``; returns the assigned timestamp."""
+        encoded_key = encode_key(key)
+        encoded_value = encode_value(value)
+        request = UpsertRequest(encoded_key, encoded_value)
+        return (yield from self._do_upsert(request, ingestor))
+
+    def delete(self, key, ingestor: str | None = None):
+        """Delete ``key`` via a tombstone."""
+        request = UpsertRequest(encode_key(key), b"", tombstone=True)
+        return (yield from self._do_upsert(request, ingestor))
+
+    def _do_upsert(self, request: UpsertRequest, ingestor: str | None):
+        target = ingestor or self.ingestors[0]
+        invoked = self.kernel.now
+        reply = yield self.call(
+            target, "upsert", request, size_bytes=64 + len(request.value)
+        )
+        assert isinstance(reply, UpsertReply)
+        latency = self.kernel.now - invoked
+        self.stats.record("write", latency)
+        if self.history is not None:
+            self.history.record(
+                "write",
+                request.key,
+                None if request.tombstone else request.value,
+                invoked,
+                self.kernel.now,
+                reply.timestamp,
+                client=self.name,
+                server=target,
+            )
+        return reply
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def read(self, key, coordinator: str | None = None):
+        """Point read with the deployment's strongest available path."""
+        encoded = encode_key(key)
+        invoked = self.kernel.now
+        if self.multi_ingestor:
+            entry, read_ts = yield from self._two_phase_read(encoded, coordinator)
+            stamp = read_ts
+        else:
+            target = coordinator or self.ingestors[0]
+            reply = yield self.call(target, "read", ReadRequest(encoded))
+            entry = reply.entry
+            stamp = entry.timestamp if entry is not None else 0.0
+        latency = self.kernel.now - invoked
+        self.stats.record("read", latency)
+        value = self._value_of(entry)
+        if self.history is not None:
+            self.history.record(
+                "read", encoded, value, invoked, self.kernel.now, stamp,
+                client=self.name,
+            )
+        return value
+
+    def _two_phase_read(self, key: bytes, coordinator: str | None):
+        """Section III-E.2's two-phase multi-Ingestor read."""
+        target = coordinator or self.ingestors[0]
+        phase1 = yield self.call(target, "read_phase1", Phase1Request(key))
+        assert isinstance(phase1, Phase1Reply)
+        found = [r.entry for r in phase1.results if r.entry is not None]
+        # Freshness proof: every record at the Compactors was forwarded by
+        # some Ingestor i with timestamp <= that Ingestor's ts_c, so no
+        # Compactor record can supersede ts_h iff ts_h - max_i ts_c_i >= 2δ.
+        # (The paper says "lowest received ts_c"; the max is the sound
+        # bound — see DESIGN.md's deviations section.)
+        max_ts_c = max(r.ts_c for r in phase1.results)
+        best: Entry | None = max(found, key=lambda e: e.version) if found else None
+        skip_phase2 = best is not None and definitely_after(
+            best.timestamp, max_ts_c, self.config.delta
+        )
+        if not skip_phase2:
+            self.stats.phase2_reads += 1
+            partition = self.partitioning.partition_for(key)
+            request = ReadRequest(key, as_of=phase1.read_ts)
+            calls = [self.call(m, "read", request) for m in partition.members]
+            replies = yield self.kernel.all_of(calls)
+            for reply in replies:
+                assert isinstance(reply, ReadReply)
+                if reply.entry is not None and (
+                    best is None or reply.entry.version > best.version
+                ):
+                    best = reply.entry
+        return best, phase1.read_ts
+
+    def read_from_backup(self, key, reader: str | None = None):
+        """Point read served by a Reader (snapshot-linearizable)."""
+        if not self.readers and reader is None:
+            raise ValueError("deployment has no Readers")
+        target = reader or self.readers[0]
+        encoded = encode_key(key)
+        invoked = self.kernel.now
+        reply = yield self.call(target, "read", ReadRequest(encoded))
+        latency = self.kernel.now - invoked
+        self.stats.record("backup_read", latency)
+        entry = reply.entry
+        value = self._value_of(entry)
+        if self.history is not None:
+            self.history.record(
+                "read", encoded, value, invoked, self.kernel.now,
+                entry.timestamp if entry is not None else 0.0,
+                client=self.name, server=target,
+            )
+        return value
+
+    def scan(self, lo, hi, limit: int | None = None, ingestor: str | None = None):
+        """Global range scan through the Ingestor: merges the Ingestor's
+        levels with every Compactor partition the range touches.
+
+        Fresher than :meth:`analytics_query` (which reads a possibly
+        lagging Reader snapshot) but interferes with the ingestion path.
+        Returns sorted (key, value) pairs, tombstones elided.
+        """
+        target = ingestor or self.ingestors[0]
+        request = RangeQuery(encode_key(lo), encode_key(hi), limit)
+        invoked = self.kernel.now
+        reply = yield self.call(target, "range_query", request, size_bytes=64)
+        assert isinstance(reply, RangeQueryReply)
+        self.stats.record("scan", self.kernel.now - invoked)
+        return list(reply.pairs)
+
+    def analytics_query(self, lo, hi, limit: int | None = None, reader: str | None = None):
+        """Range query served by a Reader (the paper's analytics task)."""
+        if not self.readers and reader is None:
+            raise ValueError("deployment has no Readers")
+        target = reader or self.readers[0]
+        request = RangeQuery(encode_key(lo), encode_key(hi), limit)
+        invoked = self.kernel.now
+        reply = yield self.call(target, "range_query", request, size_bytes=64)
+        assert isinstance(reply, RangeQueryReply)
+        self.stats.record("analytics", self.kernel.now - invoked)
+        return list(reply.pairs)
+
+    @staticmethod
+    def _value_of(entry: Entry | None) -> bytes | None:
+        if entry is None or entry.tombstone:
+            return None
+        return entry.value

@@ -1,0 +1,274 @@
+"""The Compactor: CooLSM's cloud-resident structuring engine.
+
+A Compactor (Section III-B/C) owns levels **L2 and L3** for its key
+partition.  When an Ingestor forwards sstables, the Compactor runs a
+*major* (leveling) compaction: the received tables are k-way merged
+with the overlapping tables of L2 and swapped in atomically; if L2 then
+exceeds its threshold, the extra tables are merged into the overlapping
+region of L3.  The forwarding Ingestor is acked only after the merge —
+that ack is what lets the Ingestor drop its retained copies.
+
+After every major compaction the Compactor casts the newly formed
+sstables to all Readers (Section III-D), which keeps each Reader a
+progressively advancing snapshot of this Compactor's range (snapshot
+linearizability relies on the network layer's FIFO channels).
+
+Garbage collection: in multi-Ingestor mode merges use a version
+retention horizon ``clock.now() - gc_slack`` so that "values can be
+garbage collected only if the new value has a timestamp that is higher
+than the timestamp of any current or future read operation".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.lsm.compaction import (
+    KeepPolicy,
+    NEWEST_WINS,
+    major_compaction,
+    select_overflow_rotating,
+)
+from repro.lsm.entry import Entry
+from repro.lsm.manifest import LevelEdit, Manifest
+from repro.lsm.sstable import SSTable
+from repro.sim.clock import LooseClock
+from repro.sim.kernel import Kernel
+from repro.sim.machine import Machine
+from repro.sim.network import Network
+from repro.sim.resources import Resource
+from repro.sim.rpc import RpcNode
+
+from .config import CooLSMConfig
+from .messages import (
+    BackupUpdate,
+    ForwardReply,
+    ForwardRequest,
+    RangeQuery,
+    RangeQueryReply,
+    ReadReply,
+    ReadRequest,
+)
+
+#: Manifest level indices (local 0/1 map to the paper's L2/L3).
+L2, L3 = 0, 1
+
+
+@dataclass(slots=True)
+class CompactionTiming:
+    """One major compaction occurrence (drives Figure 4)."""
+
+    level: int  # 2 or 3, paper numbering
+    duration: float
+    entries_merged: int
+
+
+@dataclass(slots=True)
+class CompactorStats:
+    """Counters and timings exposed for the evaluation harness."""
+
+    forwards_received: int = 0
+    tables_received: int = 0
+    reads: int = 0
+    compactions: list[CompactionTiming] = field(default_factory=list)
+
+    def mean_compaction_time(self, level: int) -> float:
+        times = [c.duration for c in self.compactions if c.level == level]
+        return sum(times) / len(times) if times else 0.0
+
+
+class Compactor(RpcNode):
+    """A CooLSM Compactor node serving one key partition.
+
+    Args:
+        kernel/network/machine/name: Simulation plumbing.
+        config: Deployment parameters.
+        clock: This node's loose clock (for the GC horizon).
+        backups: Reader node names to push post-compaction runs to.
+        multi_ingestor: Use the version-retention GC policy when True.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        network: Network,
+        machine: Machine,
+        name: str,
+        config: CooLSMConfig,
+        clock: LooseClock,
+        backups: Iterable[str] = (),
+        multi_ingestor: bool = False,
+    ) -> None:
+        super().__init__(kernel, network, machine, name)
+        self.config = config
+        self.clock = clock
+        self.backups = list(backups)
+        self.multi_ingestor = multi_ingestor
+        self.stats = CompactorStats()
+        self.manifest = Manifest(2, overlapping_levels=frozenset())
+        self._merge_lock = Resource(kernel, 1)
+        self._l2_pointer: bytes | None = None
+        self.on("forward", self._handle_forward)
+        self.on("read", self._handle_read)
+        self.on("range_query", self._handle_range_query)
+
+    # ------------------------------------------------------------------
+    # Level access
+    # ------------------------------------------------------------------
+    @property
+    def level2(self) -> list[SSTable]:
+        return self.manifest.level(L2)
+
+    @property
+    def level3(self) -> list[SSTable]:
+        return self.manifest.level(L3)
+
+    def _keep_policy(self, bottom: bool) -> KeepPolicy:
+        if self.multi_ingestor:
+            horizon = self.clock.now() - self.config.gc_slack
+            return KeepPolicy(retain_horizon=horizon)
+        if bottom:
+            return KeepPolicy(drop_tombstones=True)
+        return NEWEST_WINS
+
+    # ------------------------------------------------------------------
+    # Write path: major compaction
+    # ------------------------------------------------------------------
+    def _handle_forward(self, src: str, request: ForwardRequest):
+        """Merge forwarded sstables into L2 (and overflow into L3),
+        atomically, then ack the Ingestor and update the Readers."""
+        self.stats.forwards_received += 1
+        self.stats.tables_received += len(request.tables)
+        yield self._merge_lock.request()
+        try:
+            merged = yield from self._compact_into_l2(list(request.tables))
+            if len(self.level2) > self.config.l2_threshold:
+                yield from self._compact_l2_overflow_into_l3()
+        finally:
+            self._merge_lock.release()
+        return ForwardReply(request.batch_id, merged)
+
+    def _compact_into_l2(self, incoming: list[SSTable]):
+        started = self.kernel.now
+        l2_before = list(self.level2)
+        result, untouched = major_compaction(
+            incoming,
+            l2_before,
+            self.config.sstable_entries,
+            self._keep_policy(bottom=False),
+        )
+        total = result.stats.entries_in
+        yield from self.compute(self.config.costs.merge_cost(total))
+        untouched_ids = {t.table_id for t in untouched}
+        replaced = [t for t in l2_before if t.table_id not in untouched_ids]
+        self.manifest.apply(
+            LevelEdit().remove(L2, replaced).add(L2, result.tables)
+        )
+        self.stats.compactions.append(
+            CompactionTiming(2, self.kernel.now - started, total)
+        )
+        self._push_to_backups(2, result.tables)
+        return total
+
+    def _compact_l2_overflow_into_l3(self):
+        started = self.kernel.now
+        kept, overflow, self._l2_pointer = select_overflow_rotating(
+            self.level2, self.config.l2_threshold, self._l2_pointer
+        )
+        l3_before = list(self.level3)
+        result, untouched = major_compaction(
+            overflow,
+            l3_before,
+            self.config.sstable_entries,
+            self._keep_policy(bottom=True),
+        )
+        total = result.stats.entries_in
+        yield from self.compute(self.config.costs.merge_cost(total))
+        untouched_ids = {t.table_id for t in untouched}
+        replaced = [t for t in l3_before if t.table_id not in untouched_ids]
+        self.manifest.apply(
+            LevelEdit()
+            .remove(L2, overflow)
+            .remove(L3, replaced)
+            .add(L3, result.tables)
+        )
+        self.stats.compactions.append(
+            CompactionTiming(3, self.kernel.now - started, total)
+        )
+        self._push_to_backups(
+            3, result.tables, removed_l2_ids=tuple(t.table_id for t in overflow)
+        )
+
+    def _push_to_backups(
+        self,
+        paper_level: int,
+        tables: list[SSTable],
+        removed_l2_ids: tuple[int, ...] = (),
+    ) -> None:
+        """Cast the newly formed sstables to every Reader.
+
+        Sent on FIFO channels, so each Reader sees this Compactor's
+        post-compaction states in order — the basis of snapshot
+        linearizability (Section III-D.2).
+        """
+        if not tables and not removed_l2_ids:
+            return
+        entries = sum(len(t) for t in tables)
+        update = BackupUpdate(paper_level, tuple(tables), self.name, removed_l2_ids)
+        for backup in self.backups:
+            self.cast(
+                backup,
+                "backup_update",
+                update,
+                size_bytes=self.config.costs.tables_size_bytes(entries),
+            )
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def _search(self, key: bytes, as_of: float | None) -> tuple[Entry | None, int]:
+        probes = 0
+        candidates: list[Entry] = []
+        for level in (self.level2, self.level3):
+            for table in level:
+                if table.key_in_range(key) and table.bloom.might_contain(key):
+                    probes += 1
+                    versions = table.versions(key)
+                    if as_of is not None:
+                        versions = [v for v in versions if v.timestamp <= as_of]
+                    candidates.extend(versions[:1])
+            if candidates and as_of is None:
+                break  # L2 strictly newer than L3 for the same key
+        if not candidates:
+            return None, probes
+        return max(candidates, key=lambda e: e.version), probes
+
+    def _handle_read(self, src: str, request: ReadRequest):
+        """Point read over L2 then L3 ("starting with the corresponding
+        sstable in L2 and then ... L3")."""
+        self.stats.reads += 1
+        yield from self.compute(self.config.costs.read_base)
+        entry, probes = self._search(request.key, request.as_of)
+        yield from self.compute(probes * self.config.costs.probe_table)
+        return ReadReply(entry, self.name)
+
+    def _handle_range_query(self, src: str, request: RangeQuery):
+        """Analytics range read directly on the Compactor (used when a
+        deployment has no Readers)."""
+        from repro.lsm.iterators import dedup_newest, k_way_merge
+
+        self.stats.reads += 1
+        yield from self.compute(self.config.costs.read_base)
+        sources = [
+            list(t.scan(request.lo, request.hi)) for t in self.level2 + self.level3
+        ]
+        pairs: list[tuple[bytes, bytes]] = []
+        for entry in dedup_newest(k_way_merge(sources)):
+            if entry.tombstone:
+                continue
+            pairs.append((entry.key, entry.value))
+            if request.limit is not None and len(pairs) >= request.limit:
+                break
+        yield from self.compute(len(pairs) * self.config.costs.scan_per_entry)
+        return RangeQueryReply(tuple(pairs))

@@ -1,0 +1,230 @@
+"""Consistency checkers for the guarantees of Table I.
+
+Three checkers, one per guarantee the paper defines:
+
+:func:`check_linearizable`
+    Classic linearizability (Herlihy & Wing) for per-key register
+    histories, decided by a Wing–Gong style search.  Sound and complete
+    for histories with *distinct written values* (our test workloads
+    always write unique values).
+
+:func:`check_snapshot_linearizable`
+    Section III-D.2: for any two consecutive reads of the same object
+    served by the same backup, the versions read must not go backwards
+    with respect to the write order of the main system, and every value
+    read must correspond to a past write.
+
+:func:`check_linearizable_concurrent`
+    Definition 1 (Section III-E.2): whenever two operations' loose
+    timestamps differ by at least 2δ, the later one must be logically
+    ordered after the earlier one.  We verify the observable
+    consequences on reads/writes of each key.
+
+Each checker returns a :class:`ConsistencyReport` with the violations
+found (empty list = the history satisfies the guarantee).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .history import History, Operation
+
+
+@dataclass(slots=True)
+class Violation:
+    """One detected consistency violation."""
+
+    rule: str
+    detail: str
+    operations: tuple[int, ...] = ()
+
+
+@dataclass(slots=True)
+class ConsistencyReport:
+    """Outcome of a consistency check."""
+
+    guarantee: str
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, rule: str, detail: str, *ops: Operation) -> None:
+        self.violations.append(Violation(rule, detail, tuple(o.op_id for o in ops)))
+
+
+# ----------------------------------------------------------------------
+# Linearizability (per-key register, unique written values)
+# ----------------------------------------------------------------------
+def check_linearizable(history: History) -> ConsistencyReport:
+    """Check linearizability key by key (keys are independent registers)."""
+    report = ConsistencyReport("linearizable")
+    for key in sorted(history.keys()):
+        if not _key_linearizable(history.for_key(key).operations):
+            report.violations.append(
+                Violation("linearizability", f"key {key!r} has no linearization")
+            )
+    return report
+
+
+def _key_linearizable(ops: list[Operation]) -> bool:
+    """Wing–Gong search over one key's operations.
+
+    State: the set of completed operations (frozenset of ids) plus the
+    value of the register after them; memoised to prune the search.
+    Initial register value is None (reads may return None before any
+    write).
+    """
+    if not ops:
+        return True
+    ops = sorted(ops, key=lambda o: o.invoked_at)
+    by_id = {op.op_id: op for op in ops}
+    all_ids = frozenset(by_id)
+    seen: set[tuple[frozenset[int], bytes | None]] = set()
+
+    def min_pending_return(done: frozenset[int]) -> float:
+        pending = [by_id[i].returned_at for i in all_ids - done]
+        return min(pending) if pending else float("inf")
+
+    def search(done: frozenset[int], value: bytes | None) -> bool:
+        if done == all_ids:
+            return True
+        state = (done, value)
+        if state in seen:
+            return False
+        seen.add(state)
+        # An op can be linearised next only if it was invoked before
+        # every still-pending op returns (otherwise it would be ordered
+        # after an op that finished before it started).
+        horizon = min_pending_return(done)
+        for op in ops:
+            if op.op_id in done or op.invoked_at > horizon:
+                continue
+            if op.is_write:
+                if search(done | {op.op_id}, op.value):
+                    return True
+            elif op.value == value:
+                if search(done | {op.op_id}, value):
+                    return True
+        return False
+
+    return search(frozenset(), None)
+
+
+# ----------------------------------------------------------------------
+# Snapshot linearizability
+# ----------------------------------------------------------------------
+def check_snapshot_linearizable(
+    history: History, backup_reads: History
+) -> ConsistencyReport:
+    """Check Section III-D.2's guarantee.
+
+    Args:
+        history: The main system's history (its writes define the
+            linearizable order; we use write timestamps/seqnos, which
+            for a single Ingestor coincide with the linearization).
+        backup_reads: Reads served by backup nodes; ``server`` is the
+            backup's name.
+    """
+    report = ConsistencyReport("snapshot-linearizable")
+    writes_by_key: dict[bytes, dict[bytes, int]] = {}
+    for index, write in enumerate(
+        sorted(history.writes(), key=lambda w: (w.timestamp, w.op_id))
+    ):
+        writes_by_key.setdefault(write.key, {})[write.value] = index
+
+    per_backup_key: dict[tuple[str, bytes], list[Operation]] = {}
+    for read in backup_reads.reads():
+        per_backup_key.setdefault((read.server, read.key), []).append(read)
+
+    for (backup, key), reads in sorted(per_backup_key.items()):
+        order = writes_by_key.get(key, {})
+        reads.sort(key=lambda r: r.invoked_at)
+        last_rank = -1
+        last_read: Operation | None = None
+        for read in reads:
+            if read.value is None:
+                rank = -1
+            elif read.value in order:
+                rank = order[read.value]
+            else:
+                report.add(
+                    "stale-value",
+                    f"backup {backup} returned a value never written to {key!r}",
+                    read,
+                )
+                continue
+            if rank < last_rank:
+                report.add(
+                    "time-regression",
+                    f"backup {backup} reads of {key!r} went backwards in the "
+                    f"write order ({last_rank} -> {rank})",
+                    *( [last_read, read] if last_read else [read] ),
+                )
+            last_rank, last_read = rank, read
+    return report
+
+
+# ----------------------------------------------------------------------
+# Linearizable + Concurrent
+# ----------------------------------------------------------------------
+def check_linearizable_concurrent(history: History, delta: float) -> ConsistencyReport:
+    """Check Definition 1 on the observable read/write outcomes.
+
+    For each key, with ts(x) the loose timestamp of operation x and
+    version(r) the timestamp of the write a read returned
+    (-inf for a miss):
+
+    * write w, read r with ts(r) - ts(w) >= 2δ  =>  version(r) >= ts(w);
+    * read r, write w with ts(w) - ts(r) >= 2δ  =>  version(r) < ts(w)
+      (the read must not observe a write ordered after it);
+    * reads r1, r2 with ts(r2) - ts(r1) >= 2δ   =>  version(r2) >= version(r1).
+    """
+    report = ConsistencyReport("linearizable+concurrent")
+    two_delta = 2.0 * delta
+    for key in sorted(history.keys()):
+        ops = history.for_key(key).operations
+        writes = [o for o in ops if o.is_write]
+        reads = [o for o in ops if o.is_read]
+        version_ts: dict[bytes, float] = {w.value: w.timestamp for w in writes}
+
+        def version_of(read: Operation) -> float:
+            if read.value is None:
+                return float("-inf")
+            return version_ts.get(read.value, read.timestamp)
+
+        for read in reads:
+            observed = version_of(read)
+            for write in writes:
+                if read.timestamp - write.timestamp >= two_delta and observed < write.timestamp:
+                    report.add(
+                        "lost-write",
+                        f"read at ts {read.timestamp:.6f} ordered after write at "
+                        f"ts {write.timestamp:.6f} but did not observe it (key {key!r})",
+                        write,
+                        read,
+                    )
+                if write.timestamp - read.timestamp >= two_delta and observed >= write.timestamp:
+                    report.add(
+                        "future-read",
+                        f"read at ts {read.timestamp:.6f} observed a write ordered "
+                        f"after it (ts {write.timestamp:.6f}, key {key!r})",
+                        read,
+                        write,
+                    )
+        ordered_reads = sorted(reads, key=lambda r: r.timestamp)
+        for i, first in enumerate(ordered_reads):
+            for second in ordered_reads[i + 1 :]:
+                if second.timestamp - first.timestamp >= two_delta:
+                    if version_of(second) < version_of(first):
+                        report.add(
+                            "read-regression",
+                            f"later read (ts {second.timestamp:.6f}) observed an "
+                            f"older version than an earlier read "
+                            f"(ts {first.timestamp:.6f}) of key {key!r}",
+                            first,
+                            second,
+                        )
+    return report

@@ -1,0 +1,65 @@
+"""The compute cost model: simulated service times for storage work.
+
+The authors measured wall-clock latencies on t2.xlarge instances; we
+model each storage operation's CPU+I/O service time and let the
+simulator's queueing produce the dynamics.  The defaults are calibrated
+so the *monolithic, in-cloud* configuration lands at the paper's
+magnitudes (average write latency ≈0.1 ms, minor compaction stalls of
+tens-to-hundreds of ms — Table II's max is 200 ms — and L2 major
+compactions of ~0.1–1 s — Figure 4), and all comparisons in the
+evaluation are relative to that anchor.
+
+All costs are **seconds**; ``*_per_entry`` costs multiply by the number
+of entries processed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_US = 1e-6
+
+
+@dataclass(frozen=True, slots=True)
+class CostModel:
+    """Service-time parameters for simulated storage operations.
+
+    Attributes:
+        upsert_cpu: Stamping + appending one write to the batch.
+        flush_per_entry: Sorting/building an L0 table from the memtable.
+        merge_per_entry: K-way merge work per entry, including the
+            modelled sstable read/write I/O (dominant term; drives
+            compaction latencies).
+        probe_table: One sstable probe: bloom check, fence-pointer
+            lookup, one block binary search.
+        read_base: Fixed per-read dispatch overhead on a node.
+        scan_per_entry: Streaming an entry out of a range query.
+        install_per_entry: A Reader installing forwarded sstables.
+        entry_size_bytes: Wire size of one entry (drives network
+            transfer time for forwarded sstables).
+    """
+
+    upsert_cpu: float = 10.0 * _US
+    flush_per_entry: float = 5.0 * _US
+    merge_per_entry: float = 30.0 * _US
+    probe_table: float = 30.0 * _US
+    read_base: float = 20.0 * _US
+    scan_per_entry: float = 2.0 * _US
+    install_per_entry: float = 2.0 * _US
+    entry_size_bytes: int = 100
+
+    def merge_cost(self, num_entries: int) -> float:
+        """Service time of a k-way merge over ``num_entries`` entries."""
+        return self.merge_per_entry * num_entries
+
+    def flush_cost(self, num_entries: int) -> float:
+        """Service time of freezing a memtable into an L0 table."""
+        return self.flush_per_entry * num_entries
+
+    def tables_size_bytes(self, num_entries: int) -> int:
+        """Wire size of forwarded sstables holding ``num_entries``."""
+        return max(64, num_entries * self.entry_size_bytes)
+
+
+#: The calibrated default model used by all experiments.
+DEFAULT_COSTS = CostModel()

@@ -1,0 +1,109 @@
+"""Operation histories: the raw material of consistency checking.
+
+Clients record every operation's invocation time, response time, and
+effect (value written / version read) into a :class:`History`.  The
+checkers in :mod:`repro.core.consistency` then decide whether the
+history satisfies linearizability, snapshot linearizability, or
+Linearizable+Concurrent — the three guarantees of the paper's Table I.
+
+Times here are *true* simulation times (the observer's clock); the
+``timestamp`` field on operations carries the loose-clock stamp a node
+assigned, which is what the 2δ rule reasons about.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator
+
+_op_ids = itertools.count(1)
+
+
+@dataclass(frozen=True, slots=True)
+class Operation:
+    """One completed client operation.
+
+    Attributes:
+        op_id: Unique id.
+        kind: "write" or "read".
+        key: The key operated on.
+        value: Value written, or value returned (None for a miss).
+        invoked_at / returned_at: True simulation times of the client's
+            call and return.
+        timestamp: Loose-clock timestamp assigned by the serving node —
+            the write's stamp for writes, the version-read's stamp (or
+            the read's coordinator stamp) for reads.
+        client: Issuing client name.
+        server: Node that served the operation (reads: where the value
+            came from).
+    """
+
+    op_id: int
+    kind: str
+    key: bytes
+    value: bytes | None
+    invoked_at: float
+    returned_at: float
+    timestamp: float
+    client: str = ""
+    server: str = ""
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind == "read"
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind == "write"
+
+
+class History:
+    """An append-only log of completed operations."""
+
+    def __init__(self) -> None:
+        self.operations: list[Operation] = []
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    def record(
+        self,
+        kind: str,
+        key: bytes,
+        value: bytes | None,
+        invoked_at: float,
+        returned_at: float,
+        timestamp: float,
+        client: str = "",
+        server: str = "",
+    ) -> Operation:
+        """Append one completed operation."""
+        if kind not in ("write", "read"):
+            raise ValueError(f"unknown operation kind: {kind}")
+        if returned_at < invoked_at:
+            raise ValueError("operation returned before it was invoked")
+        op = Operation(
+            next(_op_ids), kind, key, value, invoked_at, returned_at, timestamp,
+            client, server,
+        )
+        self.operations.append(op)
+        return op
+
+    def for_key(self, key: bytes) -> "History":
+        """The sub-history touching one key."""
+        sub = History()
+        sub.operations = [op for op in self.operations if op.key == key]
+        return sub
+
+    def keys(self) -> set[bytes]:
+        return {op.key for op in self.operations}
+
+    def writes(self) -> list[Operation]:
+        return [op for op in self.operations if op.is_write]
+
+    def reads(self) -> list[Operation]:
+        return [op for op in self.operations if op.is_read]

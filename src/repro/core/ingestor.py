@@ -1,0 +1,473 @@
+"""The Ingestor: CooLSM's edge-resident write front-end.
+
+An Ingestor (Section III-B/C) owns the memtable and levels **L0 and
+L1**.  It batches upserts, performs *minor* (tiering) compaction of
+L0+L1, and forwards L1's overflow sstables to the partitioned
+Compactors — retaining a copy of every forwarded table until the
+Compactor acknowledges the merge, so no key is ever temporarily
+invisible on the read path.
+
+Flow control: when too many forwarded tables await acks
+(``config.max_inflight_tables``), the next minor compaction — and the
+upsert that triggered it — stalls until acks drain.  This backpressure
+is what couples write latency to the number (and speed) of Compactors
+and produces Figure 3's trends and Table II's tail.
+
+In multi-Ingestor deployments (Section III-E) the Ingestor additionally
+stamps every write with its loose clock, retains multiple versions per
+key, answers coordinator-timestamped phase-1 reads, and exposes
+``ts_c`` — the timestamp of the most recent record it has sent to
+Compactors — which clients use to decide whether phase 2 is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.lsm.compaction import (
+    KeepPolicy,
+    NEWEST_WINS,
+    minor_compaction,
+    select_overflow_rotating,
+)
+from repro.lsm.entry import Entry
+from repro.lsm.manifest import LevelEdit, Manifest
+from repro.lsm.memtable import Memtable
+from repro.lsm.sstable import SSTable
+from repro.sim.clock import LooseClock
+from repro.sim.kernel import Kernel
+from repro.sim.machine import Machine
+from repro.sim.network import Network
+from repro.sim.resources import Resource
+from repro.sim.rpc import RemoteError, RpcNode, RpcTimeout
+
+from .config import CooLSMConfig
+from .keyspace import Partitioning
+from .messages import (
+    ForwardReply,
+    ForwardRequest,
+    IngestorL1Update,
+    IngestorReadResult,
+    Phase1Reply,
+    Phase1Request,
+    RangeQuery,
+    RangeQueryReply,
+    ReadReply,
+    ReadRequest,
+    UpsertReply,
+    UpsertRequest,
+)
+
+
+@dataclass(slots=True)
+class IngestorStats:
+    """Counters and timings exposed for the evaluation harness."""
+
+    upserts: int = 0
+    reads: int = 0
+    flushes: int = 0
+    minor_compactions: int = 0
+    minor_compaction_times: list[float] = field(default_factory=list)
+    forwarded_tables: int = 0
+    forward_retries: int = 0
+    stall_time: float = 0.0
+    reads_forwarded: int = 0
+
+
+class Ingestor(RpcNode):
+    """A CooLSM Ingestor node.
+
+    Args:
+        kernel/network/machine/name: Simulation plumbing.
+        config: Deployment parameters.
+        clock: This node's loose clock.
+        partitioning: Compactor key-range map for forwarding and reads.
+        peers: Names of the *other* Ingestors (multi-Ingestor mode).
+        multi_ingestor: Retain versions + timestamp protocols when True.
+        backups: Reader names to push this Ingestor's L1 snapshot to
+            after each minor compaction — the Section III-D.3 variant
+            that makes Reader state fresher at the cost of extra
+            coordination.  Empty (the default) means Readers are fed by
+            Compactors only.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        network: Network,
+        machine: Machine,
+        name: str,
+        config: CooLSMConfig,
+        clock: LooseClock,
+        partitioning: Partitioning,
+        peers: Iterable[str] = (),
+        multi_ingestor: bool = False,
+        backups: Iterable[str] = (),
+    ) -> None:
+        super().__init__(kernel, network, machine, name)
+        self.config = config
+        self.clock = clock
+        self.partitioning = partitioning
+        self.peers = list(peers)
+        self.multi_ingestor = multi_ingestor
+        self.backups = list(backups)
+        self.stats = IngestorStats()
+        self.manifest = Manifest(2)  # index 0 = L0, index 1 = L1
+        self._memtable = self._new_memtable()
+        self._seqno = 0
+        self._batch_seq = 0
+        # Timestamp of the most recent record sent to Compactors; -inf
+        # means "nothing ever forwarded", which lets readers prove that
+        # this Ingestor contributed nothing to the Compactors.
+        self.ts_c = float("-inf")
+        self._in_flight: dict[int, list[SSTable]] = {}
+        self._inflight_tables = 0
+        self._forward_pointer: bytes | None = None
+        # Write-ahead log of the current batch (Section III-H recovery:
+        # "recovering a consistent, recent state ... includes both the
+        # data structure and the meta-information").  Durable state in
+        # the simulation = everything except the memtable; the WAL
+        # rebuilds the memtable after a crash.
+        self._wal: list[Entry] = []
+        self._drain_waiters: list = []
+        self._compact_lock = Resource(kernel, 1)
+        self.on("upsert", self._handle_upsert)
+        self.on("read", self._handle_read)
+        self.on("read_phase1", self._handle_read_phase1)
+        self.on("ingestor_read", self._handle_ingestor_read)
+        self.on("range_query", self._handle_range_query)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _new_memtable(self) -> Memtable:
+        return Memtable(
+            self.config.memtable_entries, retain_versions=self.multi_ingestor
+        )
+
+    def _next_seqno(self) -> int:
+        self._seqno += 1
+        return self._seqno
+
+    def _keep_policy(self) -> KeepPolicy:
+        if not self.multi_ingestor:
+            return NEWEST_WINS
+        # Never garbage collect a version an in-flight read might need.
+        return KeepPolicy(retain_horizon=self.clock.now() - self.config.gc_slack)
+
+    @property
+    def level0(self) -> list[SSTable]:
+        return self.manifest.level(0)
+
+    @property
+    def level1(self) -> list[SSTable]:
+        return self.manifest.level(1)
+
+    @property
+    def inflight_tables(self) -> int:
+        return self._inflight_tables
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def _handle_upsert(self, src: str, request: UpsertRequest):
+        yield from self.compute(self.config.costs.upsert_cpu)
+        timestamp = self.clock.now()
+        entry = Entry(
+            request.key, self._next_seqno(), timestamp, request.value, request.tombstone
+        )
+        self._wal.append(entry)
+        self._memtable.put(entry)
+        self.stats.upserts += 1
+        if self._memtable.is_full():
+            # The batch is full: this request pays for the flush (and any
+            # cascading minor compaction + forwarding stall) — the
+            # occasional slow writes of Table II.
+            yield from self._flush_and_compact()
+        return UpsertReply(timestamp, entry.seqno)
+
+    def _flush_and_compact(self):
+        yield self._compact_lock.request()
+        try:
+            if not self._memtable.is_full():
+                return  # another request already flushed this batch
+            # Atomic swap: the frozen batch becomes an L0 table in the
+            # same tick, so reads never miss buffered entries.
+            entries = self._memtable.entries()
+            self._memtable = self._new_memtable()
+            self._wal = []  # batch is durable in L0 now
+            table = SSTable(entries)
+            self.manifest.apply(LevelEdit().add(0, [table]))
+            self.stats.flushes += 1
+            yield from self.compute(self.config.costs.flush_cost(len(entries)))
+            if len(self.level0) > self.config.l0_threshold:
+                yield from self._minor_compaction()
+        finally:
+            self._compact_lock.release()
+
+    def _minor_compaction(self):
+        # Backpressure: wait for Compactor acks if too much is in flight.
+        stall_start = self.kernel.now
+        while self._inflight_tables > self.config.max_inflight_tables:
+            waiter = self.kernel.event()
+            self._drain_waiters.append(waiter)
+            yield waiter
+        self.stats.stall_time += self.kernel.now - stall_start
+
+        started = self.kernel.now
+        l0_newest_first = list(reversed(self.level0))
+        l1_tables = list(self.level1)
+        total = sum(len(t) for t in l0_newest_first + l1_tables)
+        yield from self.compute(self.config.costs.merge_cost(total))
+        result = minor_compaction(
+            l0_newest_first,
+            l1_tables,
+            self.config.sstable_entries,
+            self._keep_policy(),
+        )
+        edit = (
+            LevelEdit()
+            .remove(0, list(self.level0))
+            .remove(1, l1_tables)
+            .add(1, result.tables)
+        )
+        self.manifest.apply(edit)
+        self.stats.minor_compactions += 1
+        self.stats.minor_compaction_times.append(self.kernel.now - started)
+        self._push_l1_to_backups()
+        self._maybe_forward()
+
+    def _push_l1_to_backups(self) -> None:
+        """Section III-D.3: ship the fresh L1 snapshot to the Readers.
+
+        Sent on FIFO channels after every minor compaction, so a Reader's
+        fresh area for this Ingestor is always one of its past L1 states
+        — snapshot progression is preserved per source.
+        """
+        if not self.backups:
+            return
+        tables = tuple(self.level1)
+        entries = sum(len(t) for t in tables)
+        update = IngestorL1Update(tables, self.name)
+        for backup in self.backups:
+            self.cast(
+                backup,
+                "ingestor_update",
+                update,
+                size_bytes=self.config.costs.tables_size_bytes(entries),
+            )
+
+    def _maybe_forward(self) -> None:
+        """Move L1's overflow tables into the in-flight set and ship them.
+
+        Overflow is chosen with a rotating pointer so successive
+        forwards sweep the whole key range (no region is starved).
+        """
+        kept, overflow, self._forward_pointer = select_overflow_rotating(
+            self.level1, self.config.l1_threshold, self._forward_pointer
+        )
+        if not overflow:
+            return
+        self.manifest.apply(LevelEdit().remove(1, overflow))
+        high_ts = max(e.timestamp for t in overflow for e in t.entries)
+        self.ts_c = max(self.ts_c, high_ts)
+        # Split at partition boundaries, group per partition.
+        per_partition: dict[int, list[SSTable]] = {}
+        partition_by_id: dict[int, object] = {}
+        for table in overflow:
+            for partition, piece in self.partitioning.split_table(table):
+                pid = id(partition)
+                partition_by_id[pid] = partition
+                per_partition.setdefault(pid, []).append(piece)
+        for pid, pieces in per_partition.items():
+            self._batch_seq += 1
+            batch_id = self._batch_seq
+            self._in_flight[batch_id] = pieces
+            self._inflight_tables += len(pieces)
+            self.stats.forwarded_tables += len(pieces)
+            self.kernel.spawn(
+                self._forward_batch(partition_by_id[pid], pieces, batch_id, high_ts),
+                f"{self.name}.forward.{batch_id}",
+            )
+
+    def _forward_batch(self, partition, pieces: list[SSTable], batch_id: int, high_ts: float):
+        entries = sum(len(t) for t in pieces)
+        request = ForwardRequest(tuple(pieces), high_ts, batch_id)
+        size = self.config.costs.tables_size_bytes(entries)
+        while True:
+            target = partition.writer()
+            try:
+                reply = yield self.call(
+                    target,
+                    "forward",
+                    request,
+                    size_bytes=size,
+                    timeout=self.config.ack_timeout,
+                )
+                assert isinstance(reply, ForwardReply)
+                break
+            except (RpcTimeout, RemoteError):
+                # Compactor slow or failed: retry (round-robin picks the
+                # next overlapping member, or the promoted replacement).
+                self.stats.forward_retries += 1
+        # Ack received: the Compactor has merged the tables; drop our
+        # retained copies and wake any stalled compaction.
+        self._in_flight.pop(batch_id, None)
+        self._inflight_tables -= len(pieces)
+        if self._inflight_tables <= self.config.max_inflight_tables:
+            waiters, self._drain_waiters = self._drain_waiters, []
+            for waiter in waiters:
+                waiter.succeed()
+
+    # ------------------------------------------------------------------
+    # Crash recovery (Section III-H)
+    # ------------------------------------------------------------------
+    def crash(self, lose_memtable: bool = True) -> None:
+        """Fail-stop.  With ``lose_memtable`` (the realistic default)
+        the in-memory buffer is wiped — L0/L1, the in-flight set, and
+        the WAL survive (they model durable state)."""
+        super().crash()
+        if lose_memtable:
+            self._memtable = self._new_memtable()
+
+    def recover(self) -> None:
+        """Restart: replay the WAL into a fresh memtable, restoring the
+        pre-crash batch exactly, then resume serving."""
+        for entry in self._wal:
+            self._memtable.put(entry)
+        super().recover()
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def _search_local(self, key: bytes, as_of: float | None) -> tuple[Entry | None, int]:
+        """Newest visible version in memtable/L0/L1/in-flight tables.
+
+        Returns (entry, probes) where probes counts the sstables whose
+        blocks were actually searched (for the cost model).
+        """
+        probes = 0
+        candidates: list[Entry] = []
+        candidates.extend(self._visible(self._memtable.versions(key), as_of))
+        for table in reversed(self.level0):
+            if table.key_in_range(key) and table.bloom.might_contain(key):
+                probes += 1
+                candidates.extend(self._visible(table.versions(key), as_of))
+                if candidates and as_of is None:
+                    break  # L0 newest-first: first hit wins
+        search_l1 = [t for t in self.level1 if t.key_in_range(key)]
+        inflight = [
+            t
+            for batch in self._in_flight.values()
+            for t in batch
+            if t.key_in_range(key)
+        ]
+        for table in search_l1 + inflight:
+            if table.bloom.might_contain(key):
+                probes += 1
+                candidates.extend(self._visible(table.versions(key), as_of))
+        if not candidates:
+            return None, probes
+        return max(candidates, key=lambda e: e.version), probes
+
+    @staticmethod
+    def _visible(versions: list[Entry], as_of: float | None) -> list[Entry]:
+        if as_of is None:
+            return versions[:1]
+        return [v for v in versions if v.timestamp <= as_of]
+
+    def _handle_read(self, src: str, request: ReadRequest):
+        """Full read path (Section III-C): local levels, then the
+        appropriate Compactor."""
+        self.stats.reads += 1
+        yield from self.compute(self.config.costs.read_base)
+        entry, probes = self._search_local(request.key, request.as_of)
+        yield from self.compute(probes * self.config.costs.probe_table)
+        if entry is not None and request.as_of is None:
+            return ReadReply(entry, self.name)
+        self.stats.reads_forwarded += 1
+        partition = self.partitioning.partition_for(request.key)
+        if len(partition.members) == 1:
+            reply = yield self.call(partition.members[0], "read", request)
+        else:
+            # Overlapping Compactors: ask all members, newest wins.
+            calls = [self.call(m, "read", request) for m in partition.members]
+            replies = yield self.kernel.all_of(calls)
+            found = [r.entry for r in replies if r.entry is not None]
+            best = max(found, key=lambda e: e.version) if found else None
+            reply = ReadReply(best, "overlap-group")
+        remote = reply.entry
+        if entry is not None and (remote is None or entry.version > remote.version):
+            return ReadReply(entry, self.name)
+        return reply
+
+    def _handle_range_query(self, src: str, request: RangeQuery):
+        """Global range scan: merge the local levels with the range
+        results of every Compactor partition intersecting [lo, hi]."""
+        from repro.lsm.iterators import dedup_newest, k_way_merge
+
+        self.stats.reads += 1
+        yield from self.compute(self.config.costs.read_base)
+        sources: list[list[Entry]] = [self._memtable.range(request.lo, request.hi)]
+        local_tables = (
+            list(reversed(self.level0))
+            + list(self.level1)
+            + [t for batch in self._in_flight.values() for t in batch]
+        )
+        for table in local_tables:
+            if table.overlaps(request.lo, request.hi):
+                sources.append(list(table.scan(request.lo, request.hi)))
+        # Fan out to every partition the range touches (all members of
+        # overlapping groups, newest version wins).
+        partitions = self.partitioning.partitions_for_range(request.lo, request.hi)
+        members = [m for p in partitions for m in p.members]
+        calls = [self.call(m, "range_query", request) for m in members]
+        replies = yield self.kernel.all_of(calls)
+        remote_by_key: dict[bytes, list[tuple[bytes, bytes]]] = {}
+        for reply in replies:
+            for key, value in reply.pairs:
+                remote_by_key.setdefault(key, []).append((key, value))
+        pairs: list[tuple[bytes, bytes]] = []
+        local_merged = list(dedup_newest(k_way_merge(sources)))
+        # Local levels are strictly fresher than the Compactors for any
+        # key they contain (single-Ingestor deployments), so local wins.
+        combined: dict[bytes, bytes | None] = {}
+        for key, versions in remote_by_key.items():
+            combined[key] = versions[0][1]
+        for entry in local_merged:
+            combined[entry.key] = None if entry.tombstone else entry.value
+        for key in sorted(combined):
+            value = combined[key]
+            if value is None:
+                continue
+            pairs.append((key, value))
+            if request.limit is not None and len(pairs) >= request.limit:
+                break
+        yield from self.compute(len(pairs) * self.config.costs.scan_per_entry)
+        return RangeQueryReply(tuple(pairs))
+
+    def _handle_ingestor_read(self, src: str, request: ReadRequest):
+        """Phase-1 probe from a coordinator: local result plus ts_c."""
+        yield from self.compute(self.config.costs.read_base)
+        entry, probes = self._search_local(request.key, request.as_of)
+        yield from self.compute(probes * self.config.costs.probe_table)
+        return IngestorReadResult(entry, self.ts_c, self.name)
+
+    def _handle_read_phase1(self, src: str, request: Phase1Request):
+        """Coordinate a multi-Ingestor read (Section III-E.2).
+
+        Stamps the read with this node's loose clock and gathers every
+        Ingestor's newest visible version and ts_c; the client decides
+        whether phase 2 (asking Compactors) is needed.
+        """
+        self.stats.reads += 1
+        read_ts = self.clock.now()
+        probe = ReadRequest(request.key, as_of=read_ts)
+        calls = [self.call(peer, "ingestor_read", probe) for peer in self.peers]
+        yield from self.compute(self.config.costs.read_base)
+        entry, probes = self._search_local(request.key, read_ts)
+        yield from self.compute(probes * self.config.costs.probe_table)
+        own = IngestorReadResult(entry, self.ts_c, self.name)
+        others = yield self.kernel.all_of(calls)
+        return Phase1Reply(read_ts, tuple([own] + list(others)))

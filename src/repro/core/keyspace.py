@@ -1,0 +1,113 @@
+"""Key-space partitioning across Compactors.
+
+Each (non-overlapping) Compactor "handles a mutually-exclusive range of
+the data" (Section III-C).  A :class:`Partitioning` maps keys and key
+ranges to partitions; the Ingestor uses it to route forwarded sstables
+(splitting any sstable that straddles a boundary) and to route reads.
+
+Overlapping Compactors (Section III-G) are modelled as partitions with
+more than one member: writes go to one member (round-robin load
+balancing), reads fan out to all members of the partition.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.lsm.entry import encode_key
+from repro.lsm.errors import InvalidConfigError
+from repro.lsm.sstable import SSTable
+
+
+@dataclass(slots=True)
+class Partition:
+    """One key-range partition and the Compactors that serve it.
+
+    Attributes:
+        lower: Inclusive lower bound key (encoded), or None for the
+            leftmost partition.
+        members: Names of the Compactor nodes serving this range.  One
+            member in the standard partitioned deployment; several when
+            Compactors overlap.
+    """
+
+    lower: bytes | None
+    members: list[str]
+    _next_writer: int = field(default=0, repr=False)
+
+    def writer(self) -> str:
+        """Pick the member that receives the next forwarded run
+        (round-robin — "potentially using a load balancing strategy")."""
+        member = self.members[self._next_writer % len(self.members)]
+        self._next_writer += 1
+        return member
+
+
+class Partitioning:
+    """Maps keys to partitions by sorted boundary keys."""
+
+    def __init__(self, partitions: list[Partition]) -> None:
+        if not partitions:
+            raise InvalidConfigError("need at least one partition")
+        if partitions[0].lower is not None:
+            raise InvalidConfigError("first partition must be unbounded below")
+        self.partitions = partitions
+        self._boundaries = [p.lower for p in partitions[1:]]
+        for left, right in zip(self._boundaries, self._boundaries[1:]):
+            if left >= right:  # type: ignore[operator]
+                raise InvalidConfigError("partition boundaries must be increasing")
+
+    @classmethod
+    def uniform(cls, key_range: int, compactors: list[str], replicas: int = 1) -> "Partitioning":
+        """Split integer keys [0, key_range) evenly across compactors.
+
+        With ``replicas > 1``, consecutive groups of that many compactor
+        names share (overlap on) each partition.
+        """
+        if replicas < 1:
+            raise InvalidConfigError("replicas must be >= 1")
+        if len(compactors) % replicas != 0:
+            raise InvalidConfigError("compactor count must be a multiple of replicas")
+        groups = [
+            compactors[i : i + replicas] for i in range(0, len(compactors), replicas)
+        ]
+        num_parts = len(groups)
+        partitions = []
+        for index, members in enumerate(groups):
+            lower = None if index == 0 else encode_key(index * key_range // num_parts)
+            partitions.append(Partition(lower, list(members)))
+        return cls(partitions)
+
+    @property
+    def boundaries(self) -> list[bytes]:
+        """The internal boundary keys (len = #partitions - 1)."""
+        return list(self._boundaries)  # type: ignore[arg-type]
+
+    def partition_for(self, key: bytes) -> Partition:
+        """The partition owning ``key``."""
+        index = bisect.bisect_right(self._boundaries, key)  # type: ignore[arg-type]
+        return self.partitions[index]
+
+    def partitions_for_range(self, lo: bytes, hi: bytes) -> list[Partition]:
+        """All partitions intersecting [lo, hi]."""
+        first = bisect.bisect_right(self._boundaries, lo)  # type: ignore[arg-type]
+        last = bisect.bisect_right(self._boundaries, hi)  # type: ignore[arg-type]
+        return self.partitions[first : last + 1]
+
+    def split_table(self, table: SSTable) -> list[tuple[Partition, SSTable]]:
+        """Split an sstable at partition boundaries.
+
+        "If it falls within one Compactor, then it is forwarded to it.
+        Otherwise, the Ingestor divides the sstable into different
+        parts" (Section III-C).
+        """
+        parts = self.partitions_for_range(table.min_key, table.max_key)
+        if len(parts) == 1:
+            return [(parts[0], table)]
+        pieces = table.split_at([p.lower for p in parts[1:]])  # type: ignore[list-item]
+        return [(self.partition_for(piece.min_key), piece) for piece in pieces]
+
+    def all_members(self) -> list[str]:
+        """Every compactor name, in partition order."""
+        return [name for p in self.partitions for name in p.members]

@@ -1,0 +1,151 @@
+"""Typed message payloads exchanged between CooLSM nodes.
+
+The simulator's RPC layer carries Python objects; these dataclasses
+document and type the protocol.  Entries and sstables are passed by
+reference (the network layer models their transfer time from the
+declared ``size_bytes``), mirroring how the real system would serialise
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lsm.entry import Entry
+from repro.lsm.sstable import SSTable
+
+
+@dataclass(frozen=True, slots=True)
+class UpsertRequest:
+    """Client -> Ingestor: insert or delete one key."""
+
+    key: bytes
+    value: bytes
+    tombstone: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class UpsertReply:
+    """Ingestor -> client: the write's assigned (loose) timestamp."""
+
+    timestamp: float
+    seqno: int
+
+
+@dataclass(frozen=True, slots=True)
+class ReadRequest:
+    """Point read.  ``as_of`` caps the visible timestamps: nodes ignore
+    versions with timestamp > as_of (multi-Ingestor protocol)."""
+
+    key: bytes
+    as_of: float | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class ReadReply:
+    """The newest visible version at the serving node, if any."""
+
+    entry: Entry | None
+    source: str = ""
+
+    @property
+    def found(self) -> bool:
+        return self.entry is not None and not self.entry.tombstone
+
+
+@dataclass(frozen=True, slots=True)
+class Phase1Request:
+    """Client -> coordinator Ingestor: start a multi-Ingestor read."""
+
+    key: bytes
+
+
+@dataclass(frozen=True, slots=True)
+class IngestorReadResult:
+    """One Ingestor's phase-1 answer: its newest visible version plus
+    ts_c, the timestamp of the most recent record it sent to
+    Compactors."""
+
+    entry: Entry | None
+    ts_c: float
+    source: str
+
+
+@dataclass(frozen=True, slots=True)
+class Phase1Reply:
+    """Coordinator -> client: the read timestamp it assigned and every
+    Ingestor's result."""
+
+    read_ts: float
+    results: tuple[IngestorReadResult, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class ForwardRequest:
+    """Ingestor -> Compactor: sstables that overflowed L1.
+
+    ``high_ts`` is the largest timestamp among the forwarded entries;
+    the Compactor acks only after the major compaction has merged the
+    tables (the ack lets the Ingestor drop its retained copies).
+    """
+
+    tables: tuple[SSTable, ...]
+    high_ts: float
+    batch_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class ForwardReply:
+    """Compactor -> Ingestor: ack after merge."""
+
+    batch_id: int
+    merged_entries: int
+
+
+@dataclass(frozen=True, slots=True)
+class BackupUpdate:
+    """Compactor -> Reader: newly formed sstables after a major
+    compaction, replacing the overlapping range of the given level."""
+
+    level: int  # 2 or 3
+    tables: tuple[SSTable, ...]
+    compactor: str
+    #: For level-3 updates: ids of the L2 tables whose content moved down,
+    #: so the Reader can drop its (now duplicated) copies of them.
+    removed_l2_ids: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class IngestorL1Update:
+    """Ingestor -> Reader (Section III-D.3 variant): the Ingestor's
+    current L1 run, replacing this Ingestor's previous fresh-area
+    snapshot at the Reader."""
+
+    tables: tuple[SSTable, ...]
+    ingestor: str
+
+
+@dataclass(frozen=True, slots=True)
+class RangeQuery:
+    """Client -> Reader/Compactor: analytics range read."""
+
+    lo: bytes
+    hi: bytes
+    limit: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class RangeQueryReply:
+    """Matching (key, value) pairs, newest versions, tombstones elided."""
+
+    pairs: tuple[tuple[bytes, bytes], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class NodeStats:
+    """Generic stats snapshot returned by the "stats" RPC."""
+
+    name: str
+    level_sizes: tuple[int, ...]
+    total_entries: int
+    extra: dict = field(default_factory=dict)

@@ -1,0 +1,226 @@
+"""The Reader (Backup): CooLSM's snapshot-serving analytics node.
+
+A Reader (Section III-D) passively maintains a snapshot of the data in
+levels **L2 and L3**, fed by the Compactors: after each major
+compaction a Compactor casts its newly formed sstables, and the Reader
+installs them into that Compactor's *area* by replacing the overlapping
+tables of the corresponding level.  Because each Compactor's updates
+arrive on a FIFO channel and are installed in order, the Reader's state
+for any single Compactor's range is always some past state of that
+Compactor — which is exactly the *snapshot linearizability* guarantee.
+
+Keeping a separate area per source Compactor also implements what
+Section III-G leaves as future work — Backups fed by *overlapping*
+Compactors: each source's area progresses independently and reads
+resolve across areas by version metadata (seqno with one Ingestor,
+loose timestamps with several), precisely the approach the paper
+sketches ("use sequence numbers if there is one Ingestor or use
+timestamps if there are more than one").
+
+Readers serve point reads and — their main purpose — large analytics
+range queries without touching Ingestors or Compactors, isolating
+analytics from the ingestion path (Figure 7, Figure 9b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lsm.entry import Entry
+from repro.lsm.iterators import dedup_newest, k_way_merge
+from repro.lsm.manifest import LevelEdit, Manifest
+from repro.lsm.sstable import SSTable
+from repro.sim.kernel import Kernel
+from repro.sim.machine import Machine
+from repro.sim.network import Network
+from repro.sim.rpc import RpcNode
+
+from .config import CooLSMConfig
+from .messages import (
+    BackupUpdate,
+    IngestorL1Update,
+    RangeQuery,
+    RangeQueryReply,
+    ReadReply,
+    ReadRequest,
+)
+
+_L2, _L3 = 0, 1
+
+
+@dataclass(slots=True)
+class ReaderStats:
+    """Counters exposed for the evaluation harness."""
+
+    updates_received: int = 0
+    tables_installed: int = 0
+    reads: int = 0
+    range_queries: int = 0
+
+
+class _MergedView:
+    """Read-only manifest-like view over all per-Compactor areas, so
+    callers can keep using ``reader.manifest.total_entries()`` etc."""
+
+    def __init__(self, areas: dict[str, Manifest]) -> None:
+        self._areas = areas
+
+    @property
+    def num_levels(self) -> int:
+        return 2
+
+    def level(self, index: int) -> list[SSTable]:
+        return [t for area in self._areas.values() for t in area.level(index)]
+
+    def level_sizes(self) -> list[int]:
+        return [len(self.level(_L2)), len(self.level(_L3))]
+
+    def total_entries(self) -> int:
+        return sum(area.total_entries() for area in self._areas.values())
+
+
+class Reader(RpcNode):
+    """A CooLSM Reader (backup) node.
+
+    The Reader may lag the Compactors — that is the availability /
+    freshness trade-off the paper accepts — but it never exposes a
+    mixed state: table replacement is atomic per update, and each
+    source Compactor's area progresses independently.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        network: Network,
+        machine: Machine,
+        name: str,
+        config: CooLSMConfig,
+    ) -> None:
+        super().__init__(kernel, network, machine, name)
+        self.config = config
+        self.stats = ReaderStats()
+        # One area (two-level manifest) per source Compactor.  A batch
+        # may briefly coexist with the tables it replaces on the wire,
+        # so levels are overlap-tolerant; reads resolve by version.
+        self._areas: dict[str, Manifest] = {}
+        self.manifest = _MergedView(self._areas)
+        # Section III-D.3 fresh area: the latest L1 snapshot received
+        # from each Ingestor (only populated when Ingestors feed Readers).
+        self.fresh_area: dict[str, tuple[SSTable, ...]] = {}
+        self.on("backup_update", self._handle_backup_update)
+        self.on("ingestor_update", self._handle_ingestor_update)
+        self.on("read", self._handle_read)
+        self.on("range_query", self._handle_range_query)
+
+    def _area(self, compactor: str) -> Manifest:
+        if compactor not in self._areas:
+            self._areas[compactor] = Manifest(
+                2, overlapping_levels=frozenset({_L2, _L3})
+            )
+        return self._areas[compactor]
+
+    @property
+    def level2(self) -> list[SSTable]:
+        return self.manifest.level(_L2)
+
+    @property
+    def level3(self) -> list[SSTable]:
+        return self.manifest.level(_L3)
+
+    # ------------------------------------------------------------------
+    # Update path
+    # ------------------------------------------------------------------
+    def _handle_backup_update(self, src: str, update: BackupUpdate):
+        """Install a Compactor's post-compaction sstables into *that
+        Compactor's* area.
+
+        The received tables are the complete new content of the source
+        Compactor's overlapping range at that level, so installation is
+        replace-overlapping-then-add within the area, applied
+        atomically.  Keeping areas per source makes overlapping
+        Compactors safe: one source's update can never clobber another
+        source's tables; reads merge areas by version.
+        """
+        self.stats.updates_received += 1
+        area = self._area(update.compactor)
+        tables = list(update.tables)
+        entries = sum(len(t) for t in tables)
+        yield from self.compute(entries * self.config.costs.install_per_entry)
+        level = _L2 if update.level == 2 else _L3
+        edit = LevelEdit()
+        if tables:
+            lo = min(t.min_key for t in tables)
+            hi = max(t.max_key for t in tables)
+            replaced = [t for t in area.level(level) if t.overlaps(lo, hi)]
+            edit.remove(level, replaced).add(level, tables)
+        if update.removed_l2_ids:
+            moved_down = [
+                t
+                for t in area.level(_L2)
+                if t.table_id in set(update.removed_l2_ids)
+            ]
+            edit.remove(_L2, moved_down)
+        area.apply(edit)
+        self.stats.tables_installed += len(tables)
+        return None
+
+    def _handle_ingestor_update(self, src: str, update: IngestorL1Update):
+        """Install an Ingestor's fresh L1 snapshot (Section III-D.3).
+
+        Wholesale replacement per source keeps each Ingestor's fresh
+        area a past state of that Ingestor, preserving per-source
+        snapshot progression — the "more coordination" the paper notes
+        reduces here to source-keyed replacement over FIFO channels.
+        """
+        self.stats.updates_received += 1
+        entries = sum(len(t) for t in update.tables)
+        yield from self.compute(entries * self.config.costs.install_per_entry)
+        self.fresh_area[update.ingestor] = update.tables
+        self.stats.tables_installed += len(update.tables)
+        return None
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def _search(self, key: bytes, as_of: float | None) -> tuple[Entry | None, int]:
+        probes = 0
+        candidates: list[Entry] = []
+        fresh_tables = [t for run in self.fresh_area.values() for t in run]
+        for tables in (fresh_tables, self.level2, self.level3):
+            for table in tables:
+                if table.key_in_range(key) and table.bloom.might_contain(key):
+                    probes += 1
+                    versions = table.versions(key)
+                    if as_of is not None:
+                        versions = [v for v in versions if v.timestamp <= as_of]
+                    candidates.extend(versions[:1])
+        if not candidates:
+            return None, probes
+        return max(candidates, key=lambda e: e.version), probes
+
+    def _handle_read(self, src: str, request: ReadRequest):
+        """Point read served purely from the local snapshot."""
+        self.stats.reads += 1
+        yield from self.compute(self.config.costs.read_base)
+        entry, probes = self._search(request.key, request.as_of)
+        yield from self.compute(probes * self.config.costs.probe_table)
+        return ReadReply(entry, self.name)
+
+    def _handle_range_query(self, src: str, request: RangeQuery):
+        """Analytics range read over the snapshot (Figure 9b)."""
+        self.stats.range_queries += 1
+        yield from self.compute(self.config.costs.read_base)
+        fresh_tables = [t for run in self.fresh_area.values() for t in run]
+        sources = [
+            list(t.scan(request.lo, request.hi))
+            for t in fresh_tables + self.level2 + self.level3
+        ]
+        pairs: list[tuple[bytes, bytes]] = []
+        for entry in dedup_newest(k_way_merge(sources)):
+            if entry.tombstone:
+                continue
+            pairs.append((entry.key, entry.value))
+            if request.limit is not None and len(pairs) >= request.limit:
+                break
+        yield from self.compute(len(pairs) * self.config.costs.scan_per_entry)
+        return RangeQueryReply(tuple(pairs))

@@ -1,0 +1,199 @@
+"""Reconfiguration: elastic Expand -> Migrate -> Detach (Section III-I).
+
+Two operations, both live (reads and writes keep flowing throughout):
+
+:func:`replace_compactor`
+    Swap one Compactor for a fresh node (e.g. new hardware): the new
+    node is added as an *overlapping* member of the partition (Expand),
+    the old node's sstables are forwarded to it (Migrate), and the old
+    node is removed from the partition (Detach).
+
+:func:`split_partition`
+    Scale out: split a partition's key range at a boundary, handing the
+    upper half to a new Compactor.  The new node overlaps during
+    migration, then the partitioning is re-cut so each node serves its
+    half exclusively.
+
+Correctness during migration relies on the same mechanism as normal
+operation: reads fan out to all overlapping members and the newest
+version wins, so a key is never unreachable while its tables move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lsm.entry import encode_key
+from repro.lsm.sstable import SSTable
+
+from .compactor import Compactor
+from .keyspace import Partition
+from .messages import ForwardRequest
+
+
+@dataclass(slots=True)
+class ReconfigStats:
+    """Outcome of one reconfiguration."""
+
+    tables_migrated: int = 0
+    entries_migrated: int = 0
+
+
+def add_compactor(cluster, name: str) -> Compactor:
+    """Create a fresh Compactor node in the cloud region (not yet in any
+    partition); used as the target of Expand."""
+    machine = cluster.machine(f"m-{name}", cluster.spec.cloud_region)
+    node = Compactor(
+        cluster.kernel,
+        cluster.network,
+        machine,
+        name,
+        cluster.config,
+        cluster.clock_for(name),
+        backups=[r.name for r in cluster.readers],
+        multi_ingestor=cluster.spec.multi_ingestor,
+    )
+    cluster.compactors.append(node)
+    return node
+
+
+def _migrate_tables(source: Compactor, target_name: str, tables: list[SSTable], stats: ReconfigStats):
+    """Forward ``tables`` from a Compactor to another via the normal
+    forward/merge path, in bounded batches."""
+    batch_size = 16
+    batch_id = 1_000_000  # distinct from Ingestor batch ids
+    for start in range(0, len(tables), batch_size):
+        batch = tables[start : start + batch_size]
+        if not batch:
+            continue
+        high_ts = max(e.timestamp for t in batch for e in t.entries)
+        entries = sum(len(t) for t in batch)
+        batch_id += 1
+        yield source.call(
+            target_name,
+            "forward",
+            ForwardRequest(tuple(batch), high_ts, batch_id),
+            size_bytes=source.config.costs.tables_size_bytes(entries),
+            timeout=source.config.ack_timeout,
+        )
+        stats.tables_migrated += len(batch)
+        stats.entries_migrated += entries
+
+
+def replace_compactor(cluster, old_name: str, new_name: str):
+    """Generator: live-replace ``old_name`` with a new Compactor node.
+
+    Run inside the simulation, e.g.
+    ``cluster.run_process(replace_compactor(cluster, "compactor-0", "compactor-0b"))``.
+    Returns :class:`ReconfigStats`.
+    """
+    stats = ReconfigStats()
+    old = next(c for c in cluster.compactors if c.name == old_name)
+    partition = next(
+        p for p in cluster.partitioning.partitions if old_name in p.members
+    )
+    new = add_compactor(cluster, new_name)
+
+    # 1. Expand: the new node overlaps the old one's range.  New writes
+    #    are load-balanced across both; reads fan out to both.
+    partition.members.append(new_name)
+
+    # 2. Migrate: push the old node's state to the new node.
+    tables = list(old.level2) + list(old.level3)
+    yield from _migrate_tables(old, new_name, tables, stats)
+
+    # 3. Detach: retire the old node.  Any tables it accumulated while
+    #    migration ran (round-robin writes) are drained first.
+    partition.members.remove(old_name)
+    straggler_tables = [
+        t
+        for t in list(old.level2) + list(old.level3)
+        if t.table_id not in {x.table_id for x in tables}
+    ]
+    yield from _migrate_tables(old, new_name, straggler_tables, stats)
+    old.crash()  # retired: stops serving anything
+    cluster.compactors.remove(old)
+    return stats
+
+
+def split_partition(cluster, compactor_name: str, new_name: str, boundary_key=None):
+    """Generator: split a Compactor's range, handing keys >= boundary to
+    a new Compactor.  Defaults to the midpoint of the node's current
+    data.  Returns :class:`ReconfigStats`.
+    """
+    stats = ReconfigStats()
+    parts = cluster.partitioning
+    old = next(c for c in cluster.compactors if c.name == compactor_name)
+    index = next(
+        i for i, p in enumerate(parts.partitions) if compactor_name in p.members
+    )
+    partition = parts.partitions[index]
+
+    if boundary_key is None:
+        keys = sorted(
+            key
+            for level in (old.level2, old.level3)
+            for t in level
+            for key in (t.min_key, t.max_key)
+        )
+        if not keys:
+            raise ValueError("cannot split an empty compactor without a boundary")
+        boundary = keys[len(keys) // 2]
+    else:
+        boundary = encode_key(boundary_key)
+
+    add_compactor(cluster, new_name)
+
+    # 1. Expand: the new node exists but the old node keeps serving the
+    #    whole range (migration *copies* tables, so every key remains
+    #    readable at the old node throughout).
+    # 2. Migrate: copy tables (splitting any that straddle the boundary)
+    #    whose keys are >= boundary to the new node.
+    yield from _migrate_upper_half(old, new_name, boundary, stats)
+
+    # 3. Detach: atomically re-cut the partitioning so each node owns
+    #    its half, sweep any stragglers that landed on the old node in
+    #    the meantime, then drop the migrated range from the old node.
+    new_partition = Partition(boundary, [new_name])
+    parts.partitions.insert(index + 1, new_partition)
+    parts._boundaries = [p.lower for p in parts.partitions[1:]]
+    yield from _migrate_upper_half(old, new_name, boundary, stats)
+    _drop_upper_half(old, boundary)
+    return stats
+
+
+def _migrate_upper_half(old: Compactor, new_name: str, boundary: bytes, stats: ReconfigStats):
+    to_move: list[SSTable] = []
+    for level_tables in (list(old.level2), list(old.level3)):
+        for table in level_tables:
+            if table.min_key >= boundary:
+                to_move.append(table)
+            elif table.max_key >= boundary:
+                for piece in table.split_at([boundary]):
+                    if piece.min_key >= boundary:
+                        to_move.append(piece)
+    yield from _migrate_tables(old, new_name, to_move, stats)
+
+
+def _drop_upper_half(old: Compactor, boundary: bytes) -> None:
+    """Remove keys >= boundary from the old node, atomically per level."""
+    from repro.lsm.manifest import LevelEdit
+
+    for level_index in (0, 1):
+        current = old.manifest.level(level_index)
+        edit = LevelEdit()
+        replacements: list[SSTable] = []
+        removals: list[SSTable] = []
+        for table in current:
+            if table.min_key >= boundary:
+                removals.append(table)
+            elif table.max_key >= boundary:
+                removals.append(table)
+                kept = [p for p in table.split_at([boundary]) if p.min_key < boundary]
+                replacements.extend(kept)
+        if removals:
+            edit.remove(level_index, removals)
+        if replacements:
+            edit.add(level_index, replacements)
+        if removals or replacements:
+            old.manifest.apply(edit)

@@ -1,0 +1,104 @@
+"""Binary encoding of sorted entry blocks.
+
+An sstable's data is split into fixed-fanout *blocks* of consecutive
+entries.  Each block is encoded independently so readers can fetch and
+decode one block per point lookup (the fence pointers in
+:mod:`repro.lsm.sstable` map a key to its block).
+
+Layout of one encoded block::
+
+    u32   crc32 of everything after this field
+    u32   entry count
+    entry*:
+        varint key_len | key bytes
+        u64    seqno
+        f64    timestamp
+        u8     tombstone flag
+        varint value_len | value bytes
+
+Varints are LEB128 (unsigned).  All fixed-width integers little-endian.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from .entry import Entry
+from .errors import CorruptionError
+
+_FIXED = struct.Struct("<Qd B")  # seqno, timestamp, tombstone
+
+
+def encode_varint(value: int) -> bytes:
+    """LEB128-encode a non-negative integer."""
+    if value < 0:
+        raise ValueError("varints are unsigned")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, offset: int) -> tuple[int, int]:
+    """Decode a LEB128 varint at ``offset``; return (value, next_offset)."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise CorruptionError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 63:
+            raise CorruptionError("varint too long")
+
+
+def encode_entries(entries: list[Entry]) -> bytes:
+    """Encode entries (already sorted by the caller) into one block."""
+    body = bytearray()
+    body += struct.pack("<I", len(entries))
+    for entry in entries:
+        body += encode_varint(len(entry.key))
+        body += entry.key
+        body += _FIXED.pack(entry.seqno, entry.timestamp, 1 if entry.tombstone else 0)
+        body += encode_varint(len(entry.value))
+        body += entry.value
+    crc = zlib.crc32(body) & 0xFFFFFFFF
+    return struct.pack("<I", crc) + bytes(body)
+
+
+def decode_entries(data: bytes) -> list[Entry]:
+    """Decode a block produced by :func:`encode_entries`."""
+    if len(data) < 8:
+        raise CorruptionError("block too short")
+    (stored_crc,) = struct.unpack_from("<I", data, 0)
+    body = data[4:]
+    if zlib.crc32(body) & 0xFFFFFFFF != stored_crc:
+        raise CorruptionError("block checksum mismatch")
+    (count,) = struct.unpack_from("<I", body, 0)
+    offset = 4
+    entries: list[Entry] = []
+    for _ in range(count):
+        key_len, offset = decode_varint(body, offset)
+        key = bytes(body[offset : offset + key_len])
+        offset += key_len
+        if offset + _FIXED.size > len(body):
+            raise CorruptionError("truncated entry header")
+        seqno, timestamp, tomb = _FIXED.unpack_from(body, offset)
+        offset += _FIXED.size
+        value_len, offset = decode_varint(body, offset)
+        value = bytes(body[offset : offset + value_len])
+        if len(value) != value_len:
+            raise CorruptionError("truncated entry value")
+        offset += value_len
+        entries.append(Entry(key, seqno, timestamp, value, tombstone=bool(tomb)))
+    return entries

@@ -1,0 +1,202 @@
+"""Compaction policies: tiering (L0/L1) and leveling (L2/L3).
+
+The paper's tree (Figure 1a) uses *tiering* between L0 and L1 — minor
+compaction merges everything in both levels into a fresh L1 run — and
+*leveling* for higher levels — major compaction merges incoming tables
+only with the overlapping tables of the target level.
+
+These are pure functions over immutable sstables; the caller (an
+``LSMTree``, Ingestor, or Compactor) applies the results atomically via
+a :class:`~repro.lsm.manifest.LevelEdit`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .entry import Entry
+from .iterators import (
+    chunk_into_runs,
+    dedup_newest,
+    drop_tombstones,
+    k_way_merge,
+    retain_versions_above,
+)
+from .sstable import SSTable
+
+
+@dataclass(frozen=True, slots=True)
+class KeepPolicy:
+    """What survives a merge.
+
+    Attributes:
+        retain_horizon: If None, classic newest-wins dedup.  Otherwise,
+            retain old versions whose superseding version has timestamp
+            greater than this horizon (the Linearizable+Concurrent GC
+            rule of Section III-E: never collect a version that an
+            in-flight read might still need).
+        drop_tombstones: Remove delete markers from the output.  Only
+            safe when merging into the bottom level.
+    """
+
+    retain_horizon: float | None = None
+    drop_tombstones: bool = False
+
+    def apply(self, merged: Iterable[Entry]) -> Iterable[Entry]:
+        """Run the policy over a merged, sorted entry stream."""
+        if self.retain_horizon is None:
+            stream = dedup_newest(merged)
+        else:
+            stream = retain_versions_above(merged, self.retain_horizon)
+        if self.drop_tombstones:
+            stream = drop_tombstones(stream)
+        return stream
+
+
+#: Classic LSM semantics: newest version wins, tombstones kept.
+NEWEST_WINS = KeepPolicy()
+
+
+@dataclass(slots=True)
+class CompactionStats:
+    """Accounting for one compaction, used by the cost model and Figure 4."""
+
+    entries_in: int = 0
+    entries_out: int = 0
+    tables_in: int = 0
+    tables_out: int = 0
+    overlap_tables: int = 0
+
+    @property
+    def entries_dropped(self) -> int:
+        return self.entries_in - self.entries_out
+
+
+@dataclass(slots=True)
+class CompactionResult:
+    """Output of a compaction: new tables plus accounting."""
+
+    tables: list[SSTable]
+    stats: CompactionStats = field(default_factory=CompactionStats)
+
+
+def merge_tables(
+    tables: list[SSTable],
+    run_size: int,
+    policy: KeepPolicy = NEWEST_WINS,
+) -> CompactionResult:
+    """K-way merge ``tables`` (newer sources first) into fixed-size runs."""
+    stats = CompactionStats(
+        entries_in=sum(len(t) for t in tables),
+        tables_in=len(tables),
+    )
+    merged = k_way_merge([t.entries for t in tables])
+    kept = policy.apply(merged)
+    out_tables = [SSTable(chunk) for chunk in chunk_into_runs(kept, run_size)]
+    stats.entries_out = sum(len(t) for t in out_tables)
+    stats.tables_out = len(out_tables)
+    return CompactionResult(out_tables, stats)
+
+
+def minor_compaction(
+    l0_tables: list[SSTable],
+    l1_tables: list[SSTable],
+    run_size: int,
+    policy: KeepPolicy = NEWEST_WINS,
+) -> CompactionResult:
+    """Tiering compaction of all of L0 and L1 into a fresh L1 run.
+
+    "The Ingestor sorts all the key-value pairs in L0 and L1, removing
+    any redundancies ... divided into ordered sstables" (Section III-C).
+    L0 tables must be passed newest-first; they take precedence over L1.
+    """
+    return merge_tables(list(l0_tables) + list(l1_tables), run_size, policy)
+
+
+def select_overflow(
+    tables: list[SSTable], threshold: int
+) -> tuple[list[SSTable], list[SSTable]]:
+    """Split a sorted run into (kept, overflow) when over threshold.
+
+    The paper forwards "the extra sstables that exceed the threshold".
+    This variant deterministically picks the tables at the *high-key
+    tail* of the run (a contiguous key range, which minimises partition
+    splitting).  Prefer :func:`select_overflow_rotating` in steady-state
+    pipelines: always taking the tail starves low keys and concentrates
+    repeated merges onto one region of the next level.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    if len(tables) <= threshold:
+        return list(tables), []
+    ordered = sorted(tables, key=lambda t: t.min_key)
+    return ordered[:threshold], ordered[threshold:]
+
+
+def select_overflow_rotating(
+    tables: list[SSTable], threshold: int, pointer: bytes | None
+) -> tuple[list[SSTable], list[SSTable], bytes | None]:
+    """Overflow selection with a rotating compaction pointer.
+
+    Picks the excess tables as a contiguous (wrapping) window starting
+    just above ``pointer``, LevelDB-style, so successive compactions
+    sweep the whole key space instead of hammering one region.  Returns
+    ``(kept, overflow, new_pointer)`` where ``new_pointer`` is the max
+    key of the last selected table (None resets to the start).
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    if len(tables) <= threshold:
+        return list(tables), [], pointer
+    ordered = sorted(tables, key=lambda t: t.min_key)
+    excess = len(ordered) - threshold
+    start = 0
+    if pointer is not None:
+        for index, table in enumerate(ordered):
+            if table.min_key > pointer:
+                start = index
+                break
+    selected_indices = [(start + i) % len(ordered) for i in range(excess)]
+    selected_set = set(selected_indices)
+    overflow = [ordered[i] for i in selected_indices]
+    kept = [t for i, t in enumerate(ordered) if i not in selected_set]
+    new_pointer = ordered[selected_indices[-1]].max_key
+    if selected_indices[-1] == len(ordered) - 1:
+        new_pointer = None  # wrapped past the end: restart the sweep
+    return kept, overflow, new_pointer
+
+
+def find_overlaps(
+    level_tables: list[SSTable], lo: bytes, hi: bytes
+) -> tuple[list[SSTable], list[SSTable]]:
+    """Partition a level into (overlapping, disjoint) w.r.t. [lo, hi]."""
+    overlapping = [t for t in level_tables if t.overlaps(lo, hi)]
+    disjoint = [t for t in level_tables if not t.overlaps(lo, hi)]
+    return overlapping, disjoint
+
+
+def major_compaction(
+    incoming: list[SSTable],
+    level_tables: list[SSTable],
+    run_size: int,
+    policy: KeepPolicy = NEWEST_WINS,
+) -> tuple[CompactionResult, list[SSTable]]:
+    """Leveling compaction of ``incoming`` tables into a level.
+
+    Only tables of the level that overlap the incoming key range take
+    part in the merge ("the compaction process affects sstables in L2
+    that overlaps with the range of the received sstable" — III-C).
+
+    Returns ``(result, untouched)`` where ``result.tables`` replace the
+    overlapping tables and ``untouched`` are the level's tables that did
+    not participate.  The caller swaps them in atomically.
+    """
+    if not incoming:
+        return CompactionResult([], CompactionStats()), list(level_tables)
+    lo = min(t.min_key for t in incoming)
+    hi = max(t.max_key for t in incoming)
+    overlapping, untouched = find_overlaps(level_tables, lo, hi)
+    result = merge_tables(list(incoming) + overlapping, run_size, policy)
+    result.stats.overlap_tables = len(overlapping)
+    return result, untouched

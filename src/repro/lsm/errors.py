@@ -1,0 +1,32 @@
+"""Exception hierarchy for the LSM storage engine.
+
+Every error raised by :mod:`repro.lsm` derives from :class:`LSMError` so
+callers can catch storage failures with a single ``except`` clause while
+still being able to distinguish corruption from misuse.
+"""
+
+from __future__ import annotations
+
+
+class LSMError(Exception):
+    """Base class for all storage-engine errors."""
+
+
+class CorruptionError(LSMError):
+    """Raised when on-disk data fails a checksum or structural check."""
+
+
+class InvalidKeyError(LSMError):
+    """Raised when a key is empty or of an unsupported type."""
+
+
+class InvalidConfigError(LSMError):
+    """Raised when engine configuration parameters are inconsistent."""
+
+
+class ClosedError(LSMError):
+    """Raised when operating on a closed tree, WAL, or sstable reader."""
+
+
+class ManifestError(LSMError):
+    """Raised when a manifest edit cannot be applied consistently."""

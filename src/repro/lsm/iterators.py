@@ -1,0 +1,109 @@
+"""Merge iterators: the k-way merge at the heart of every compaction.
+
+Both minor compaction (Ingestor, L0+L1 tiering) and major compaction
+(Compactor, L2/L3 leveling) are "k-way merge operations ... removing any
+redundancies by only keeping the most recent key-value pair of each key"
+(Section III-C).  These generators implement that pipeline:
+
+:func:`k_way_merge`
+    Merge sorted entry streams into one stream in sstable order, with a
+    deterministic tie-break that prefers streams listed earlier (callers
+    list newer sources first).
+
+:func:`dedup_newest`
+    Collapse a merged stream to the newest version per key.
+
+:func:`retain_versions_above`
+    Horizon-aware garbage collection for Linearizable+Concurrent mode:
+    keep the newest version, plus every older version that some ongoing
+    or future read (with read-timestamp > horizon) might still need.
+
+:func:`drop_tombstones`
+    Remove delete markers (only safe at the bottom level).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator
+
+from .entry import Entry
+
+
+def k_way_merge(streams: list[Iterable[Entry]]) -> Iterator[Entry]:
+    """Merge sorted streams into one stream sorted by (key, version desc).
+
+    Each input stream must already be in sstable order.  Between equal
+    (key, version) pairs, entries from earlier streams win, so callers
+    should pass newer sources first.
+    """
+    heap: list[tuple[bytes, float, int, int, Entry, Iterator[Entry]]] = []
+    for index, stream in enumerate(streams):
+        iterator = iter(stream)
+        first = next(iterator, None)
+        if first is not None:
+            heap.append(_heap_item(first, index, iterator))
+    heapq.heapify(heap)
+    while heap:
+        key, neg_ts, neg_seq, index, entry, iterator = heapq.heappop(heap)
+        yield entry
+        nxt = next(iterator, None)
+        if nxt is not None:
+            heapq.heappush(heap, _heap_item(nxt, index, iterator))
+
+
+def _heap_item(entry: Entry, index: int, iterator: Iterator[Entry]):
+    # Sort by key asc, then version desc (newest first), then stream index.
+    return (entry.key, -entry.timestamp, -entry.seqno, index, entry, iterator)
+
+
+def dedup_newest(merged: Iterable[Entry]) -> Iterator[Entry]:
+    """Keep only the newest version of each key from a merged stream."""
+    last_key: bytes | None = None
+    for entry in merged:
+        if entry.key != last_key:
+            yield entry
+            last_key = entry.key
+
+
+def retain_versions_above(merged: Iterable[Entry], horizon: float) -> Iterator[Entry]:
+    """Horizon-aware version retention (Section III-E, GC rule).
+
+    A version may be garbage collected only if the *newer* version that
+    supersedes it has a timestamp <= ``horizon`` — i.e. no current or
+    future read (whose read timestamps are all > horizon) could still
+    need the old version.  The newest version of each key is always kept.
+    """
+    last_key: bytes | None = None
+    superseding_ts = 0.0
+    for entry in merged:
+        if entry.key != last_key:
+            yield entry
+            last_key = entry.key
+            superseding_ts = entry.timestamp
+        elif superseding_ts > horizon:
+            yield entry
+            superseding_ts = entry.timestamp
+
+
+def drop_tombstones(stream: Iterable[Entry]) -> Iterator[Entry]:
+    """Filter out tombstones (safe only when merging into the last level)."""
+    return (entry for entry in stream if not entry.tombstone)
+
+
+def chunk_into_runs(stream: Iterable[Entry], run_size: int) -> Iterator[list[Entry]]:
+    """Split a sorted stream into consecutive chunks of ``run_size`` entries.
+
+    Used after a merge to cut the output back into fixed-size sstables
+    ("divided into ordered sstables, where the size of an sstable is
+    predetermined" — Section III-C).  Never splits versions of one key
+    across two chunks, so per-table version lists stay intact.
+    """
+    chunk: list[Entry] = []
+    for entry in stream:
+        if len(chunk) >= run_size and chunk[-1].key != entry.key:
+            yield chunk
+            chunk = []
+        chunk.append(entry)
+    if chunk:
+        yield chunk

@@ -1,0 +1,121 @@
+"""Versioned level manifest: atomic level membership changes.
+
+Compactions must replace whole sets of sstables atomically — "this step
+is performed atomically" appears twice in Section III-C (minor and major
+compaction).  The manifest provides that atomicity: each level is a list
+of sstables, and a :class:`LevelEdit` describing removed and added
+tables is validated and applied as a single step, producing a new
+monotonically increasing version number.
+
+Concurrent readers in the simulator capture the level lists before
+iterating (lists are replaced, never mutated in place), so a reader
+always observes either the pre- or post-compaction state, never a
+mixture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import ManifestError
+from .sstable import SSTable
+
+
+@dataclass(slots=True)
+class LevelEdit:
+    """A single atomic change to level membership."""
+
+    removes: dict[int, list[SSTable]] = field(default_factory=dict)
+    adds: dict[int, list[SSTable]] = field(default_factory=dict)
+
+    def remove(self, level: int, tables: list[SSTable]) -> "LevelEdit":
+        self.removes.setdefault(level, []).extend(tables)
+        return self
+
+    def add(self, level: int, tables: list[SSTable]) -> "LevelEdit":
+        self.adds.setdefault(level, []).extend(tables)
+        return self
+
+
+class Manifest:
+    """Tracks the sstables of each level and applies edits atomically.
+
+    Args:
+        num_levels: Number of levels managed (e.g. 2 for an Ingestor's
+            L0/L1, indexed here as levels 0 and 1).
+        overlapping_levels: Level indices whose tables may overlap in key
+            range (level 0 in a classic tree).  Non-overlapping levels
+            are kept sorted by min key and validated on every edit.
+    """
+
+    def __init__(self, num_levels: int, overlapping_levels: frozenset[int] = frozenset({0})) -> None:
+        if num_levels <= 0:
+            raise ManifestError("num_levels must be positive")
+        self._levels: list[list[SSTable]] = [[] for __ in range(num_levels)]
+        self._overlapping = overlapping_levels
+        self.version = 0
+
+    @property
+    def num_levels(self) -> int:
+        return len(self._levels)
+
+    def level(self, index: int) -> list[SSTable]:
+        """The current table list of a level (treat as immutable)."""
+        return self._levels[index]
+
+    def level_sizes(self) -> list[int]:
+        """Number of tables per level."""
+        return [len(tables) for tables in self._levels]
+
+    def total_entries(self) -> int:
+        return sum(len(t) for tables in self._levels for t in tables)
+
+    def apply(self, edit: LevelEdit) -> int:
+        """Validate and apply an edit atomically; return the new version.
+
+        Raises :class:`ManifestError` (leaving state untouched) if a
+        removed table is absent or if the edit would create overlapping
+        tables in a non-overlapping level.
+        """
+        new_levels = [list(tables) for tables in self._levels]
+        for level_index, tables in edit.removes.items():
+            current = new_levels[level_index]
+            current_ids = {t.table_id for t in current}
+            for table in tables:
+                if table.table_id not in current_ids:
+                    raise ManifestError(
+                        f"table {table.table_id} not present in level {level_index}"
+                    )
+            remove_ids = {t.table_id for t in tables}
+            new_levels[level_index] = [
+                t for t in current if t.table_id not in remove_ids
+            ]
+        present_ids = {
+            t.table_id for tables in new_levels for t in tables
+        }
+        for level_index, tables in edit.adds.items():
+            for table in tables:
+                if table.table_id in present_ids:
+                    raise ManifestError(
+                        f"table {table.table_id} already present (double add)"
+                    )
+                present_ids.add(table.table_id)
+            new_levels[level_index] = new_levels[level_index] + list(tables)
+        for level_index, tables in enumerate(new_levels):
+            if level_index in self._overlapping or len(tables) < 2:
+                continue
+            ordered = sorted(tables, key=lambda t: t.min_key)
+            for left, right in zip(ordered, ordered[1:]):
+                if left.max_key >= right.min_key:
+                    raise ManifestError(
+                        f"edit creates overlap in level {level_index}: "
+                        f"{left.table_id} and {right.table_id}"
+                    )
+            new_levels[level_index] = ordered
+        self._levels = new_levels
+        self.version += 1
+        return self.version
+
+    def snapshot(self) -> list[list[SSTable]]:
+        """A point-in-time copy of all level lists (tables shared)."""
+        return [list(tables) for tables in self._levels]

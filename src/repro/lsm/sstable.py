@@ -1,0 +1,189 @@
+"""Immutable sorted string tables (sstables) with bloom filters and
+fence pointers.
+
+An :class:`SSTable` is the unit that moves through the LSM tree — and,
+in CooLSM, the unit that moves *between machines* (Ingestor → Compactor
+→ Reader).  It is an immutable, key-sorted run of entries:
+
+* a **bloom filter** over the keys answers "definitely absent" cheaply;
+* **fence pointers** (the first key of each block) narrow a point lookup
+  to a single block, which is then binary-searched.
+
+The paper attributes CooLSM's flat read latency (Figure 6) to exactly
+these two structures.
+
+Entries within a table are sorted by ``(key, version descending)`` so a
+table may hold several versions of one key (needed when CooLSM's
+GC-horizon retains versions).  Classic tables hold one version per key.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from typing import Iterator, Sequence
+
+from .bloom import BloomFilter
+from .entry import Entry
+from .errors import InvalidConfigError
+
+#: Number of entries per data block (fence-pointer granularity).
+DEFAULT_BLOCK_ENTRIES = 64
+
+_table_id_counter = itertools.count(1)
+
+
+def next_table_id() -> int:
+    """Process-wide unique id for newly built sstables."""
+    return next(_table_id_counter)
+
+
+def sort_run(entries: Sequence[Entry]) -> list[Entry]:
+    """Sort entries into sstable order: key ascending, version descending."""
+    return sorted(entries, key=lambda e: (e.key, (-e.timestamp, -e.seqno)))
+
+
+class SSTable:
+    """An immutable sorted run of entries.
+
+    Build with :meth:`from_entries` (sorts and validates) or pass
+    pre-sorted entries to the constructor.
+
+    Args:
+        entries: Entries in sstable order (see :func:`sort_run`).
+        block_entries: Fence-pointer granularity.
+        bloom_fp_rate: Target bloom false-positive rate.
+        table_id: Unique id; allocated automatically if omitted.
+    """
+
+    __slots__ = (
+        "table_id",
+        "entries",
+        "min_key",
+        "max_key",
+        "bloom",
+        "_fences",
+        "_keys",
+        "_block_entries",
+    )
+
+    def __init__(
+        self,
+        entries: list[Entry],
+        block_entries: int = DEFAULT_BLOCK_ENTRIES,
+        bloom_fp_rate: float = 0.01,
+        table_id: int | None = None,
+    ) -> None:
+        if not entries:
+            raise InvalidConfigError("an sstable must contain at least one entry")
+        if block_entries <= 0:
+            raise InvalidConfigError("block_entries must be positive")
+        self.table_id = next_table_id() if table_id is None else table_id
+        self.entries = entries
+        self.min_key = entries[0].key
+        self.max_key = entries[-1].key
+        self._block_entries = block_entries
+        # Fence pointers: first key of each block.
+        self._fences = [entries[i].key for i in range(0, len(entries), block_entries)]
+        self._keys = [e.key for e in entries]
+        self.bloom = BloomFilter.build((e.key for e in entries), bloom_fp_rate)
+
+    @classmethod
+    def from_entries(
+        cls,
+        entries: Sequence[Entry],
+        block_entries: int = DEFAULT_BLOCK_ENTRIES,
+        bloom_fp_rate: float = 0.01,
+    ) -> "SSTable":
+        """Sort arbitrary entries into sstable order and build a table."""
+        return cls(sort_run(entries), block_entries, bloom_fp_rate)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SSTable(id={self.table_id}, n={len(self.entries)}, "
+            f"range=[{self.min_key!r}, {self.max_key!r}])"
+        )
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def key_in_range(self, key: bytes) -> bool:
+        """True if ``key`` falls within [min_key, max_key]."""
+        return self.min_key <= key <= self.max_key
+
+    def overlaps(self, lo: bytes, hi: bytes) -> bool:
+        """True if this table's key range intersects [lo, hi]."""
+        return self.min_key <= hi and lo <= self.max_key
+
+    def overlaps_table(self, other: "SSTable") -> bool:
+        """True if this table's key range intersects ``other``'s."""
+        return self.overlaps(other.min_key, other.max_key)
+
+    def get(self, key: bytes) -> Entry | None:
+        """Newest version of ``key`` in this table, or None.
+
+        Consults the bloom filter, then fence pointers, then binary
+        search within the selected block — the read path the paper
+        describes.  Returns the number of probes via :meth:`probe_cost`
+        style accounting on the caller side.
+        """
+        if not self.key_in_range(key) or not self.bloom.might_contain(key):
+            return None
+        # Versions are stored newest-first per key, so the *first*
+        # occurrence in the run is the newest — found directly with a
+        # lower-bound search (a key's versions may span block
+        # boundaries, so a per-block search could land on older ones).
+        index = bisect.bisect_left(self._keys, key)
+        if index < len(self.entries) and self.entries[index].key == key:
+            return self.entries[index]
+        return None
+
+    def versions(self, key: bytes) -> list[Entry]:
+        """All versions of ``key`` in this table, newest first."""
+        if not self.key_in_range(key) or not self.bloom.might_contain(key):
+            return []
+        idx = bisect.bisect_left(self._keys, key)
+        out = []
+        while idx < len(self.entries) and self.entries[idx].key == key:
+            out.append(self.entries[idx])
+            idx += 1
+        return out
+
+    def scan(self, lo: bytes | None = None, hi: bytes | None = None) -> Iterator[Entry]:
+        """Iterate entries with lo <= key < hi (None = unbounded)."""
+        start = 0
+        if lo is not None:
+            start = bisect.bisect_left(self._keys, lo)
+        for entry in itertools.islice(self.entries, start, None):
+            if hi is not None and entry.key >= hi:
+                return
+            yield entry
+
+    # ------------------------------------------------------------------
+    # Splitting (used when an sstable straddles compactor partitions)
+    # ------------------------------------------------------------------
+    def split_at(self, boundaries: list[bytes]) -> list["SSTable"]:
+        """Split this table at the given sorted key boundaries.
+
+        Returns one table per non-empty segment; segment *i* holds keys
+        in ``[boundaries[i-1], boundaries[i])`` with open ends at the
+        extremes.  Used by the Ingestor when a forwarded sstable spans
+        more than one Compactor's range (Section III-C).
+        """
+        pieces: list[SSTable] = []
+        segment: list[Entry] = []
+        bound_iter = iter(boundaries)
+        bound = next(bound_iter, None)
+        for entry in self.entries:
+            while bound is not None and entry.key >= bound:
+                if segment:
+                    pieces.append(SSTable(segment, self._block_entries))
+                    segment = []
+                bound = next(bound_iter, None)
+            segment.append(entry)
+        if segment:
+            pieces.append(SSTable(segment, self._block_entries))
+        return pieces

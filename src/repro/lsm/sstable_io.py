@@ -1,0 +1,198 @@
+"""On-disk sstable format: persistence for the embedded engine.
+
+CooLSM's simulated deployments keep sstables in memory (the simulator
+models I/O cost explicitly), but the library is also usable as a real
+embedded LSM store, so sstables can be written to and read from disk.
+
+File layout::
+
+    [data block 0][data block 1]...[data block N-1]
+    [index block]          # fence pointers: (first_key, offset, length)*
+    [bloom block]          # serialised BloomFilter
+    [footer]               # fixed size, at end of file:
+        u64 index_offset | u32 index_length
+        u64 bloom_offset | u32 bloom_length
+        u32 crc32 of the 24 bytes above
+        8-byte magic "COOLSST1"
+
+Data blocks use :mod:`repro.lsm.block` encoding (per-block CRC32), so a
+flipped bit anywhere is detected either by a block CRC or the footer CRC.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Iterator
+
+from .block import decode_entries, decode_varint, encode_entries, encode_varint
+from .bloom import BloomFilter
+from .entry import Entry
+from .errors import ClosedError, CorruptionError
+from .sstable import DEFAULT_BLOCK_ENTRIES, SSTable
+
+_MAGIC = b"COOLSST1"
+_FOOTER = struct.Struct("<QIQII")  # index_off, index_len, bloom_off, bloom_len, crc
+
+
+def write_sstable(
+    table: SSTable,
+    path: str,
+    block_entries: int = DEFAULT_BLOCK_ENTRIES,
+) -> None:
+    """Persist an in-memory sstable to ``path`` (atomic via rename)."""
+    tmp_path = path + ".tmp"
+    fences: list[tuple[bytes, int, int]] = []
+    with open(tmp_path, "wb") as f:
+        offset = 0
+        for start in range(0, len(table.entries), block_entries):
+            chunk = table.entries[start : start + block_entries]
+            encoded = encode_entries(chunk)
+            f.write(encoded)
+            fences.append((chunk[0].key, offset, len(encoded)))
+            offset += len(encoded)
+        index_offset = offset
+        index_block = _encode_index(fences)
+        f.write(index_block)
+        bloom_offset = index_offset + len(index_block)
+        bloom_block = table.bloom.to_bytes()
+        f.write(bloom_block)
+        footer_fields = struct.pack(
+            "<QIQI", index_offset, len(index_block), bloom_offset, len(bloom_block)
+        )
+        crc = zlib.crc32(footer_fields) & 0xFFFFFFFF
+        f.write(footer_fields + struct.pack("<I", crc) + _MAGIC)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp_path, path)
+
+
+def _encode_index(fences: list[tuple[bytes, int, int]]) -> bytes:
+    out = bytearray()
+    out += encode_varint(len(fences))
+    for first_key, offset, length in fences:
+        out += encode_varint(len(first_key))
+        out += first_key
+        out += struct.pack("<QI", offset, length)
+    return bytes(out)
+
+
+def _decode_index(data: bytes) -> list[tuple[bytes, int, int]]:
+    count, offset = decode_varint(data, 0)
+    fences = []
+    for _ in range(count):
+        key_len, offset = decode_varint(data, offset)
+        key = bytes(data[offset : offset + key_len])
+        offset += key_len
+        block_offset, block_len = struct.unpack_from("<QI", data, offset)
+        offset += 12
+        fences.append((key, block_offset, block_len))
+    return fences
+
+
+class SSTableReader:
+    """Random and sequential access to an on-disk sstable.
+
+    Reads one data block per point lookup, guided by the on-disk fence
+    pointers and bloom filter — the same read path as the in-memory
+    :class:`~repro.lsm.sstable.SSTable`.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._file = open(path, "rb")
+        self._closed = False
+        self._load_footer()
+
+    def _load_footer(self) -> None:
+        self._file.seek(0, os.SEEK_END)
+        size = self._file.tell()
+        footer_size = _FOOTER.size + len(_MAGIC)
+        if size < footer_size:
+            raise CorruptionError(f"{self.path}: file too small for footer")
+        self._file.seek(size - footer_size)
+        raw = self._file.read(footer_size)
+        if raw[-len(_MAGIC) :] != _MAGIC:
+            raise CorruptionError(f"{self.path}: bad magic")
+        fields = raw[: _FOOTER.size - 4 + 4]
+        index_off, index_len, bloom_off, bloom_len, crc = _FOOTER.unpack(
+            raw[: _FOOTER.size]
+        )
+        if zlib.crc32(raw[: _FOOTER.size - 4]) & 0xFFFFFFFF != crc:
+            raise CorruptionError(f"{self.path}: footer checksum mismatch")
+        del fields
+        self._file.seek(index_off)
+        self._fences = _decode_index(self._file.read(index_len))
+        self._file.seek(bloom_off)
+        self.bloom = BloomFilter.from_bytes(self._file.read(bloom_len))
+        if not self._fences:
+            raise CorruptionError(f"{self.path}: empty index")
+
+    def close(self) -> None:
+        if not self._closed:
+            self._file.close()
+            self._closed = True
+
+    def __enter__(self) -> "SSTableReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ClosedError("reader is closed")
+
+    def _read_block(self, index: int) -> list[Entry]:
+        __, offset, length = self._fences[index]
+        self._file.seek(offset)
+        return decode_entries(self._file.read(length))
+
+    def get(self, key: bytes) -> Entry | None:
+        """Newest version of ``key``, reading at most two data blocks.
+
+        Versions are newest-first per key, so the newest version is the
+        key's *first* occurrence in the file.  That occurrence lives in
+        the last block whose first key is strictly below ``key``, or —
+        when the key's versions start exactly at a block boundary — in
+        the first block whose first key equals ``key``.
+        """
+        self._check_open()
+        if not self.bloom.might_contain(key):
+            return None
+        # lower_bound over block first-keys.
+        lo, hi = 0, len(self._fences)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._fences[mid][0] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        # Block before the bound may hold the first occurrence.
+        if lo > 0:
+            for entry in self._read_block(lo - 1):
+                if entry.key == key:
+                    return entry
+        # Otherwise the occurrence starts exactly at block `lo`.
+        if lo < len(self._fences) and self._fences[lo][0] == key:
+            for entry in self._read_block(lo):
+                if entry.key == key:
+                    return entry
+        return None
+
+    def scan(self) -> Iterator[Entry]:
+        """Iterate all entries in sstable order."""
+        self._check_open()
+        for index in range(len(self._fences)):
+            yield from self._read_block(index)
+
+    def load(self) -> SSTable:
+        """Materialise the whole file as an in-memory :class:`SSTable`."""
+        return SSTable(list(self.scan()))
+
+
+def read_sstable(path: str) -> SSTable:
+    """Load an on-disk sstable fully into memory."""
+    with SSTableReader(path) as reader:
+        return reader.load()

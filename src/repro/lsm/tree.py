@@ -1,0 +1,517 @@
+"""The monolithic LSM tree: an embeddable key-value engine.
+
+This is the classic single-machine structure of Figure 1(a): a memtable
+feeding L0 (tiering into L1) with leveled compaction above.  CooLSM's
+components are built from the same parts (levels, compaction policies,
+merge iterators) but split across nodes; this class keeps them together
+and is therefore also the "monolithic" baseline of the evaluation.
+
+Usage::
+
+    tree = LSMTree(LSMConfig.for_key_range(100_000))
+    tree.put(b"k", b"v")
+    assert tree.get(b"k") == b"v"
+
+With ``directory`` set, writes go through a WAL and flushed sstables are
+persisted, so :meth:`LSMTree.open` can recover the full state after a
+crash.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from .compaction import (
+    CompactionStats,
+    KeepPolicy,
+    NEWEST_WINS,
+    major_compaction,
+    minor_compaction,
+    select_overflow_rotating,
+)
+from .entry import Entry, encode_key, make_tombstone, make_upsert
+from .errors import ClosedError, InvalidConfigError
+from .manifest import LevelEdit, Manifest
+from .memtable import Memtable
+from .sstable import SSTable
+from .sstable_io import read_sstable, write_sstable
+from .wal import WriteAheadLog, replay
+
+
+@dataclass(frozen=True, slots=True)
+class LSMConfig:
+    """Structural parameters of the tree.
+
+    The defaults follow the paper's experimental setup: four levels,
+    thresholds of 10 sstables for L0 and L1, and a 10x size ratio for
+    the levels above (Section II-B and IV).
+
+    Attributes:
+        memtable_entries: Batch size buffered before a flush to L0.
+        sstable_entries: Entries per sstable ("the size of an sstable is
+            predetermined").
+        level_thresholds: Max table count per level; the last level is
+            unbounded if its threshold is 0.
+        keep_policy: Version retention during merges.
+        wal_sync: fsync the WAL on every batch (persistent mode only).
+        enable_snapshots: Retain old versions while snapshots are open
+            so :meth:`LSMTree.snapshot` gives consistent point-in-time
+            reads (LevelDB-style).  Costs memory proportional to the
+            churn since the oldest open snapshot.
+    """
+
+    memtable_entries: int = 1_000
+    sstable_entries: int = 100
+    level_thresholds: tuple[int, ...] = (10, 10, 100, 1_000)
+    keep_policy: KeepPolicy = NEWEST_WINS
+    wal_sync: bool = True
+    enable_snapshots: bool = False
+
+    def __post_init__(self) -> None:
+        if self.memtable_entries <= 0 or self.sstable_entries <= 0:
+            raise InvalidConfigError("entry counts must be positive")
+        if len(self.level_thresholds) < 2:
+            raise InvalidConfigError("need at least levels L0 and L1")
+        if any(t < 0 for t in self.level_thresholds):
+            raise InvalidConfigError("thresholds must be non-negative")
+
+    @classmethod
+    def for_key_range(cls, key_range: int, **overrides) -> "LSMConfig":
+        """The paper's configurations: 100K and 300K key ranges.
+
+        100K: L0/L1 hold 10 sstables, L2 100, L3 1000.
+        300K: L0/L1 hold 10 sstables, L2 300, L3 3000.
+        """
+        if key_range >= 300_000:
+            thresholds = (10, 10, 300, 3_000)
+        else:
+            thresholds = (10, 10, 100, 1_000)
+        defaults = dict(level_thresholds=thresholds)
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.level_thresholds)
+
+
+@dataclass(slots=True)
+class CompactionEvent:
+    """One compaction occurrence, for stats collection (Figure 4)."""
+
+    level: int  # target level of the merge
+    stats: CompactionStats
+
+
+@dataclass(slots=True)
+class TreeStats:
+    """Cumulative counters exposed by :attr:`LSMTree.stats`."""
+
+    puts: int = 0
+    gets: int = 0
+    deletes: int = 0
+    flushes: int = 0
+    compactions: list[CompactionEvent] = field(default_factory=list)
+
+    def compaction_count(self, level: int | None = None) -> int:
+        if level is None:
+            return len(self.compactions)
+        return sum(1 for c in self.compactions if c.level == level)
+
+
+class Snapshot:
+    """A consistent point-in-time view of an :class:`LSMTree`.
+
+    Reads through a snapshot see exactly the data as of its creation:
+    later writes and deletes are invisible.  Close (or use as a context
+    manager) to release the version-retention it pins.
+    """
+
+    __slots__ = ("_tree", "timestamp", "closed")
+
+    def __init__(self, tree: "LSMTree", timestamp: float) -> None:
+        self._tree = tree
+        self.timestamp = timestamp
+        self.closed = False
+
+    def get(self, key: bytes | str | int) -> bytes | None:
+        """Value of ``key`` as of this snapshot, or None."""
+        if self.closed:
+            raise ClosedError("snapshot is closed")
+        entry = self._tree._get_entry_as_of(encode_key(key), self.timestamp)
+        if entry is None or entry.tombstone:
+            return None
+        return entry.value
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self._tree._release_snapshot(self.timestamp)
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class LSMTree:
+    """A single-node LSM key-value store.
+
+    Args:
+        config: Structural parameters.
+        directory: If given, persist the WAL, sstables, and manifest
+            here; otherwise the tree is purely in-memory.
+        clock: Source of entry timestamps (defaults to a logical counter
+            so that standalone trees are deterministic).
+    """
+
+    def __init__(
+        self,
+        config: LSMConfig | None = None,
+        directory: str | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        self.config = config or LSMConfig()
+        self.directory = directory
+        self._clock = clock or self._logical_clock
+        self._logical_time = 0.0
+        self._seqno = 0
+        self._closed = False
+        self.manifest = Manifest(self.config.num_levels)
+        self.stats = TreeStats()
+        # Per-level rotating compaction pointers (LevelDB-style sweep).
+        self._compaction_pointers: list[bytes | None] = [None] * self.config.num_levels
+        self._active_snapshots: list[float] = []
+        self._memtable = Memtable(
+            self.config.memtable_entries, retain_versions=self._retain_versions()
+        )
+        self._wal: WriteAheadLog | None = None
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+            self._wal = WriteAheadLog(
+                os.path.join(directory, "wal.log"), sync=self.config.wal_sync
+            )
+
+    # ------------------------------------------------------------------
+    # Construction / recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, directory: str, config: LSMConfig | None = None) -> "LSMTree":
+        """Recover a persistent tree: load the manifest's sstables and
+        replay the WAL into a fresh memtable."""
+        manifest_path = os.path.join(directory, "MANIFEST.json")
+        tables_by_level: dict[int, list[SSTable]] = {}
+        max_seqno = 0
+        if os.path.exists(manifest_path):
+            with open(manifest_path, "r", encoding="utf-8") as f:
+                listing = json.load(f)
+            for level_str, filenames in listing["levels"].items():
+                level = int(level_str)
+                tables_by_level[level] = [
+                    read_sstable(os.path.join(directory, name)) for name in filenames
+                ]
+        tree = cls(config, directory=None)  # WAL opened after replay
+        tree.directory = directory
+        edit = LevelEdit()
+        for level, tables in tables_by_level.items():
+            edit.add(level, tables)
+            for table in tables:
+                max_seqno = max(max_seqno, max(e.seqno for e in table.entries))
+        tree.manifest.apply(edit)
+        wal_path = os.path.join(directory, "wal.log")
+        for entry in replay(wal_path):
+            tree._memtable.put(entry)
+            max_seqno = max(max_seqno, entry.seqno)
+            tree._logical_time = max(tree._logical_time, entry.timestamp)
+        tree._seqno = max_seqno
+        tree._wal = WriteAheadLog(wal_path, sync=tree.config.wal_sync)
+        return tree
+
+    def close(self) -> None:
+        if self._wal is not None:
+            self._wal.close()
+        self._closed = True
+
+    def __enter__(self) -> "LSMTree":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ClosedError("tree is closed")
+
+    def _logical_clock(self) -> float:
+        self._logical_time += 1.0
+        return self._logical_time
+
+    def _next_seqno(self) -> int:
+        self._seqno += 1
+        return self._seqno
+
+    def _retain_versions(self) -> bool:
+        return (
+            self.config.enable_snapshots
+            or self.config.keep_policy.retain_horizon is not None
+        )
+
+    def _effective_keep_policy(self, bottom: bool = False) -> KeepPolicy:
+        """The merge policy, pinned below any open snapshot."""
+        policy = self.config.keep_policy
+        if self.config.enable_snapshots and self._active_snapshots:
+            horizon = min(self._active_snapshots)
+            existing = policy.retain_horizon
+            pinned = horizon if existing is None else min(existing, horizon)
+            # Never drop tombstones while a snapshot might need to see
+            # through them.
+            return KeepPolicy(retain_horizon=pinned)
+        if bottom and policy.retain_horizon is None:
+            return KeepPolicy(drop_tombstones=True)
+        return policy
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Snapshot:
+        """Open a consistent point-in-time view (requires
+        ``config.enable_snapshots``)."""
+        if not self.config.enable_snapshots:
+            raise InvalidConfigError("snapshots require enable_snapshots=True")
+        timestamp = self._current_time()
+        self._active_snapshots.append(timestamp)
+        return Snapshot(self, timestamp)
+
+    def _current_time(self) -> float:
+        """The timestamp of the most recent write (snapshot boundary)."""
+        return self._logical_time
+
+    def _release_snapshot(self, timestamp: float) -> None:
+        try:
+            self._active_snapshots.remove(timestamp)
+        except ValueError:
+            pass
+
+    def _get_entry_as_of(self, key: bytes, as_of: float) -> Entry | None:
+        """Newest entry with timestamp <= as_of, across all versions."""
+        candidates = [
+            v for v in self._memtable.versions(key) if v.timestamp <= as_of
+        ]
+        for level in range(self.manifest.num_levels):
+            for table in self.manifest.level(level):
+                if table.key_in_range(key):
+                    candidates.extend(
+                        v for v in table.versions(key) if v.timestamp <= as_of
+                    )
+        if not candidates:
+            return None
+        return max(candidates, key=lambda e: e.version)
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def put(self, key: bytes | str | int, value: bytes | str) -> Entry:
+        """Insert or overwrite a key (the paper's *upsert*)."""
+        self._check_open()
+        entry = make_upsert(key, value, self._next_seqno(), self._clock())
+        self._write(entry)
+        self.stats.puts += 1
+        return entry
+
+    def delete(self, key: bytes | str | int) -> Entry:
+        """Delete a key by writing a tombstone."""
+        self._check_open()
+        entry = make_tombstone(key, self._next_seqno(), self._clock())
+        self._write(entry)
+        self.stats.deletes += 1
+        return entry
+
+    def put_entry(self, entry: Entry) -> None:
+        """Insert a pre-built entry (used by CooLSM components, which
+        assign seqnos and loose-clock timestamps themselves)."""
+        self._check_open()
+        self._seqno = max(self._seqno, entry.seqno)
+        self._write(entry)
+        self.stats.puts += 1
+
+    def _write(self, entry: Entry) -> None:
+        if self._wal is not None:
+            self._wal.append(entry)
+        self._memtable.put(entry)
+        if self._memtable.is_full():
+            self.flush()
+
+    def flush(self) -> None:
+        """Freeze the memtable into a new L0 sstable and cascade
+        compactions as thresholds are exceeded."""
+        self._check_open()
+        entries = self._memtable.entries()
+        if not entries:
+            return
+        table = SSTable(entries)
+        self.manifest.apply(LevelEdit().add(0, [table]))
+        self._memtable = Memtable(
+            self.config.memtable_entries, retain_versions=self._retain_versions()
+        )
+        if self._wal is not None:
+            self._persist_table(table)
+            self._wal.truncate()
+        self.stats.flushes += 1
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        config = self.config
+        # Minor compaction: tiering of L0 + L1 into a fresh L1 run.
+        if len(self.manifest.level(0)) > config.level_thresholds[0]:
+            l0 = list(reversed(self.manifest.level(0)))  # newest first
+            l1 = self.manifest.level(1)
+            result = minor_compaction(
+                l0, l1, config.sstable_entries, self._effective_keep_policy()
+            )
+            edit = LevelEdit().remove(0, l0).remove(1, list(l1)).add(1, result.tables)
+            self.manifest.apply(edit)
+            self.stats.compactions.append(CompactionEvent(1, result.stats))
+            self._sync_persisted_tables()
+        # Major compactions: leveling, cascading down while over threshold.
+        for level in range(1, config.num_levels - 1):
+            threshold = config.level_thresholds[level]
+            tables = self.manifest.level(level)
+            if threshold == 0 or len(tables) <= threshold:
+                continue
+            kept, overflow, self._compaction_pointers[level] = select_overflow_rotating(
+                tables, threshold, self._compaction_pointers[level]
+            )
+            is_bottom_target = level + 1 == config.num_levels - 1
+            policy = self._effective_keep_policy(bottom=is_bottom_target)
+            result, untouched = major_compaction(
+                overflow,
+                self.manifest.level(level + 1),
+                config.sstable_entries,
+                policy,
+            )
+            removed_next = [
+                t for t in self.manifest.level(level + 1)
+                if t not in untouched
+            ]
+            edit = (
+                LevelEdit()
+                .remove(level, overflow)
+                .remove(level + 1, removed_next)
+                .add(level + 1, result.tables)
+            )
+            self.manifest.apply(edit)
+            self.stats.compactions.append(CompactionEvent(level + 1, result.stats))
+            self._sync_persisted_tables()
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def get(self, key: bytes | str | int) -> bytes | None:
+        """Return the newest value for ``key``, or None if absent/deleted."""
+        entry = self.get_entry(key)
+        if entry is None or entry.tombstone:
+            return None
+        return entry.value
+
+    def get_entry(self, key: bytes | str | int) -> Entry | None:
+        """Newest entry for ``key`` (including tombstones), or None.
+
+        Search order is the paper's read flow: memtable, then L0 newest
+        table first, then each level in order (non-overlapping levels
+        need at most one table probe thanks to fence pointers).
+        """
+        self._check_open()
+        self.stats.gets += 1
+        encoded = encode_key(key)
+        best = self._memtable.get(encoded)
+        for table in reversed(self.manifest.level(0)):
+            found = table.get(encoded)
+            if found is not None and (best is None or found.version > best.version):
+                best = found
+            if best is not None:
+                # L0 tables are newest-first; the first hit wins unless the
+                # memtable already had a newer one.
+                break
+        if best is not None:
+            return best
+        for level in range(1, self.manifest.num_levels):
+            for table in self.manifest.level(level):
+                if not table.key_in_range(encoded):
+                    continue
+                found = table.get(encoded)
+                if found is not None:
+                    return found
+        return None
+
+    def scan(
+        self, lo: bytes | str | int | None = None, hi: bytes | str | int | None = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Yield (key, value) pairs with lo <= key < hi, newest versions,
+        tombstones elided."""
+        self._check_open()
+        lo_b = encode_key(lo) if lo is not None else None
+        hi_b = encode_key(hi) if hi is not None else None
+        from .iterators import dedup_newest, k_way_merge
+
+        sources: list[list[Entry]] = [self._memtable.range(lo_b, hi_b)]
+        for table in reversed(self.manifest.level(0)):
+            sources.append(list(table.scan(lo_b, hi_b)))
+        for level in range(1, self.manifest.num_levels):
+            level_entries: list[Entry] = []
+            for table in self.manifest.level(level):
+                level_entries.extend(table.scan(lo_b, hi_b))
+            sources.append(level_entries)
+        for entry in dedup_newest(k_way_merge(sources)):
+            if not entry.tombstone:
+                yield entry.key, entry.value
+
+    def __len__(self) -> int:
+        """Approximate number of live keys (counts newest versions only)."""
+        return sum(1 for __ in self.scan())
+
+    # ------------------------------------------------------------------
+    # Persistence helpers
+    # ------------------------------------------------------------------
+    def _persist_table(self, table: SSTable) -> None:
+        assert self.directory is not None
+        path = os.path.join(self.directory, f"sst-{table.table_id:08d}.sst")
+        write_sstable(table, path)
+        self._write_manifest_file()
+
+    def _sync_persisted_tables(self) -> None:
+        """Write new tables, delete dropped ones, rewrite the manifest."""
+        if self.directory is None:
+            return
+        live: set[str] = set()
+        for level in range(self.manifest.num_levels):
+            for table in self.manifest.level(level):
+                name = f"sst-{table.table_id:08d}.sst"
+                live.add(name)
+                path = os.path.join(self.directory, name)
+                if not os.path.exists(path):
+                    write_sstable(table, path)
+        self._write_manifest_file()
+        for name in os.listdir(self.directory):
+            if name.startswith("sst-") and name not in live:
+                os.remove(os.path.join(self.directory, name))
+
+    def _write_manifest_file(self) -> None:
+        assert self.directory is not None
+        listing = {
+            "levels": {
+                str(level): [
+                    f"sst-{t.table_id:08d}.sst" for t in self.manifest.level(level)
+                ]
+                for level in range(self.manifest.num_levels)
+            }
+        }
+        tmp = os.path.join(self.directory, "MANIFEST.json.tmp")
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(listing, f)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, os.path.join(self.directory, "MANIFEST.json"))

@@ -1,0 +1,38 @@
+"""Fault tolerance: Paxos, replicated Compactor logs, and failover.
+
+Implements Section III-H — a Compactor replicates its operation log to
+2f replicas (2f+1 nodes counting the leader) before acking Ingestors;
+heartbeat monitors detect leader failure and a Paxos election promotes
+a replica, repointing the key-range partition so Ingestors and readers
+follow automatically.
+"""
+
+from .failover import FailoverStats, ReplicaGroup, build_replica_groups
+from .paxos import (
+    AcceptorState,
+    Ballot,
+    PaxosConflict,
+    PaxosMixin,
+    ZERO_BALLOT,
+)
+from .replica import (
+    CompactorReplica,
+    LogRecord,
+    ReplicatedCompactor,
+    ReplicationStats,
+)
+
+__all__ = [
+    "AcceptorState",
+    "Ballot",
+    "CompactorReplica",
+    "FailoverStats",
+    "LogRecord",
+    "PaxosConflict",
+    "PaxosMixin",
+    "ReplicaGroup",
+    "ReplicatedCompactor",
+    "ReplicationStats",
+    "ZERO_BALLOT",
+    "build_replica_groups",
+]

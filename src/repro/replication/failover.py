@@ -1,0 +1,196 @@
+"""Failure detection, Paxos leader election, and replica promotion.
+
+Section III-H: "If a failure occurs, one of the Readers can assume the
+role of the Compactor via a leader election process until the original
+Compactor recovers."
+
+Each replica of a :class:`ReplicaGroup` runs a heartbeat monitor
+against the current leader.  After ``misses_to_suspect`` consecutive
+timeouts it starts an election: a Paxos instance (one per group and
+term) decides the new leader among the replicas that are alive.  The
+winner is promoted — it activates its dormant Compactor role, finishes
+applying its log, and the group's :class:`~repro.core.keyspace.Partition`
+is repointed at it, so the Ingestors' forward-retry loop and the read
+path reach the new leader without any Ingestor-side changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.keyspace import Partition
+from repro.sim.kernel import Kernel
+from repro.sim.rpc import RemoteError, RpcTimeout
+
+from .paxos import PaxosConflict
+from .replica import CompactorReplica, ReplicatedCompactor
+
+
+@dataclass(slots=True)
+class FailoverStats:
+    """Counters for observability in tests and benches."""
+
+    suspicions: int = 0
+    elections_started: int = 0
+    promotions: int = 0
+    leader_changes: list[str] = field(default_factory=list)
+
+
+class ReplicaGroup:
+    """One Compactor partition: a leader, its replicas, and its Partition.
+
+    Args:
+        kernel: Simulation kernel.
+        name: Group name (used in Paxos instance ids).
+        leader: The initially active Compactor.
+        replicas: The 2f passive replicas.
+        partition: The key-range partition this group serves; its
+            ``members`` list is mutated on promotion.
+        heartbeat_interval: Seconds between replica->leader pings.
+        heartbeat_timeout: Ping RPC timeout.
+        misses_to_suspect: Consecutive failed pings before electing.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str,
+        leader: ReplicatedCompactor,
+        replicas: list[CompactorReplica],
+        partition: Partition,
+        heartbeat_interval: float = 0.5,
+        heartbeat_timeout: float = 0.25,
+        misses_to_suspect: int = 3,
+    ) -> None:
+        self.kernel = kernel
+        self.name = name
+        self.leader = leader
+        self.replicas = replicas
+        self.partition = partition
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.misses_to_suspect = misses_to_suspect
+        self.stats = FailoverStats()
+        self.term = 0
+        self.current_leader_name = leader.name
+        self._stopped = False
+        for replica in replicas:
+            kernel.spawn(self._monitor(replica), f"{name}.monitor.{replica.name}")
+
+    def stop(self) -> None:
+        """Disable monitoring (used by tests to quiesce the simulation)."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Heartbeats and elections
+    # ------------------------------------------------------------------
+    def _monitor(self, replica: CompactorReplica):
+        misses = 0
+        while not self._stopped:
+            yield self.kernel.timeout(self.heartbeat_interval)
+            if self._stopped:
+                return
+            if replica.crashed or replica.active:
+                continue
+            try:
+                yield replica.call(
+                    self.current_leader_name,
+                    "ping",
+                    None,
+                    timeout=self.heartbeat_timeout,
+                )
+                misses = 0
+            except (RpcTimeout, RemoteError):
+                misses += 1
+                if misses >= self.misses_to_suspect:
+                    self.stats.suspicions += 1
+                    misses = 0
+                    yield from self._run_election(replica)
+
+    def _run_election(self, candidate: CompactorReplica):
+        """Candidate proposes itself; Paxos picks one winner per term."""
+        term = self.term + 1
+        instance = f"election/{self.name}/{term}"
+        acceptors = [r.name for r in self.replicas]
+        self.stats.elections_started += 1
+        try:
+            winner = yield from candidate.paxos_propose(
+                instance, candidate.name, acceptors, timeout=self.heartbeat_timeout
+            )
+        except PaxosConflict:
+            return
+        if term <= self.term:
+            return  # a concurrent election already advanced the term
+        self.term = term
+        self._promote(winner)
+
+    def _promote(self, winner_name: str) -> None:
+        if winner_name == self.current_leader_name:
+            return
+        for replica in self.replicas:
+            if replica.name == winner_name:
+                replica.promote()
+                break
+        # Repoint the partition: swap the failed leader for the promoted
+        # replica, leaving any other (overlapping) members untouched.
+        try:
+            index = self.partition.members.index(self.current_leader_name)
+            self.partition.members[index] = winner_name
+        except ValueError:  # leader already removed (e.g. reconfiguration)
+            self.partition.members.append(winner_name)
+        self.current_leader_name = winner_name
+        self.stats.promotions += 1
+        self.stats.leader_changes.append(winner_name)
+
+
+def build_replica_groups(
+    cluster,
+    tolerated_failures: int = 1,
+    heartbeat_interval: float = 0.5,
+    heartbeat_timeout: float = 0.25,
+) -> list[ReplicaGroup]:
+    """Wire replication for a cluster built with ReplicatedCompactors.
+
+    Called by :func:`repro.core.cluster.build_cluster` when the spec
+    sets ``tolerated_failures > 0``: creates ``2f``
+    :class:`CompactorReplica` nodes per Compactor on their own cloud
+    machines, and a :class:`ReplicaGroup` driving heartbeats/failover.
+    """
+    spec = cluster.spec
+    groups: list[ReplicaGroup] = []
+    for index, leader in enumerate(cluster.compactors):
+        if not isinstance(leader, ReplicatedCompactor):
+            raise TypeError(
+                "build_replica_groups requires ReplicatedCompactor leaders "
+                "(set ClusterSpec.tolerated_failures before building)"
+            )
+        replicas = []
+        for replica_name in leader.replicas:
+            machine = cluster.machine(f"m-{replica_name}", spec.cloud_region)
+            replicas.append(
+                CompactorReplica(
+                    cluster.kernel,
+                    cluster.network,
+                    machine,
+                    replica_name,
+                    spec.config,
+                    cluster.clock_for(replica_name),
+                    multi_ingestor=spec.multi_ingestor,
+                )
+            )
+        partition = next(
+            p for p in cluster.partitioning.partitions if leader.name in p.members
+        )
+        groups.append(
+            ReplicaGroup(
+                cluster.kernel,
+                f"group-{index}",
+                leader,
+                replicas,
+                partition,
+                heartbeat_interval=heartbeat_interval,
+                heartbeat_timeout=heartbeat_timeout,
+            )
+        )
+    cluster.replica_groups = groups
+    return groups

@@ -1,0 +1,197 @@
+"""Single-decree Paxos, used for leader election during failover.
+
+Section III-H: "to make a component/node of CooLSM resilient to
+failures, its state would be replicated to 2f+1 nodes ... using
+protocols like paxos.  ... If a failure occurs, one of the Readers can
+assume the role of the Compactor via a leader election process."
+
+This module implements classic Paxos (Lamport's synod protocol) as a
+mixin any :class:`~repro.sim.rpc.RpcNode` can adopt: the node becomes
+an acceptor/learner for any number of named *instances*, and can act as
+a proposer via :meth:`PaxosMixin.paxos_propose`.  Each instance decides
+one value; the failover layer runs one instance per (group, term) to
+agree on a new leader.
+
+Safety follows the standard argument: a proposer must get promises from
+a majority before proposing, adopts the highest-ballot accepted value
+it hears about, and a value is decided once a majority accepts it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.sim.kernel import SimError
+from repro.sim.rpc import RemoteError, RpcTimeout
+
+#: Ballots are (round, proposer_name): totally ordered, proposer-unique.
+Ballot = tuple[int, str]
+
+ZERO_BALLOT: Ballot = (0, "")
+
+
+@dataclass(slots=True)
+class AcceptorState:
+    """Per-instance acceptor bookkeeping."""
+
+    promised: Ballot = ZERO_BALLOT
+    accepted_ballot: Ballot = ZERO_BALLOT
+    accepted_value: Any = None
+
+
+@dataclass(frozen=True, slots=True)
+class PrepareRequest:
+    instance: str
+    ballot: Ballot
+
+
+@dataclass(frozen=True, slots=True)
+class PrepareReply:
+    promised: bool
+    accepted_ballot: Ballot
+    accepted_value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class AcceptRequest:
+    instance: str
+    ballot: Ballot
+    value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class AcceptReply:
+    accepted: bool
+
+
+@dataclass(frozen=True, slots=True)
+class LearnMessage:
+    instance: str
+    value: Any
+
+
+class PaxosConflict(SimError):
+    """Raised when a proposal round was preempted by a higher ballot."""
+
+
+class PaxosMixin:
+    """Acceptor, learner, and proposer roles for an RpcNode subclass.
+
+    Call :meth:`init_paxos` from ``__init__`` (after RpcNode setup) to
+    register the handlers.  Decided values appear in :attr:`decisions`.
+    """
+
+    def init_paxos(self) -> None:
+        self._acceptor_states: dict[str, AcceptorState] = {}
+        self.decisions: dict[str, Any] = {}
+        self._next_round = 0
+        self.on("paxos_prepare", self._handle_prepare)
+        self.on("paxos_accept", self._handle_accept)
+        self.on("paxos_learn", self._handle_learn)
+
+    # ------------------------------------------------------------------
+    # Acceptor
+    # ------------------------------------------------------------------
+    def _state_for(self, instance: str) -> AcceptorState:
+        return self._acceptor_states.setdefault(instance, AcceptorState())
+
+    def _handle_prepare(self, src: str, request: PrepareRequest):
+        state = self._state_for(request.instance)
+        if request.ballot > state.promised:
+            state.promised = request.ballot
+            return PrepareReply(True, state.accepted_ballot, state.accepted_value)
+        return PrepareReply(False, state.accepted_ballot, state.accepted_value)
+        yield  # pragma: no cover - generator form required by RPC layer
+
+    def _handle_accept(self, src: str, request: AcceptRequest):
+        state = self._state_for(request.instance)
+        if request.ballot >= state.promised:
+            state.promised = request.ballot
+            state.accepted_ballot = request.ballot
+            state.accepted_value = request.value
+            return AcceptReply(True)
+        return AcceptReply(False)
+        yield  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Learner
+    # ------------------------------------------------------------------
+    def _handle_learn(self, src: str, message: LearnMessage):
+        self.decisions[message.instance] = message.value
+        return None
+        yield  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Proposer
+    # ------------------------------------------------------------------
+    def paxos_propose(
+        self,
+        instance: str,
+        value: Any,
+        acceptors: list[str],
+        timeout: float = 1.0,
+        max_rounds: int = 10,
+    ):
+        """Drive an instance to a decision; returns the decided value.
+
+        The decided value may differ from ``value`` if another proposal
+        was already (partially) accepted — Paxos's safety in action.
+        Raises :class:`PaxosConflict` after ``max_rounds`` preemptions.
+        """
+        majority = len(acceptors) // 2 + 1
+        for __ in range(max_rounds):
+            if instance in self.decisions:
+                return self.decisions[instance]
+            self._next_round += 1
+            ballot: Ballot = (self._next_round, self.name)
+            # Phase 1: prepare.
+            promises = yield from self._gather(
+                acceptors,
+                "paxos_prepare",
+                PrepareRequest(instance, ballot),
+                timeout,
+            )
+            granted = [r for r in promises if r is not None and r.promised]
+            if len(granted) < majority:
+                self._next_round += 1
+                continue
+            # Adopt the highest-ballot accepted value, if any.
+            chosen = value
+            best: Ballot = ZERO_BALLOT
+            for reply in granted:
+                if reply.accepted_value is not None and reply.accepted_ballot > best:
+                    best = reply.accepted_ballot
+                    chosen = reply.accepted_value
+            # Phase 2: accept.
+            acks = yield from self._gather(
+                acceptors,
+                "paxos_accept",
+                AcceptRequest(instance, ballot, chosen),
+                timeout,
+            )
+            accepted = [r for r in acks if r is not None and r.accepted]
+            if len(accepted) < majority:
+                continue
+            # Decided: tell every acceptor (and remember locally).
+            self.decisions[instance] = chosen
+            for acceptor in acceptors:
+                self.cast(acceptor, "paxos_learn", LearnMessage(instance, chosen))
+            return chosen
+        raise PaxosConflict(f"no decision for {instance} after {max_rounds} rounds")
+
+    def _gather(self, peers: list[str], method: str, payload: Any, timeout: float):
+        """Call all peers, mapping timeouts/errors to None."""
+        calls = [
+            self.kernel.spawn(self._safe_call(peer, method, payload, timeout))
+            for peer in peers
+        ]
+        replies = yield self.kernel.all_of(calls)
+        return replies
+
+    def _safe_call(self, peer: str, method: str, payload: Any, timeout: float):
+        try:
+            reply = yield self.call(peer, method, payload, timeout=timeout)
+            return reply
+        except (RpcTimeout, RemoteError):
+            return None

@@ -1,0 +1,60 @@
+"""Deterministic discrete-event simulation substrate.
+
+Replaces the paper's AWS testbed: machines with bounded cores
+(:mod:`repro.sim.machine`), a wide-area network with paper-calibrated
+RTTs and TCP-like ordered delivery (:mod:`repro.sim.network`,
+:mod:`repro.sim.regions`), request/response RPC (:mod:`repro.sim.rpc`),
+and loosely synchronised clocks (:mod:`repro.sim.clock`), all driven by
+a generator-coroutine event kernel (:mod:`repro.sim.kernel`).
+"""
+
+from .clock import LooseClock, concurrent, definitely_after
+from .kernel import AllOf, AnyOf, Event, Interrupted, Kernel, Process, SimError, Timeout
+from .machine import DEFAULT_CORES, Machine
+from .network import FaultPlan, Network, NetworkStats
+from .regions import (
+    CLOUD_REGION,
+    EDGE_REGIONS,
+    INTRA_DC_RTT,
+    LOOPBACK_RTT,
+    LatencyModel,
+    Region,
+    one_way,
+    rtt,
+)
+from .resources import Resource, Store
+from .rng import RngRegistry
+from .rpc import RemoteError, RpcNode, RpcTimeout
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "CLOUD_REGION",
+    "DEFAULT_CORES",
+    "EDGE_REGIONS",
+    "Event",
+    "FaultPlan",
+    "INTRA_DC_RTT",
+    "Interrupted",
+    "Kernel",
+    "LOOPBACK_RTT",
+    "LatencyModel",
+    "LooseClock",
+    "Machine",
+    "Network",
+    "NetworkStats",
+    "Process",
+    "Region",
+    "RemoteError",
+    "Resource",
+    "RngRegistry",
+    "RpcNode",
+    "RpcTimeout",
+    "SimError",
+    "Store",
+    "Timeout",
+    "concurrent",
+    "definitely_after",
+    "one_way",
+    "rtt",
+]

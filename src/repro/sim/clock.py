@@ -1,0 +1,71 @@
+"""Loosely-synchronised clocks (the NTP model of Section III-E).
+
+The paper assumes "loose-time synchronization such as NTP" giving every
+event a timestamp whose accuracy is bounded by δ: the true time t_g of
+an event stamped t satisfies ``t - δ < t_g < t + δ``.  Two events can be
+ordered iff their stamps differ by at least 2δ.
+
+:class:`LooseClock` implements a per-node clock as simulated time plus a
+bounded offset (constant base plus slow sinusoidal drift, both within
+±δ), seeded per node for reproducibility.  :func:`definitely_after`
+implements the 2δ ordering predicate used by Ingestors, Compactors, and
+the Linearizable+Concurrent consistency checker.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from .kernel import Kernel
+
+
+class LooseClock:
+    """A node-local clock with error bounded by ``delta``.
+
+    Args:
+        kernel: Simulation kernel (source of true time).
+        delta: Synchronisation error bound δ, seconds.
+        rng: Stream used to draw this node's offset and drift phase.
+    """
+
+    def __init__(self, kernel: Kernel, delta: float, rng: random.Random) -> None:
+        if delta < 0:
+            raise ValueError("delta must be non-negative")
+        self.kernel = kernel
+        self.delta = delta
+        # Base offset plus drift never exceed ±0.95δ in magnitude, so the
+        # advertised bound strictly holds.
+        self._base = rng.uniform(-0.75, 0.75) * delta
+        self._amplitude = rng.uniform(0.0, 0.2) * delta
+        self._phase = rng.uniform(0.0, 2.0 * math.pi)
+        self._period = rng.uniform(60.0, 600.0)
+        self._last = -math.inf
+
+    def offset(self) -> float:
+        """Current clock error (true + offset = reading)."""
+        drift = self._amplitude * math.sin(
+            2.0 * math.pi * self.kernel.now / self._period + self._phase
+        )
+        return self._base + drift
+
+    def now(self) -> float:
+        """This node's current timestamp (monotone per node)."""
+        reading = self.kernel.now + self.offset()
+        # NTP-disciplined clocks are made monotone by slewing; model that
+        # by never letting a reading go backwards.
+        if reading <= self._last:
+            reading = math.nextafter(self._last, math.inf)
+        self._last = reading
+        return reading
+
+
+def definitely_after(ts_late: float, ts_early: float, delta: float) -> bool:
+    """True iff loose timestamps prove ``ts_late`` happened after
+    ``ts_early`` — the paper's 2δ rule: ``t_a - t_b >= 2δ  =>  b <_t a``."""
+    return ts_late - ts_early >= 2.0 * delta
+
+
+def concurrent(ts_a: float, ts_b: float, delta: float) -> bool:
+    """True iff the two events cannot be ordered under the 2δ rule."""
+    return abs(ts_a - ts_b) < 2.0 * delta

@@ -1,0 +1,111 @@
+"""AWS regions and the wide-area latency model.
+
+The paper deploys the cloud in **Virginia** and edges in **Ohio,
+California, Oregon, and London**, "chosen based on their distance to the
+cloud datacenter" (Section IV-D).  The round-trip times below are
+calibrated from the paper's own measurements where available — Table III
+puts a California↔Virginia real-time action (two round trips) at
+≈122 ms, i.e. ≈61 ms RTT — and from public inter-region measurements for
+the remaining pairs.  Intra-datacenter RTT is set so that the paper's
+in-cloud write+read sequence (0.5584 ms) is reproduced.
+
+All times in this module are **seconds** (the simulator's unit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Region(str, Enum):
+    """The five AWS locations used in the paper's evaluation."""
+
+    VIRGINIA = "virginia"
+    OHIO = "ohio"
+    CALIFORNIA = "california"
+    OREGON = "oregon"
+    LONDON = "london"
+
+
+#: The paper's cloud datacenter.
+CLOUD_REGION = Region.VIRGINIA
+
+#: The paper's edge locations, nearest first (Section IV-D ordering).
+EDGE_REGIONS = (
+    Region.VIRGINIA,
+    Region.OHIO,
+    Region.CALIFORNIA,
+    Region.OREGON,
+    Region.LONDON,
+)
+
+_MS = 1e-3
+
+#: Inter-region round-trip times, seconds.  Symmetric; see module docstring.
+_RTT: dict[frozenset[Region], float] = {
+    frozenset({Region.VIRGINIA, Region.OHIO}): 11.0 * _MS,
+    frozenset({Region.VIRGINIA, Region.CALIFORNIA}): 61.0 * _MS,
+    frozenset({Region.VIRGINIA, Region.OREGON}): 67.0 * _MS,
+    frozenset({Region.VIRGINIA, Region.LONDON}): 76.0 * _MS,
+    frozenset({Region.OHIO, Region.CALIFORNIA}): 50.0 * _MS,
+    frozenset({Region.OHIO, Region.OREGON}): 55.0 * _MS,
+    frozenset({Region.OHIO, Region.LONDON}): 86.0 * _MS,
+    frozenset({Region.CALIFORNIA, Region.OREGON}): 22.0 * _MS,
+    frozenset({Region.CALIFORNIA, Region.LONDON}): 140.0 * _MS,
+    frozenset({Region.OREGON, Region.LONDON}): 130.0 * _MS,
+}
+
+#: RTT between two machines in the same datacenter.
+INTRA_DC_RTT = 0.25 * _MS
+
+#: RTT between two processes on the same machine (loopback).
+LOOPBACK_RTT = 0.02 * _MS
+
+
+def rtt(a: Region, b: Region) -> float:
+    """Round-trip time between two regions, seconds."""
+    if a == b:
+        return INTRA_DC_RTT
+    return _RTT[frozenset({a, b})]
+
+
+def one_way(a: Region, b: Region) -> float:
+    """One-way propagation delay between two regions, seconds."""
+    return rtt(a, b) / 2.0
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyModel:
+    """Computes message delivery delay between machines.
+
+    delay = propagation(one-way RTT/2) + per-message overhead
+            + size / bandwidth + jitter
+
+    Attributes:
+        per_message_overhead: Fixed software/NIC overhead per message.
+        bandwidth_bytes_per_sec: Link bandwidth for the size term.
+        jitter_fraction: Max uniform jitter as a fraction of the
+            propagation delay (models congestion variance).
+    """
+
+    per_message_overhead: float = 0.02 * _MS
+    bandwidth_bytes_per_sec: float = 125_000_000.0  # ~1 Gbit/s
+    jitter_fraction: float = 0.05
+
+    def delay(
+        self,
+        src_region: Region,
+        dst_region: Region,
+        size_bytes: int,
+        jitter_draw: float,
+        same_machine: bool = False,
+    ) -> float:
+        """Delivery delay for one message; ``jitter_draw`` is U(0,1)."""
+        if same_machine:
+            propagation = LOOPBACK_RTT / 2.0
+        else:
+            propagation = one_way(src_region, dst_region)
+        transfer = size_bytes / self.bandwidth_bytes_per_sec
+        jitter = propagation * self.jitter_fraction * jitter_draw
+        return propagation + self.per_message_overhead + transfer + jitter

@@ -1,0 +1,89 @@
+"""Shared resources for simulation processes: FIFO resources and stores.
+
+:class:`Resource` models a pool of identical servers (e.g. the cores of
+a machine): processes request a unit, hold it for some simulated time,
+and release it; excess requests queue FIFO.  :class:`Store` is an
+unbounded FIFO queue of items used as node inboxes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from .kernel import Event, Kernel, SimError
+
+
+class Resource:
+    """A FIFO pool of ``capacity`` interchangeable units."""
+
+    def __init__(self, kernel: Kernel, capacity: int) -> None:
+        if capacity <= 0:
+            raise SimError("capacity must be positive")
+        self.kernel = kernel
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a unit."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """An event that fires when a unit is granted to the caller."""
+        grant = self.kernel.event()
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            grant.succeed()
+        else:
+            self._waiters.append(grant)
+        return grant
+
+    def release(self) -> None:
+        """Return a unit; the oldest waiter (if any) is granted it."""
+        if self.in_use <= 0:
+            raise SimError("release without matching request")
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self.in_use -= 1
+
+    def use(self, duration: float):
+        """Process helper: acquire a unit, hold for ``duration``, release.
+
+        Usage: ``yield from resource.use(1.5)``.
+        """
+        yield self.request()
+        try:
+            yield self.kernel.timeout(duration)
+        finally:
+            self.release()
+
+
+class Store:
+    """An unbounded FIFO queue connecting producer and consumer processes."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Enqueue an item, waking the oldest waiting getter."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """An event that fires with the next item (immediately if any)."""
+        event = self.kernel.event()
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event

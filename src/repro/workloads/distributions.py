@@ -1,0 +1,106 @@
+"""Key-choice distributions for workload generators.
+
+The paper's experiments draw keys from bounded ranges (100K / 300K).
+We provide the pickers a benchmark harness needs: uniform, sequential
+(round-robin), zipfian (skewed access, standard YCSB-style exponent),
+and hotspot.  All pickers draw from a caller-supplied
+:class:`random.Random` so experiments stay reproducible.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+from repro.lsm.errors import InvalidConfigError
+
+
+class KeyPicker:
+    """Interface: pick an integer key in [0, key_range)."""
+
+    def __init__(self, key_range: int) -> None:
+        if key_range <= 0:
+            raise InvalidConfigError("key_range must be positive")
+        self.key_range = key_range
+
+    def pick(self, rng: random.Random) -> int:
+        raise NotImplementedError
+
+
+class Uniform(KeyPicker):
+    """Every key equally likely."""
+
+    def pick(self, rng: random.Random) -> int:
+        return rng.randrange(self.key_range)
+
+
+class Sequential(KeyPicker):
+    """Round-robin over the key space (the densest write pattern)."""
+
+    def __init__(self, key_range: int, start: int = 0) -> None:
+        super().__init__(key_range)
+        self._next = start % key_range
+
+    def pick(self, rng: random.Random) -> int:
+        key = self._next
+        self._next = (self._next + 1) % self.key_range
+        return key
+
+
+class Zipfian(KeyPicker):
+    """Zipf-distributed keys (rank r with probability ∝ 1/r^theta).
+
+    Uses an exact precomputed CDF (fine for the paper's key ranges) and
+    scatters ranks over the key space with a multiplicative hash so hot
+    keys are not all adjacent.
+    """
+
+    def __init__(self, key_range: int, theta: float = 0.99) -> None:
+        super().__init__(key_range)
+        if not 0.0 < theta < 2.0:
+            raise InvalidConfigError("theta must be in (0, 2)")
+        self.theta = theta
+        weights = [1.0 / (rank**theta) for rank in range(1, key_range + 1)]
+        total = 0.0
+        self._cdf = []
+        for weight in weights:
+            total += weight
+            self._cdf.append(total)
+        self._total = total
+
+    def pick(self, rng: random.Random) -> int:
+        target = rng.random() * self._total
+        rank = bisect.bisect_left(self._cdf, target)
+        # Scatter ranks across the key space deterministically.
+        return (rank * 2654435761) % self.key_range
+
+
+class Hotspot(KeyPicker):
+    """A fraction of accesses hit a small hot set."""
+
+    def __init__(
+        self, key_range: int, hot_fraction: float = 0.2, hot_access: float = 0.8
+    ) -> None:
+        super().__init__(key_range)
+        if not 0.0 < hot_fraction < 1.0 or not 0.0 < hot_access < 1.0:
+            raise InvalidConfigError("fractions must be in (0, 1)")
+        self.hot_keys = max(1, int(key_range * hot_fraction))
+        self.hot_access = hot_access
+
+    def pick(self, rng: random.Random) -> int:
+        if rng.random() < self.hot_access:
+            return rng.randrange(self.hot_keys)
+        return self.hot_keys + rng.randrange(self.key_range - self.hot_keys)
+
+
+def make_picker(name: str, key_range: int, **kwargs) -> KeyPicker:
+    """Factory by name: uniform | sequential | zipfian | hotspot."""
+    pickers = {
+        "uniform": Uniform,
+        "sequential": Sequential,
+        "zipfian": Zipfian,
+        "hotspot": Hotspot,
+    }
+    if name not in pickers:
+        raise InvalidConfigError(f"unknown distribution: {name}")
+    return pickers[name](key_range, **kwargs)

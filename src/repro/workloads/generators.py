@@ -1,0 +1,94 @@
+"""Workload generators: the paper's write-only and mixed workloads.
+
+Section IV: "For write experiments, a batch size of 10K is used and for
+read experiments, a batch size of 1K" — a client issues operations
+back-to-back in batches of that size; per-operation latency and overall
+throughput are measured at the client.
+
+A generator returns a *driver*: a simulation coroutine to spawn with
+``cluster.kernel.spawn`` (or run with ``cluster.run_process``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.lsm.errors import InvalidConfigError
+
+from .distributions import KeyPicker, Uniform
+
+#: The paper's batch sizes (Section IV).
+WRITE_BATCH = 10_000
+READ_BATCH = 1_000
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadSpec:
+    """A client workload.
+
+    Attributes:
+        ops: Total operations to issue.
+        read_fraction: 0.0 = all writes; the paper's mixed experiments
+            use 0.25 / 0.5 / 0.75.
+        value_size: Payload bytes per write.
+        seed: RNG seed for key choice and op mix.
+    """
+
+    ops: int = WRITE_BATCH
+    read_fraction: float = 0.0
+    value_size: int = 64
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.ops <= 0:
+            raise InvalidConfigError("ops must be positive")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise InvalidConfigError("read_fraction must be in [0, 1]")
+
+
+def run_workload(client, spec: WorkloadSpec, picker: KeyPicker | None = None):
+    """Driver coroutine: issue ``spec.ops`` operations back-to-back.
+
+    Returns ``(writes_issued, reads_issued)``.
+    """
+    rng = random.Random(spec.seed)
+    picker = picker or Uniform(client.config.key_range)
+    payload = b"x" * spec.value_size
+    writes = reads = 0
+    for index in range(spec.ops):
+        key = picker.pick(rng)
+        if spec.read_fraction and rng.random() < spec.read_fraction:
+            yield from client.read(key)
+            reads += 1
+        else:
+            yield from client.upsert(key, payload + (b"%d" % index))
+            writes += 1
+    return writes, reads
+
+
+def write_only(client, ops: int = WRITE_BATCH, seed: int = 0, picker: KeyPicker | None = None):
+    """The paper's all-write workload (Figures 3, 4, 5, 8)."""
+    return run_workload(client, WorkloadSpec(ops=ops, seed=seed), picker)
+
+
+def mixed(
+    client,
+    read_fraction: float,
+    ops: int = READ_BATCH,
+    seed: int = 0,
+    picker: KeyPicker | None = None,
+):
+    """The paper's mixed read/write workload (Figures 6, 7)."""
+    return run_workload(
+        client, WorkloadSpec(ops=ops, read_fraction=read_fraction, seed=seed), picker
+    )
+
+
+def preload(client, count: int, key_range: int | None = None, seed: int = 0):
+    """Driver: populate ``count`` sequential keys before an experiment,
+    so reads have data to find."""
+    key_range = key_range or client.config.key_range
+    for index in range(count):
+        yield from client.upsert(index % key_range, b"preload-%d" % index)
+    return count

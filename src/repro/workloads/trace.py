@@ -1,0 +1,136 @@
+"""Workload traces: record once, replay identically anywhere.
+
+Comparing two deployments is only meaningful if they see the *same*
+operation sequence.  A :class:`Trace` is that sequence — recorded from
+any generator-based workload, or synthesised directly — and
+:func:`replay` drives it against any client.  Traces also serialise to
+a simple text format so a workload can be shipped alongside results.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.lsm.errors import InvalidConfigError
+
+from .distributions import KeyPicker, Uniform
+
+
+@dataclass(frozen=True, slots=True)
+class TraceOp:
+    """One recorded operation."""
+
+    kind: str  # "write" | "read" | "delete"
+    key: int
+    value: bytes = b""
+
+
+class Trace:
+    """An immutable-by-convention sequence of operations."""
+
+    def __init__(self, ops: list[TraceOp] | None = None) -> None:
+        self.ops: list[TraceOp] = ops or []
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self) -> Iterator[TraceOp]:
+        return iter(self.ops)
+
+    def append(self, kind: str, key: int, value: bytes = b"") -> None:
+        if kind not in ("write", "read", "delete"):
+            raise InvalidConfigError(f"unknown trace op kind: {kind}")
+        self.ops.append(TraceOp(kind, key, value))
+
+    # ------------------------------------------------------------------
+    # Synthesis
+    # ------------------------------------------------------------------
+    @classmethod
+    def synthesize(
+        cls,
+        ops: int,
+        read_fraction: float = 0.0,
+        delete_fraction: float = 0.0,
+        key_range: int = 10_000,
+        picker: KeyPicker | None = None,
+        seed: int = 0,
+        value_size: int = 32,
+    ) -> "Trace":
+        """Generate a reproducible trace with the given mix."""
+        if not 0.0 <= read_fraction + delete_fraction <= 1.0:
+            raise InvalidConfigError("fractions must sum to at most 1")
+        rng = random.Random(seed)
+        picker = picker or Uniform(key_range)
+        trace = cls()
+        payload = b"t" * value_size
+        for index in range(ops):
+            key = picker.pick(rng)
+            draw = rng.random()
+            if draw < read_fraction:
+                trace.append("read", key)
+            elif draw < read_fraction + delete_fraction:
+                trace.append("delete", key)
+            else:
+                trace.append("write", key, payload + b"-%d" % index)
+        return trace
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def dumps(self) -> str:
+        """One op per line: ``kind key [hex-value]``."""
+        lines = []
+        for op in self.ops:
+            if op.kind == "write":
+                lines.append(f"write {op.key} {op.value.hex()}")
+            else:
+                lines.append(f"{op.kind} {op.key}")
+        return "\n".join(lines)
+
+    @classmethod
+    def loads(cls, text: str) -> "Trace":
+        trace = cls()
+        for line_number, line in enumerate(text.splitlines(), 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if parts[0] == "write":
+                if len(parts) != 3:
+                    raise InvalidConfigError(f"bad trace line {line_number}: {line!r}")
+                trace.append("write", int(parts[1]), bytes.fromhex(parts[2]))
+            elif parts[0] in ("read", "delete") and len(parts) == 2:
+                trace.append(parts[0], int(parts[1]))
+            else:
+                raise InvalidConfigError(f"bad trace line {line_number}: {line!r}")
+        return trace
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(self.dumps())
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        with open(path, "r", encoding="utf-8") as f:
+            return cls.loads(f.read())
+
+
+def replay(client, trace: Trace):
+    """Driver coroutine: run a trace against a client.
+
+    Returns a dict model of the final expected state (key -> value for
+    live keys), usable as an oracle for verification.
+    """
+    model: dict[int, bytes] = {}
+    for op in trace:
+        if op.kind == "write":
+            yield from client.upsert(op.key, op.value)
+            model[op.key] = op.value
+        elif op.kind == "delete":
+            yield from client.delete(op.key)
+            model.pop(op.key, None)
+        else:
+            yield from client.read(op.key)
+    return model

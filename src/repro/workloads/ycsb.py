@@ -1,0 +1,202 @@
+"""YCSB-style core workloads (A-F), adapted to the CooLSM client.
+
+The standard cloud-serving benchmark mixes, for apples-to-apples
+comparison with other KV systems' evaluations:
+
+| workload | mix | distribution |
+|---|---|---|
+| A | 50% reads / 50% updates | zipfian |
+| B | 95% reads /  5% updates | zipfian |
+| C | 100% reads              | zipfian |
+| D | 95% reads / 5% inserts, read-latest | latest |
+| E | 95% scans / 5% inserts  | zipfian |
+| F | 50% reads / 50% read-modify-write | zipfian |
+
+Each runner is a driver coroutine compatible with the harness; scans in
+workload E use the global scan path (Ingestor + Compactors) and
+read-latest in D biases reads toward recently inserted keys.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.lsm.errors import InvalidConfigError
+
+from .distributions import Zipfian
+
+
+@dataclass(slots=True)
+class YCSBResult:
+    """Operation counts and latencies of one YCSB run."""
+
+    reads: int = 0
+    updates: int = 0
+    inserts: int = 0
+    scans: int = 0
+    rmws: int = 0
+    latencies: dict[str, list[float]] = field(default_factory=dict)
+
+    def record(self, kind: str, latency: float) -> None:
+        self.latencies.setdefault(kind, []).append(latency)
+
+    def mean(self, kind: str) -> float:
+        samples = self.latencies.get(kind, [])
+        return sum(samples) / len(samples) if samples else 0.0
+
+    @property
+    def total_ops(self) -> int:
+        return self.reads + self.updates + self.inserts + self.scans + self.rmws
+
+
+def _timed(result: YCSBResult, kind: str, kernel):
+    """Context-free latency recorder: returns (start_time, finish_fn)."""
+    started = kernel.now
+
+    def finish():
+        result.record(kind, kernel.now - started)
+
+    return finish
+
+
+def workload_a(client, ops: int = 1_000, key_range: int | None = None, seed: int = 0):
+    """50/50 read/update, zipfian."""
+    return _mix(client, ops, read_fraction=0.5, key_range=key_range, seed=seed)
+
+
+def workload_b(client, ops: int = 1_000, key_range: int | None = None, seed: int = 0):
+    """95/5 read/update, zipfian."""
+    return _mix(client, ops, read_fraction=0.95, key_range=key_range, seed=seed)
+
+
+def workload_c(client, ops: int = 1_000, key_range: int | None = None, seed: int = 0):
+    """Read-only, zipfian."""
+    return _mix(client, ops, read_fraction=1.0, key_range=key_range, seed=seed)
+
+
+def _mix(client, ops, read_fraction, key_range, seed):
+    key_range = key_range or client.config.key_range
+    rng = random.Random(seed)
+    picker = Zipfian(key_range)
+    result = YCSBResult()
+
+    def driver():
+        for index in range(ops):
+            key = picker.pick(rng)
+            if rng.random() < read_fraction:
+                finish = _timed(result, "read", client.kernel)
+                yield from client.read(key)
+                finish()
+                result.reads += 1
+            else:
+                finish = _timed(result, "update", client.kernel)
+                yield from client.upsert(key, b"y-%d" % index)
+                finish()
+                result.updates += 1
+        return result
+
+    return driver()
+
+
+def workload_d(client, ops: int = 1_000, key_range: int | None = None, seed: int = 0):
+    """95% read-latest / 5% insert: reads strongly favour the most
+    recently inserted keys."""
+    key_range = key_range or client.config.key_range
+    rng = random.Random(seed)
+    result = YCSBResult()
+
+    def driver():
+        next_key = 0
+        for index in range(ops):
+            if next_key == 0 or rng.random() < 0.05:
+                key = next_key % key_range
+                next_key += 1
+                finish = _timed(result, "insert", client.kernel)
+                yield from client.upsert(key, b"d-%d" % index)
+                finish()
+                result.inserts += 1
+            else:
+                # Read-latest: exponential bias toward the newest keys.
+                offset = min(int(rng.expovariate(0.2)), next_key - 1)
+                key = (next_key - 1 - offset) % key_range
+                finish = _timed(result, "read", client.kernel)
+                yield from client.read(key)
+                finish()
+                result.reads += 1
+        return result
+
+    return driver()
+
+
+def workload_e(
+    client,
+    ops: int = 200,
+    key_range: int | None = None,
+    seed: int = 0,
+    max_scan_length: int = 100,
+):
+    """95% short scans / 5% inserts."""
+    if max_scan_length <= 0:
+        raise InvalidConfigError("max_scan_length must be positive")
+    key_range = key_range or client.config.key_range
+    rng = random.Random(seed)
+    picker = Zipfian(key_range)
+    result = YCSBResult()
+
+    def driver():
+        for index in range(ops):
+            if rng.random() < 0.05:
+                finish = _timed(result, "insert", client.kernel)
+                yield from client.upsert(picker.pick(rng), b"e-%d" % index)
+                finish()
+                result.inserts += 1
+            else:
+                start = picker.pick(rng)
+                length = 1 + rng.randrange(max_scan_length)
+                finish = _timed(result, "scan", client.kernel)
+                yield from client.scan(start, min(start + length, key_range))
+                finish()
+                result.scans += 1
+        return result
+
+    return driver()
+
+
+def workload_f(client, ops: int = 1_000, key_range: int | None = None, seed: int = 0):
+    """50% reads / 50% read-modify-write."""
+    key_range = key_range or client.config.key_range
+    rng = random.Random(seed)
+    picker = Zipfian(key_range)
+    result = YCSBResult()
+
+    def driver():
+        for index in range(ops):
+            key = picker.pick(rng)
+            if rng.random() < 0.5:
+                finish = _timed(result, "read", client.kernel)
+                yield from client.read(key)
+                finish()
+                result.reads += 1
+            else:
+                finish = _timed(result, "rmw", client.kernel)
+                current = yield from client.read(key)
+                suffix = b"|f%d" % index
+                value = (current or b"") [:32] + suffix
+                yield from client.upsert(key, value)
+                finish()
+                result.rmws += 1
+        return result
+
+    return driver()
+
+
+#: Name -> runner, for harnesses and the CLI.
+WORKLOADS = {
+    "A": workload_a,
+    "B": workload_b,
+    "C": workload_c,
+    "D": workload_d,
+    "E": workload_e,
+    "F": workload_f,
+}

@@ -1,0 +1,61 @@
+"""Tests for the simulated baseline engine nodes."""
+
+import pytest
+
+from repro.baselines.nodes import build_baseline_node
+from repro.core.client import Client
+from repro.core.keyspace import Partitioning
+
+from tests.core.conftest import TINY
+
+
+def build(kind):
+    kernel, network, machine, node = build_baseline_node(kind, TINY)
+    partitioning = Partitioning.uniform(TINY.key_range, [node.name])
+    client = Client(
+        kernel, network, machine, "client-0", TINY, partitioning, [node.name]
+    )
+    return kernel, node, client
+
+
+@pytest.mark.parametrize("kind", ["leveldb", "rocksdb"])
+class TestEngines:
+    def test_write_read_roundtrip(self, kind):
+        kernel, node, client = build(kind)
+
+        def driver():
+            oracle = {}
+            for i in range(1_500):
+                key = i % 300
+                value = b"%s-%d" % (kind.encode(), i)
+                yield from client.upsert(key, value)
+                oracle[key] = value
+            misses = 0
+            for key, value in oracle.items():
+                got = yield from client.read(key)
+                misses += got != value
+            return misses
+
+        assert kernel.run_process(driver()) == 0
+
+    def test_write_latency_includes_sync(self, kind):
+        kernel, node, client = build(kind)
+
+        def driver():
+            yield from client.upsert(1, b"v")
+
+        kernel.run_process(driver())
+        # One write: loopback RTT + upsert CPU + WAL fsync (~50us).
+        assert client.stats.all("write")[0] >= 50e-6
+
+    def test_compaction_work_charged(self, kind):
+        kernel, node, client = build(kind)
+
+        def driver():
+            for i in range(3_000):
+                yield from client.upsert(i % 400, b"x%d" % i)
+
+        kernel.run_process(driver())
+        latencies = client.stats.all("write")
+        # Writes that trigger compaction are far slower than the median.
+        assert max(latencies) > 10 * sorted(latencies)[len(latencies) // 2]

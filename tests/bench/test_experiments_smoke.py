@@ -1,0 +1,102 @@
+"""Smoke tests: every experiment module runs end to end (tiny sizes)
+and returns structurally valid results.  The full-size shape assertions
+live in benchmarks/."""
+
+import pytest
+
+from repro.bench.experiments import (
+    ablations,
+    fig3_write_scaling,
+    fig4_compaction,
+    fig5_client_scaling,
+    fig6_read_latency,
+    fig7_backup_reads,
+    fig8_edge_cloud,
+    fig9_smart_traffic,
+    table1_consistency,
+    table2_latency,
+    table3_realtime,
+)
+
+
+def test_fig3_structure():
+    rows = fig3_write_scaling.run(ops=1_500)
+    systems = {r.system for r in rows}
+    assert "monolithic" in systems
+    assert "leveldb" in systems and "rocksdb" in systems
+    assert {f"coolsm-{c}c" for c in fig3_write_scaling.COMPACTOR_COUNTS} <= systems
+    assert all(r.mean_write > 0 and r.throughput > 0 for r in rows)
+    # Both key ranges covered.
+    assert {r.key_range for r in rows} == set(fig3_write_scaling.KEY_RANGES)
+
+
+def test_table2_structure():
+    result = table2_latency.run(ops=3_000)
+    assert result.summary.count == 3_000
+    assert result.slow_ops >= 0
+
+
+def test_fig4_structure():
+    points = fig4_compaction.run(ops=3_000)
+    assert len(points) == len(fig4_compaction.KEY_RANGES) * len(
+        fig4_compaction.COMPACTOR_COUNTS
+    )
+    assert all(p.l2_mean >= 0 for p in points)
+
+
+def test_fig6_structure():
+    points = fig6_read_latency.run(ops=300)
+    assert len(points) == 12
+    assert all(p.mean_read > 0 for p in points)
+
+
+def test_fig8_structure():
+    points = fig8_edge_cloud.run(ops=1_500)
+    assert len(points) == 10
+    edges = {p.edge for p in points}
+    assert len(edges) == 5
+
+
+def test_table3_structure():
+    rows = table3_realtime.run(rounds=10)
+    assert len(rows) == 3
+    assert rows[2].mean_latency > rows[1].mean_latency  # WAN case slowest
+
+
+def test_fig9_structure():
+    result = fig9_smart_traffic.run(rounds=5)
+    assert set(result.exploration_latency) == set(fig9_smart_traffic.EXPLORATION_COUNTS)
+    assert set(result.analytics_latency) == set(fig9_smart_traffic.QUERY_SIZES)
+
+
+def test_table1_structure():
+    results = table1_consistency.run(ops=60)
+    assert len(results) == 4
+    assert all(cell.ok for cell in results)
+
+
+def test_fig5_structure():
+    points = fig5_client_scaling.run(ops_per_client=500)
+    assert len(points) == 12
+    modes = {p.mode for p in points}
+    assert modes == set(fig5_client_scaling.MODES)
+
+
+def test_fig7_structure():
+    points = fig7_backup_reads.run(reads=100)
+    assert len(points) == 4
+    assert all(p.with_backup > 0 and p.without_backup > 0 for p in points)
+
+
+def test_ablation_inflight_smoke():
+    result = ablations.inflight_cap_sweep(caps=(2, 48), ops=1_500)
+    assert len(result.ys) == 2
+    assert all(y >= 0 for y in result.ys)
+
+
+def test_reports_print_without_error(capsys):
+    rows = table3_realtime.run(rounds=5)
+    table3_realtime.report(rows)
+    out = capsys.readouterr().out
+    assert "Table III" in out
+    assert "paper:" in out

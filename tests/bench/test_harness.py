@@ -1,0 +1,78 @@
+"""Tests for the experiment harness."""
+
+from repro.bench.harness import SCALE, compaction_summary, drive, scaled_config
+from repro.core import ClusterSpec, build_cluster
+from repro.workloads import mixed, write_only
+
+
+class TestScaledConfig:
+    def test_default_scale_shrinks(self):
+        config = scaled_config(100_000)
+        assert config.key_range == 100_000 // SCALE
+        assert config.l2_threshold == 100 // SCALE
+
+    def test_scale_one_is_paper_size(self):
+        config = scaled_config(300_000, scale=1)
+        assert config.key_range == 300_000
+        assert config.l2_threshold == 300
+
+    def test_overrides(self):
+        config = scaled_config(100_000, max_inflight_tables=7)
+        assert config.max_inflight_tables == 7
+
+
+class TestDrive:
+    def build(self):
+        cluster = build_cluster(
+            ClusterSpec(config=scaled_config(100_000), num_compactors=2)
+        )
+        client = cluster.add_client(colocate_with="ingestor-0", record_history=False)
+        return cluster, client
+
+    def test_collects_latencies(self):
+        cluster, client = self.build()
+        result = drive(cluster, [write_only(client, ops=500)], label="t")
+        assert result.label == "t"
+        assert result.writes.count == 500
+        assert result.reads.count == 0
+        assert result.duration > 0
+        assert result.write_throughput > 0
+
+    def test_multiple_drivers_aggregated(self):
+        cluster = build_cluster(
+            ClusterSpec(config=scaled_config(100_000), num_ingestors=2, num_compactors=2)
+        )
+        clients = [
+            cluster.add_client(
+                colocate_with=f"ingestor-{i}",
+                ingestors=[f"ingestor-{i}"],
+                record_history=False,
+            )
+            for i in range(2)
+        ]
+        result = drive(
+            cluster, [write_only(c, ops=300, seed=i) for i, c in enumerate(clients)]
+        )
+        assert result.writes.count == 600
+
+    def test_mixed_workload_split(self):
+        cluster, client = self.build()
+        result = drive(cluster, [mixed(client, 0.5, ops=400)])
+        assert result.writes.count + result.reads.count == 400
+        assert result.reads.count > 100
+
+    def test_compaction_summary(self):
+        cluster, client = self.build()
+        drive(cluster, [write_only(client, ops=6_000)])
+        summary = compaction_summary(cluster)
+        assert 2 in summary
+        assert summary[2].count > 0
+        assert summary[2].mean > 0
+
+    def test_throughput_excludes_lingering_timers(self):
+        """Pending RPC timeout timers must not inflate the duration."""
+        cluster, client = self.build()
+        result = drive(cluster, [write_only(client, ops=2_000)])
+        # 2000 writes at ~0.1ms each: well under a second of sim time;
+        # the 30s ack timers must not be counted.
+        assert result.duration < 5.0

@@ -1,0 +1,69 @@
+"""Tests for the benchmark metrics module."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bench.metrics import LatencySummary, count_above, percentile, throughput
+
+
+class TestLatencySummary:
+    def test_empty(self):
+        s = LatencySummary.from_samples([])
+        assert s.count == 0
+        assert s.mean == 0.0
+
+    def test_single_sample(self):
+        s = LatencySummary.from_samples([0.5])
+        assert s.count == 1
+        assert s.mean == s.minimum == s.maximum == s.p50 == s.p9999 == 0.5
+
+    def test_known_values(self):
+        samples = [float(i) for i in range(1, 101)]
+        s = LatencySummary.from_samples(samples)
+        assert s.count == 100
+        assert s.mean == pytest.approx(50.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 100.0
+        assert s.p50 == 51.0
+        assert s.p99 == 100.0
+
+    def test_percentiles_monotone(self):
+        samples = [0.1 * i for i in range(1000, 0, -1)]
+        s = LatencySummary.from_samples(samples)
+        assert s.p50 <= s.p99 <= s.p999 <= s.p9999 <= s.maximum
+
+    def test_ms_conversion(self):
+        s = LatencySummary.from_samples([0.5])
+        assert s.ms("mean") == 500.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e3), min_size=1, max_size=500))
+    def test_invariants(self, samples):
+        s = LatencySummary.from_samples(samples)
+        ulp = 1e-9  # float-summation rounding tolerance
+        assert s.minimum * (1 - ulp) <= s.mean <= s.maximum * (1 + ulp)
+        assert s.minimum <= s.p50 <= s.p99 <= s.maximum
+        assert s.count == len(samples)
+
+
+class TestPercentile:
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    def test_empty_returns_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_q0_is_min_q1_is_max(self):
+        ordered = [1.0, 2.0, 3.0]
+        assert percentile(ordered, 0.0) == 1.0
+        assert percentile(ordered, 1.0) == 3.0
+
+
+class TestHelpers:
+    def test_count_above(self):
+        assert count_above([0.01, 0.06, 0.2], 0.05) == 2
+
+    def test_throughput(self):
+        assert throughput(100, 2.0) == 50.0
+        assert throughput(100, 0.0) == 0.0

@@ -1,0 +1,48 @@
+"""Tests for the report printers."""
+
+from repro.bench.reporting import (
+    ms,
+    paper_vs_measured,
+    print_header,
+    print_series,
+    print_table,
+)
+
+
+def test_print_header(capsys):
+    print_header("Title", "note")
+    out = capsys.readouterr().out
+    assert "Title" in out and "note" in out
+
+
+def test_print_series_aligned(capsys):
+    print_series("s", [1, 2], [0.5, 1.25], "x", "y")
+    out = capsys.readouterr().out
+    assert "0.5000" in out and "1.2500" in out
+
+
+def test_print_series_custom_format(capsys):
+    print_series("s", ["a"], [1234.5], fmt="{:.0f}")
+    assert "1234" in capsys.readouterr().out
+
+
+def test_print_table(capsys):
+    print_table(("A", "B"), [("x", 1), ("yy", 22)], title="T")
+    out = capsys.readouterr().out
+    assert "T" in out and "yy" in out and "22" in out
+
+
+def test_print_table_empty_rows(capsys):
+    print_table(("A",), [])
+    assert "A" in capsys.readouterr().out
+
+
+def test_paper_vs_measured_status(capsys):
+    paper_vs_measured("claim", "measured", True)
+    paper_vs_measured("claim2", "measured2", False)
+    out = capsys.readouterr().out
+    assert "[OK ]" in out and "[DIFF]" in out
+
+
+def test_ms():
+    assert ms(0.0015) == "1.5000ms"

@@ -1,0 +1,23 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lsm.entry import Entry, encode_key
+
+
+def entry(key, seqno=1, ts=None, value=None, tombstone=False) -> Entry:
+    """Terse Entry factory: ts defaults to seqno, value derived from key."""
+    if ts is None:
+        ts = float(seqno)
+    if value is None:
+        value = b"" if tombstone else b"v-%d-%d" % (seqno, hash(str(key)) % 1000)
+    elif isinstance(value, str):
+        value = value.encode()
+    return Entry(encode_key(key), seqno, ts, value, tombstone=tombstone)
+
+
+@pytest.fixture
+def make_entry():
+    return entry

@@ -1,0 +1,44 @@
+"""Shared fixtures for core (CooLSM) tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ClusterSpec, CooLSMConfig, build_cluster
+
+#: A small, fast configuration preserving the paper's 10x level ratios.
+TINY = CooLSMConfig(
+    key_range=2_000,
+    memtable_entries=40,
+    sstable_entries=20,
+    l0_threshold=3,
+    l1_threshold=3,
+    l2_threshold=10,
+    l3_threshold=100,
+    max_inflight_tables=12,
+    delta=0.005,
+)
+
+
+def tiny_cluster(**overrides) -> "Cluster":
+    """Build a small single-ingestor cluster (overridable)."""
+    params = dict(config=TINY, num_ingestors=1, num_compactors=2, num_readers=0)
+    params.update(overrides)
+    return build_cluster(ClusterSpec(**params))
+
+
+@pytest.fixture
+def cluster():
+    return tiny_cluster()
+
+
+def fill(cluster, client, count, key_range=None, prefix=b"v"):
+    """Driver generator writing ``count`` sequential-mod keys."""
+    key_range = key_range or cluster.config.key_range
+    oracle = {}
+    for i in range(count):
+        key = i % key_range
+        value = b"%s-%d" % (prefix, i)
+        yield from client.upsert(key, value)
+        oracle[key] = value
+    return oracle

@@ -1,0 +1,181 @@
+"""Tests for the Compactor: major compaction, acks, reader propagation."""
+
+from repro.core.messages import ForwardRequest, RangeQuery, ReadRequest
+from repro.lsm.entry import encode_key
+from repro.lsm.sstable import SSTable
+
+from tests.conftest import entry
+from tests.core.conftest import TINY, fill, tiny_cluster
+
+
+def forward_tables(cluster, tables, batch_id=1):
+    """Send a ForwardRequest directly from the ingestor node."""
+    high_ts = max(e.timestamp for t in tables for e in t.entries)
+    request = ForwardRequest(tuple(tables), high_ts, batch_id)
+
+    def driver():
+        reply = yield cluster.ingestors[0].call("compactor-0", "forward", request)
+        return reply
+
+    return cluster.run_process(driver())
+
+
+class TestMajorCompaction:
+    def test_forward_merges_into_l2(self, cluster):
+        table = SSTable.from_entries([entry(k, k + 1, ts=float(k)) for k in range(20)])
+        reply = forward_tables(cluster, [table])
+        assert reply.merged_entries == 20
+        compactor = cluster.compactors[0]
+        assert sum(len(t) for t in compactor.level2) == 20
+
+    def test_incoming_wins_over_l2(self, cluster):
+        old = SSTable.from_entries([entry("k", 1, ts=1.0, value="old")])
+        new = SSTable.from_entries([entry("k", 2, ts=2.0, value="new")])
+        forward_tables(cluster, [old], batch_id=1)
+        forward_tables(cluster, [new], batch_id=2)
+
+        def read():
+            reply = yield cluster.ingestors[0].call(
+                "compactor-0", "read", ReadRequest(encode_key("k"))
+            )
+            return reply.entry.value
+
+        assert cluster.run_process(read()) == b"new"
+
+    def test_l2_overflow_cascades_to_l3(self, cluster):
+        client = cluster.add_client(colocate_with="ingestor-0")
+        cluster.run_process(fill(cluster, client, 6_000))
+        cluster.run()  # quiesce: apply in-flight merges
+        for compactor in cluster.compactors:
+            assert len(compactor.level2) <= TINY.l2_threshold
+            if compactor.level3:
+                timings = [c.level for c in compactor.stats.compactions]
+                assert 3 in timings
+
+    def test_compaction_timings_recorded(self, cluster):
+        table = SSTable.from_entries([entry(k, k + 1, ts=float(k)) for k in range(50)])
+        forward_tables(cluster, [table])
+        compactor = cluster.compactors[0]
+        assert len(compactor.stats.compactions) >= 1
+        timing = compactor.stats.compactions[0]
+        assert timing.level == 2
+        assert timing.duration > 0
+        assert timing.entries_merged == 50
+
+    def test_ack_after_merge_not_before(self, cluster):
+        """The ForwardReply arrives only after merge compute time."""
+        table = SSTable.from_entries(
+            [entry(k, k + 1, ts=float(k)) for k in range(1000)]
+        )
+        start = cluster.kernel.now
+        forward_tables(cluster, [table])
+        elapsed = cluster.kernel.now - start
+        assert elapsed >= TINY.costs.merge_cost(1000)
+
+
+class TestReadPath:
+    def test_read_searches_l2_then_l3(self, cluster):
+        client = cluster.add_client(colocate_with="ingestor-0")
+        oracle = cluster.run_process(fill(cluster, client, 6_000))
+
+        def reads():
+            hits = 0
+            for key in list(oracle)[:100]:
+                value = yield from client.read(key)
+                hits += value == oracle[key]
+            return hits
+
+        assert cluster.run_process(reads()) == 100
+
+    def test_read_miss_returns_none_entry(self, cluster):
+        def driver():
+            reply = yield cluster.ingestors[0].call(
+                "compactor-0", "read", ReadRequest(encode_key(1))
+            )
+            return reply
+
+        reply = cluster.run_process(driver())
+        assert reply.entry is None
+        assert not reply.found
+
+    def test_range_query_on_compactor(self, cluster):
+        table = SSTable.from_entries([entry(k, k + 1, ts=float(k)) for k in range(30)])
+        forward_tables(cluster, [table])
+
+        def driver():
+            reply = yield cluster.ingestors[0].call(
+                "compactor-0", "range_query", RangeQuery(encode_key(5), encode_key(15))
+            )
+            return reply.pairs
+
+        pairs = cluster.run_process(driver())
+        assert len(pairs) == 10
+
+
+class TestBackupPropagation:
+    def test_push_after_each_compaction(self):
+        cluster = tiny_cluster(num_readers=2)
+        table = SSTable.from_entries([entry(k, k + 1, ts=float(k)) for k in range(20)])
+        forward_tables(cluster, [table])
+        cluster.run()
+        for reader in cluster.readers:
+            assert reader.stats.updates_received >= 1
+            assert reader.manifest.total_entries() == 20
+
+    def test_reader_mirrors_compactor_content(self):
+        cluster = tiny_cluster(num_readers=1, num_compactors=2)
+        client = cluster.add_client(colocate_with="ingestor-0")
+        cluster.run_process(fill(cluster, client, 4_000))
+        cluster.run()
+        reader = cluster.readers[0]
+        compactor_entries = {
+            (e.key, e.version)
+            for c in cluster.compactors
+            for level in (c.level2, c.level3)
+            for t in level
+            for e in t.entries
+        }
+        reader_entries = {
+            (e.key, e.version)
+            for level in (reader.level2, reader.level3)
+            for t in level
+            for e in t.entries
+        }
+        assert reader_entries == compactor_entries
+
+
+class TestGarbageCollection:
+    def test_single_ingestor_drops_tombstones_at_bottom(self, cluster):
+        client = cluster.add_client(colocate_with="ingestor-0")
+
+        def driver():
+            yield from client.upsert(1, b"x")
+            yield from client.delete(1)
+            for i in range(8_000):
+                yield from client.upsert(2 + (i % (TINY.key_range - 2)), b"fill")
+
+        cluster.run_process(driver())
+        # The tombstone for key 1 must not have produced a live value.
+        key = encode_key(1)
+        for compactor in cluster.compactors:
+            for level in (compactor.level2, compactor.level3):
+                for table in level:
+                    found = table.get(key)
+                    assert found is None or found.tombstone
+
+    def test_multi_ingestor_retains_versions_within_horizon(self):
+        config = TINY
+        cluster = tiny_cluster(num_ingestors=2)
+        table_v1 = SSTable.from_entries([entry("k", 1, ts=1_000.0, value="v1")])
+        table_v2 = SSTable.from_entries([entry("k", 2, ts=1_000.001, value="v2")])
+        # Make "now" close to the writes so the horizon retains both.
+        cluster.kernel.now = 1_000.01
+        forward_tables(cluster, [table_v1], batch_id=1)
+        forward_tables(cluster, [table_v2], batch_id=2)
+        compactor = cluster.compactors[0]
+        versions = [
+            v
+            for t in compactor.level2
+            for v in t.versions(encode_key("k"))
+        ]
+        assert len(versions) == 2  # old version retained for in-flight reads

@@ -1,0 +1,74 @@
+"""Unit tests for CooLSM configuration."""
+
+import pytest
+
+from repro.core.config import CooLSMConfig
+from repro.lsm.errors import InvalidConfigError
+
+
+class TestPresets:
+    def test_paper_100k_matches_section_iv(self):
+        config = CooLSMConfig.paper_100k()
+        assert config.l0_threshold == 10
+        assert config.l1_threshold == 10
+        assert config.l2_threshold == 100
+        assert config.l3_threshold == 1_000
+        assert config.key_range == 100_000
+
+    def test_paper_300k_matches_section_iv(self):
+        config = CooLSMConfig.paper_300k()
+        assert config.l2_threshold == 300
+        assert config.l3_threshold == 3_000
+        assert config.key_range == 300_000
+
+    def test_for_key_range_dispatch(self):
+        assert CooLSMConfig.for_key_range(100_000).l2_threshold == 100
+        assert CooLSMConfig.for_key_range(300_000).l2_threshold == 300
+
+    def test_overrides_accepted(self):
+        config = CooLSMConfig.paper_100k(delta=0.1, memtable_entries=50)
+        assert config.delta == 0.1
+        assert config.memtable_entries == 50
+
+
+class TestValidation:
+    def test_rejects_bad_key_range(self):
+        with pytest.raises(InvalidConfigError):
+            CooLSMConfig(key_range=0)
+
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(InvalidConfigError):
+            CooLSMConfig(l0_threshold=0)
+        with pytest.raises(InvalidConfigError):
+            CooLSMConfig(l3_threshold=-1)
+
+    def test_rejects_gc_slack_below_two_delta(self):
+        with pytest.raises(InvalidConfigError):
+            CooLSMConfig(delta=1.0, gc_slack=1.5)
+
+    def test_rejects_negative_delta(self):
+        with pytest.raises(InvalidConfigError):
+            CooLSMConfig(delta=-0.1)
+
+    def test_rejects_zero_inflight_limit(self):
+        with pytest.raises(InvalidConfigError):
+            CooLSMConfig(max_inflight_tables=0)
+
+
+class TestScaledDown:
+    def test_preserves_ratios(self):
+        config = CooLSMConfig.paper_100k().scaled_down(10)
+        assert config.key_range == 10_000
+        assert config.l2_threshold == 10
+        assert config.l3_threshold == 100
+        # Level thresholds for L0/L1 unchanged (structure preserved).
+        assert config.l0_threshold == 10
+
+    def test_never_degenerates(self):
+        config = CooLSMConfig.paper_100k().scaled_down(10_000)
+        assert config.memtable_entries >= 10
+        assert config.l2_threshold >= 2
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(InvalidConfigError):
+            CooLSMConfig().scaled_down(0)

@@ -1,0 +1,199 @@
+"""Unit tests for the consistency checkers, on hand-built histories."""
+
+from repro.core.consistency import (
+    check_linearizable,
+    check_linearizable_concurrent,
+    check_snapshot_linearizable,
+)
+from repro.core.history import History
+
+
+def h(*ops):
+    """Build a history from (kind, key, value, invoked, returned, ts) tuples."""
+    history = History()
+    for op in ops:
+        kind, key, value, invoked, returned, ts = op[:6]
+        server = op[6] if len(op) > 6 else ""
+        history.record(kind, key, value, invoked, returned, ts, server=server)
+    return history
+
+
+class TestLinearizable:
+    def test_empty_history_ok(self):
+        assert check_linearizable(History()).ok
+
+    def test_sequential_write_read_ok(self):
+        history = h(
+            ("write", b"x", b"1", 0.0, 1.0, 0.0),
+            ("read", b"x", b"1", 2.0, 3.0, 0.0),
+        )
+        assert check_linearizable(history).ok
+
+    def test_stale_read_after_write_violates(self):
+        history = h(
+            ("write", b"x", b"1", 0.0, 1.0, 0.0),
+            ("write", b"x", b"2", 2.0, 3.0, 0.0),
+            ("read", b"x", b"1", 4.0, 5.0, 0.0),  # must see "2"
+        )
+        assert not check_linearizable(history).ok
+
+    def test_concurrent_write_read_either_value_ok(self):
+        base = [
+            ("write", b"x", b"1", 0.0, 1.0, 0.0),
+            ("write", b"x", b"2", 2.0, 6.0, 0.0),  # overlaps the read
+        ]
+        old = h(*base, ("read", b"x", b"1", 3.0, 4.0, 0.0))
+        new = h(*base, ("read", b"x", b"2", 3.0, 4.0, 0.0))
+        assert check_linearizable(old).ok
+        assert check_linearizable(new).ok
+
+    def test_read_none_before_any_write_ok(self):
+        history = h(
+            ("read", b"x", None, 0.0, 1.0, 0.0),
+            ("write", b"x", b"1", 2.0, 3.0, 0.0),
+        )
+        assert check_linearizable(history).ok
+
+    def test_read_none_after_completed_write_violates(self):
+        history = h(
+            ("write", b"x", b"1", 0.0, 1.0, 0.0),
+            ("read", b"x", None, 2.0, 3.0, 0.0),
+        )
+        assert not check_linearizable(history).ok
+
+    def test_two_reads_must_agree_on_order(self):
+        # r1 sees "2" then r2 (strictly later) sees "1": impossible.
+        history = h(
+            ("write", b"x", b"1", 0.0, 1.0, 0.0),
+            ("write", b"x", b"2", 0.0, 1.0, 0.0),
+            ("read", b"x", b"2", 2.0, 3.0, 0.0),
+            ("read", b"x", b"1", 4.0, 5.0, 0.0),
+        )
+        assert not check_linearizable(history).ok
+
+    def test_keys_independent(self):
+        history = h(
+            ("write", b"x", b"1", 0.0, 1.0, 0.0),
+            ("write", b"y", b"9", 0.5, 1.5, 0.0),
+            ("read", b"x", b"1", 2.0, 3.0, 0.0),
+            ("read", b"y", b"9", 2.0, 3.0, 0.0),
+        )
+        assert check_linearizable(history).ok
+
+
+class TestSnapshotLinearizable:
+    def writes(self):
+        return h(
+            ("write", b"x", b"1", 0.0, 1.0, 10.0),
+            ("write", b"x", b"2", 2.0, 3.0, 20.0),
+            ("write", b"x", b"3", 4.0, 5.0, 30.0),
+        )
+
+    def test_monotone_reads_ok(self):
+        reads = h(
+            ("read", b"x", b"1", 6.0, 7.0, 0.0, "reader-0"),
+            ("read", b"x", b"1", 8.0, 9.0, 0.0, "reader-0"),
+            ("read", b"x", b"3", 10.0, 11.0, 0.0, "reader-0"),
+        )
+        assert check_snapshot_linearizable(self.writes(), reads).ok
+
+    def test_lagging_reads_ok(self):
+        """Staleness is allowed — only regression is not."""
+        reads = h(("read", b"x", b"1", 100.0, 101.0, 0.0, "reader-0"))
+        assert check_snapshot_linearizable(self.writes(), reads).ok
+
+    def test_regression_violates(self):
+        reads = h(
+            ("read", b"x", b"3", 6.0, 7.0, 0.0, "reader-0"),
+            ("read", b"x", b"2", 8.0, 9.0, 0.0, "reader-0"),
+        )
+        report = check_snapshot_linearizable(self.writes(), reads)
+        assert not report.ok
+        assert report.violations[0].rule == "time-regression"
+
+    def test_regression_across_backups_allowed(self):
+        """The guarantee is per backup node: different backups may lag
+        differently."""
+        reads = h(
+            ("read", b"x", b"3", 6.0, 7.0, 0.0, "reader-0"),
+            ("read", b"x", b"1", 8.0, 9.0, 0.0, "reader-1"),
+        )
+        assert check_snapshot_linearizable(self.writes(), reads).ok
+
+    def test_unknown_value_violates(self):
+        reads = h(("read", b"x", b"99", 6.0, 7.0, 0.0, "reader-0"))
+        report = check_snapshot_linearizable(self.writes(), reads)
+        assert not report.ok
+        assert report.violations[0].rule == "stale-value"
+
+    def test_none_then_value_ok(self):
+        reads = h(
+            ("read", b"x", None, 0.5, 0.6, 0.0, "reader-0"),
+            ("read", b"x", b"1", 6.0, 7.0, 0.0, "reader-0"),
+        )
+        assert check_snapshot_linearizable(self.writes(), reads).ok
+
+    def test_value_then_none_violates(self):
+        reads = h(
+            ("read", b"x", b"1", 6.0, 7.0, 0.0, "reader-0"),
+            ("read", b"x", None, 8.0, 9.0, 0.0, "reader-0"),
+        )
+        assert not check_snapshot_linearizable(self.writes(), reads).ok
+
+
+class TestLinearizableConcurrent:
+    DELTA = 1.0  # 2*delta = 2.0
+
+    def test_ordered_write_then_read_must_observe(self):
+        history = h(
+            ("write", b"x", b"1", 0.0, 1.0, 10.0),
+            ("read", b"x", None, 2.0, 3.0, 20.0),  # ts gap 10 >= 2: must see it
+        )
+        report = check_linearizable_concurrent(history, self.DELTA)
+        assert not report.ok
+        assert report.violations[0].rule == "lost-write"
+
+    def test_concurrent_write_read_may_miss(self):
+        history = h(
+            ("write", b"x", b"1", 0.0, 1.0, 10.0),
+            ("read", b"x", None, 2.0, 3.0, 11.0),  # ts gap 1 < 2: concurrent
+        )
+        assert check_linearizable_concurrent(history, self.DELTA).ok
+
+    def test_read_must_not_observe_future_write(self):
+        history = h(
+            ("read", b"x", b"1", 0.0, 1.0, 10.0),
+            ("write", b"x", b"1", 2.0, 3.0, 20.0),  # ordered after the read
+        )
+        report = check_linearizable_concurrent(history, self.DELTA)
+        assert not report.ok
+        assert report.violations[0].rule == "future-read"
+
+    def test_reads_monotone_when_ordered(self):
+        history = h(
+            ("write", b"x", b"1", 0.0, 1.0, 10.0),
+            ("write", b"x", b"2", 0.0, 1.0, 30.0),
+            ("read", b"x", b"2", 2.0, 3.0, 40.0),
+            ("read", b"x", b"1", 4.0, 5.0, 50.0),  # regressed: 50-40 >= 2
+        )
+        report = check_linearizable_concurrent(history, self.DELTA)
+        assert not report.ok
+        assert any(v.rule == "read-regression" for v in report.violations)
+
+    def test_concurrent_reads_may_disagree(self):
+        history = h(
+            ("write", b"x", b"1", 0.0, 1.0, 39.5),
+            ("write", b"x", b"2", 0.0, 1.0, 40.5),  # concurrent writes
+            ("read", b"x", b"2", 2.0, 3.0, 40.0),
+            ("read", b"x", b"1", 2.0, 3.0, 41.0),  # all pairwise gaps < 2
+        )
+        assert check_linearizable_concurrent(history, self.DELTA).ok
+
+    def test_clean_history_ok(self):
+        history = h(
+            ("write", b"x", b"1", 0.0, 1.0, 10.0),
+            ("read", b"x", b"1", 2.0, 3.0, 20.0),
+            ("write", b"x", b"2", 4.0, 5.0, 30.0),
+            ("read", b"x", b"2", 6.0, 7.0, 40.0),
+        )
+        assert check_linearizable_concurrent(history, self.DELTA).ok

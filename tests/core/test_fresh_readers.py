@@ -1,0 +1,162 @@
+"""Tests for the Section III-D.3 variant (Ingestor-fed Readers) and the
+global scan path."""
+
+from repro.core import ClusterSpec, build_cluster
+
+from tests.core.conftest import TINY, fill, tiny_cluster
+
+
+class TestIngestorFedReaders:
+    def build(self, **overrides):
+        params = dict(
+            config=TINY,
+            num_compactors=2,
+            num_readers=1,
+            ingestors_feed_readers=True,
+        )
+        params.update(overrides)
+        return build_cluster(ClusterSpec(**params))
+
+    def test_fresh_area_populated(self):
+        cluster = self.build()
+        client = cluster.add_client(colocate_with="ingestor-0")
+        cluster.run_process(fill(cluster, client, 2_000))
+        cluster.run()
+        reader = cluster.readers[0]
+        assert "ingestor-0" in reader.fresh_area
+        assert len(reader.fresh_area["ingestor-0"]) > 0
+
+    def test_reader_fresher_than_compactor_feed(self):
+        """With the variant on, the Reader can serve keys that have not
+        yet reached any Compactor."""
+        cluster = self.build()
+        client = cluster.add_client(colocate_with="ingestor-0")
+        # Write just enough for a minor compaction but below the
+        # forwarding volume that populates the Compactors fully.
+        writes = TINY.memtable_entries * (TINY.l0_threshold + 1)
+        cluster.run_process(fill(cluster, client, writes, key_range=writes))
+        cluster.run()
+        reader = cluster.readers[0]
+        fresh_keys = {
+            e.key for run in reader.fresh_area.values() for t in run for e in t.entries
+        }
+        compacted_keys = {
+            e.key
+            for level in (reader.level2, reader.level3)
+            for t in level
+            for e in t.entries
+        }
+        assert fresh_keys - compacted_keys, "fresh area adds nothing"
+
+    def test_backup_reads_see_fresh_data(self):
+        cluster = self.build()
+        client = cluster.add_client(colocate_with="ingestor-0")
+        writes = TINY.memtable_entries * (TINY.l0_threshold + 1)
+        oracle = cluster.run_process(fill(cluster, client, writes, key_range=writes))
+        cluster.run()
+        reader = cluster.readers[0]
+        fresh_keys = {
+            e.key for run in reader.fresh_area.values() for t in run for e in t.entries
+        }
+        from repro.lsm.entry import encode_key
+
+        hits = 0
+
+        def driver():
+            nonlocal hits
+            for key, value in oracle.items():
+                if encode_key(key) in fresh_keys:
+                    got = yield from client.read_from_backup(key)
+                    hits += got == value
+
+        cluster.run_process(driver())
+        assert hits == len(fresh_keys & {encode_key(k) for k in oracle})
+        assert hits > 0
+
+    def test_fresh_area_replaced_not_accumulated(self):
+        cluster = self.build()
+        client = cluster.add_client(colocate_with="ingestor-0")
+        cluster.run_process(fill(cluster, client, 4_000))
+        cluster.run()
+        reader = cluster.readers[0]
+        # One snapshot per ingestor, not an unbounded history: the
+        # tables form a single sorted run (pairwise non-overlapping).
+        assert set(reader.fresh_area.keys()) == {"ingestor-0"}
+        run = sorted(reader.fresh_area["ingestor-0"], key=lambda t: t.min_key)
+        for left, right in zip(run, run[1:]):
+            assert left.max_key < right.min_key
+
+    def test_default_deployments_unaffected(self):
+        cluster = tiny_cluster(num_readers=1)
+        client = cluster.add_client(colocate_with="ingestor-0")
+        cluster.run_process(fill(cluster, client, 2_000))
+        cluster.run()
+        assert cluster.readers[0].fresh_area == {}
+
+
+class TestGlobalScan:
+    def test_scan_merges_all_components(self):
+        cluster = tiny_cluster(num_compactors=2)
+        client = cluster.add_client(colocate_with="ingestor-0")
+        oracle = cluster.run_process(fill(cluster, client, 3_000, key_range=500))
+
+        def driver():
+            return (yield from client.scan(0, 500))
+
+        pairs = cluster.run_process(driver())
+        assert len(pairs) == 500
+        got = dict(pairs)
+        from repro.lsm.entry import encode_key
+
+        for key, value in oracle.items():
+            assert got[encode_key(key)] == value
+
+    def test_scan_sorted_and_limited(self):
+        cluster = tiny_cluster()
+        client = cluster.add_client(colocate_with="ingestor-0")
+        cluster.run_process(fill(cluster, client, 1_000, key_range=300))
+
+        def driver():
+            return (yield from client.scan(0, 300, limit=25))
+
+        pairs = cluster.run_process(driver())
+        assert len(pairs) == 25
+        keys = [k for k, __ in pairs]
+        assert keys == sorted(keys)
+
+    def test_scan_sees_unflushed_writes(self):
+        cluster = tiny_cluster()
+        client = cluster.add_client(colocate_with="ingestor-0")
+
+        def driver():
+            yield from client.upsert(7, b"hot")
+            return (yield from client.scan(0, 100))
+
+        pairs = cluster.run_process(driver())
+        assert pairs == [(b"%020d" % 7, b"hot")]
+
+    def test_scan_elides_deleted_keys(self):
+        cluster = tiny_cluster()
+        client = cluster.add_client(colocate_with="ingestor-0")
+
+        def driver():
+            for key in range(20):
+                yield from client.upsert(key, b"v")
+            yield from client.delete(10)
+            return (yield from client.scan(0, 20))
+
+        pairs = cluster.run_process(driver())
+        assert len(pairs) == 19
+
+    def test_scan_spanning_partitions(self):
+        cluster = tiny_cluster(num_compactors=3)
+        client = cluster.add_client(colocate_with="ingestor-0")
+        oracle = cluster.run_process(
+            fill(cluster, client, 6_000, key_range=TINY.key_range)
+        )
+
+        def driver():
+            return (yield from client.scan(0, TINY.key_range))
+
+        pairs = cluster.run_process(driver())
+        assert len(pairs) == len(oracle)

@@ -1,0 +1,50 @@
+"""Tests for the history recorder."""
+
+import pytest
+
+from repro.core.history import History
+
+
+def test_record_and_iterate():
+    history = History()
+    history.record("write", b"k", b"v", 0.0, 1.0, 0.5)
+    history.record("read", b"k", b"v", 2.0, 3.0, 2.5)
+    assert len(history) == 2
+    kinds = [op.kind for op in history]
+    assert kinds == ["write", "read"]
+
+
+def test_rejects_bad_kind():
+    with pytest.raises(ValueError):
+        History().record("scan", b"k", None, 0.0, 1.0, 0.0)
+
+
+def test_rejects_time_travel():
+    with pytest.raises(ValueError):
+        History().record("read", b"k", None, 5.0, 1.0, 0.0)
+
+
+def test_for_key_filters():
+    history = History()
+    history.record("write", b"a", b"1", 0.0, 1.0, 0.0)
+    history.record("write", b"b", b"2", 0.0, 1.0, 0.0)
+    sub = history.for_key(b"a")
+    assert len(sub) == 1
+    assert sub.operations[0].key == b"a"
+
+
+def test_keys_writes_reads():
+    history = History()
+    history.record("write", b"a", b"1", 0.0, 1.0, 0.0)
+    history.record("read", b"a", b"1", 2.0, 3.0, 0.0)
+    history.record("read", b"b", None, 2.0, 3.0, 0.0)
+    assert history.keys() == {b"a", b"b"}
+    assert len(history.writes()) == 1
+    assert len(history.reads()) == 2
+
+
+def test_op_ids_unique():
+    history = History()
+    ops = [history.record("write", b"k", b"v", 0.0, 1.0, 0.0) for __ in range(10)]
+    ids = {op.op_id for op in ops}
+    assert len(ids) == 10

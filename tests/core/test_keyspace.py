@@ -1,0 +1,83 @@
+"""Unit tests for key-space partitioning."""
+
+import pytest
+
+from repro.core.keyspace import Partition, Partitioning
+from repro.lsm.entry import encode_key
+from repro.lsm.errors import InvalidConfigError
+from repro.lsm.sstable import SSTable
+
+from tests.conftest import entry
+
+
+class TestUniform:
+    def test_single_compactor_owns_everything(self):
+        parts = Partitioning.uniform(1000, ["c0"])
+        assert len(parts.partitions) == 1
+        assert parts.partition_for(encode_key(0)).members == ["c0"]
+        assert parts.partition_for(encode_key(999)).members == ["c0"]
+
+    def test_even_split(self):
+        parts = Partitioning.uniform(900, ["c0", "c1", "c2"])
+        assert parts.partition_for(encode_key(0)).members == ["c0"]
+        assert parts.partition_for(encode_key(299)).members == ["c0"]
+        assert parts.partition_for(encode_key(300)).members == ["c1"]
+        assert parts.partition_for(encode_key(599)).members == ["c1"]
+        assert parts.partition_for(encode_key(600)).members == ["c2"]
+
+    def test_keys_outside_range_still_routed(self):
+        parts = Partitioning.uniform(100, ["c0", "c1"])
+        assert parts.partition_for(encode_key(10_000)).members == ["c1"]
+
+    def test_overlapping_groups(self):
+        parts = Partitioning.uniform(100, ["c0", "c1", "c2", "c3"], replicas=2)
+        assert len(parts.partitions) == 2
+        assert parts.partitions[0].members == ["c0", "c1"]
+        assert parts.partitions[1].members == ["c2", "c3"]
+
+    def test_replica_mismatch_rejected(self):
+        with pytest.raises(InvalidConfigError):
+            Partitioning.uniform(100, ["c0", "c1", "c2"], replicas=2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidConfigError):
+            Partitioning([])
+
+
+class TestRouting:
+    def test_partitions_for_range(self):
+        parts = Partitioning.uniform(900, ["c0", "c1", "c2"])
+        hit = parts.partitions_for_range(encode_key(250), encode_key(350))
+        assert [p.members[0] for p in hit] == ["c0", "c1"]
+        hit = parts.partitions_for_range(encode_key(0), encode_key(899))
+        assert len(hit) == 3
+
+    def test_split_table_single_partition(self):
+        parts = Partitioning.uniform(900, ["c0", "c1", "c2"])
+        table = SSTable.from_entries([entry(k, 1) for k in range(10, 20)])
+        pieces = parts.split_table(table)
+        assert len(pieces) == 1
+        assert pieces[0][0].members == ["c0"]
+        assert pieces[0][1] is table  # not copied
+
+    def test_split_table_across_boundaries(self):
+        parts = Partitioning.uniform(900, ["c0", "c1", "c2"])
+        table = SSTable.from_entries([entry(k, 1) for k in range(250, 650, 10)])
+        pieces = parts.split_table(table)
+        owners = [p.members[0] for p, __ in pieces]
+        assert owners == ["c0", "c1", "c2"]
+        total = sum(len(t) for __, t in pieces)
+        assert total == len(table)
+        for partition, piece in pieces:
+            assert parts.partition_for(piece.min_key) is partition
+            assert parts.partition_for(piece.max_key) is partition
+
+
+class TestWriterRoundRobin:
+    def test_rotates_members(self):
+        partition = Partition(None, ["a", "b", "c"])
+        assert [partition.writer() for __ in range(6)] == ["a", "b", "c", "a", "b", "c"]
+
+    def test_all_members_listed_in_order(self):
+        parts = Partitioning.uniform(100, ["c0", "c1", "c2", "c3"], replicas=2)
+        assert parts.all_members() == ["c0", "c1", "c2", "c3"]

@@ -1,0 +1,78 @@
+"""Tests for the cluster monitor / timeline."""
+
+import pytest
+
+from repro.core.monitor import ClusterMonitor, Timeline
+
+from tests.core.conftest import fill, tiny_cluster
+
+
+class TestTimeline:
+    def test_series_filtered_and_ordered(self):
+        timeline = Timeline()
+        timeline.add(1.0, "a", "g", 10.0)
+        timeline.add(2.0, "a", "g", 20.0)
+        timeline.add(1.5, "b", "g", 99.0)
+        assert timeline.series("a", "g") == [(1.0, 10.0), (2.0, 20.0)]
+
+    def test_peak(self):
+        timeline = Timeline()
+        timeline.add(1.0, "a", "g", 10.0)
+        timeline.add(2.0, "a", "g", 5.0)
+        assert timeline.peak("a", "g") == 10.0
+        assert timeline.peak("a", "missing") == 0.0
+
+    def test_nodes_and_gauges(self):
+        timeline = Timeline()
+        timeline.add(1.0, "a", "x", 1.0)
+        timeline.add(1.0, "b", "y", 2.0)
+        assert timeline.nodes() == {"a", "b"}
+        assert timeline.gauges() == {"x", "y"}
+
+
+class TestClusterMonitor:
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            ClusterMonitor(tiny_cluster(), interval=0)
+
+    def test_samples_during_run(self):
+        cluster = tiny_cluster(num_compactors=2, num_readers=1)
+        client = cluster.add_client(colocate_with="ingestor-0")
+        monitor = ClusterMonitor(cluster, interval=0.02)
+        monitor.start()
+        cluster.run_process(fill(cluster, client, 3_000))
+        monitor.stop()
+        cluster.run()
+        timeline = monitor.timeline
+        assert "ingestor-0" in timeline.nodes()
+        assert "compactor-0" in timeline.nodes()
+        assert "reader-0" in timeline.nodes()
+        # Compactor entries grow over the run.
+        series = timeline.series("compactor-0", "entries")
+        assert len(series) > 3
+        assert series[-1][1] > series[0][1]
+
+    def test_backpressure_visible_in_timeline(self):
+        """With a dead Compactor, the in-flight gauge must climb to the
+        cap and stay there — the stall made visible."""
+        cluster = tiny_cluster(num_compactors=1)
+        client = cluster.add_client(colocate_with="ingestor-0")
+        cluster.compactors[0].crash()
+        monitor = ClusterMonitor(cluster, interval=0.02)
+        monitor.start()
+
+        def writer():
+            for i in range(3_000):
+                yield from client.upsert(i % 400, b"x")
+
+        cluster.kernel.spawn(writer())
+        cluster.run(until=5.0)
+        monitor.stop()
+        peak = monitor.timeline.peak("ingestor-0", "inflight_tables")
+        assert peak >= cluster.config.max_inflight_tables
+
+    def test_sample_once_without_start(self):
+        cluster = tiny_cluster()
+        monitor = ClusterMonitor(cluster)
+        monitor.sample_once()
+        assert len(monitor.timeline.samples) > 0

@@ -1,0 +1,131 @@
+"""Tests for the Reader (backup) node."""
+
+from repro.core.messages import BackupUpdate, RangeQuery, ReadRequest
+from repro.lsm.entry import encode_key
+from repro.lsm.sstable import SSTable
+
+from tests.conftest import entry
+from tests.core.conftest import fill, tiny_cluster
+
+
+def push_update(cluster, level, tables, removed_l2_ids=(), compactor="compactor-0"):
+    update = BackupUpdate(level, tuple(tables), compactor, tuple(removed_l2_ids))
+
+    def driver():
+        cluster.compactors[0].cast("reader-0", "backup_update", update)
+        yield cluster.kernel.timeout(1.0)
+
+    cluster.run_process(driver())
+
+
+def reader_read(cluster, client, key):
+    def driver():
+        return (yield from client.read_from_backup(key))
+
+    return cluster.run_process(driver())
+
+
+class TestInstall:
+    def test_installs_l2_tables(self):
+        cluster = tiny_cluster(num_readers=1)
+        table = SSTable.from_entries([entry(k, k + 1, ts=float(k)) for k in range(10)])
+        push_update(cluster, 2, [table])
+        reader = cluster.readers[0]
+        assert reader.manifest.total_entries() == 10
+        assert reader.stats.tables_installed == 1
+
+    def test_replaces_overlapping_tables(self):
+        cluster = tiny_cluster(num_readers=1)
+        old = SSTable.from_entries([entry(k, 1, ts=1.0, value="old") for k in range(10)])
+        new = SSTable.from_entries([entry(k, 2, ts=2.0, value="new") for k in range(10)])
+        push_update(cluster, 2, [old])
+        push_update(cluster, 2, [new])
+        reader = cluster.readers[0]
+        assert len(reader.level2) == 1
+        assert reader.level2[0].get(encode_key(3)).value == b"new"
+
+    def test_l3_update_removes_migrated_l2_tables(self):
+        cluster = tiny_cluster(num_readers=1)
+        migrating = SSTable.from_entries([entry(k, 1, ts=1.0) for k in range(10)])
+        push_update(cluster, 2, [migrating])
+        merged_down = SSTable.from_entries([entry(k, 1, ts=1.0) for k in range(10)])
+        push_update(cluster, 3, [merged_down], removed_l2_ids=[migrating.table_id])
+        reader = cluster.readers[0]
+        assert reader.level2 == []
+        assert len(reader.level3) == 1
+        assert reader.manifest.total_entries() == 10
+
+    def test_disjoint_compactors_coexist(self):
+        cluster = tiny_cluster(num_readers=1, num_compactors=2)
+        low = SSTable.from_entries([entry(k, 1, ts=1.0) for k in range(10)])
+        high = SSTable.from_entries([entry(k, 1, ts=1.0) for k in range(1_000, 1_010)])
+        push_update(cluster, 2, [low], compactor="compactor-0")
+        push_update(cluster, 2, [high], compactor="compactor-1")
+        assert cluster.readers[0].manifest.total_entries() == 20
+
+
+class TestReads:
+    def test_point_read_from_snapshot(self):
+        cluster = tiny_cluster(num_readers=1)
+        table = SSTable.from_entries([entry(7, 1, ts=1.0, value="seven")])
+        push_update(cluster, 2, [table])
+        client = cluster.add_client()
+        assert reader_read(cluster, client, 7) == b"seven"
+
+    def test_miss_returns_none(self):
+        cluster = tiny_cluster(num_readers=1)
+        client = cluster.add_client()
+        assert reader_read(cluster, client, 42) is None
+
+    def test_tombstone_hidden(self):
+        cluster = tiny_cluster(num_readers=1)
+        table = SSTable.from_entries([entry(7, 2, ts=2.0, tombstone=True)])
+        push_update(cluster, 2, [table])
+        client = cluster.add_client()
+        assert reader_read(cluster, client, 7) is None
+
+    def test_range_query(self):
+        cluster = tiny_cluster(num_readers=1)
+        table = SSTable.from_entries([entry(k, k + 1, ts=float(k)) for k in range(50)])
+        push_update(cluster, 2, [table])
+        client = cluster.add_client()
+
+        def driver():
+            return (yield from client.analytics_query(10, 30))
+
+        pairs = cluster.run_process(driver())
+        assert len(pairs) == 20
+        keys = [k for k, __ in pairs]
+        assert keys == sorted(keys)
+
+    def test_range_query_limit(self):
+        cluster = tiny_cluster(num_readers=1)
+        table = SSTable.from_entries([entry(k, k + 1, ts=float(k)) for k in range(50)])
+        push_update(cluster, 2, [table])
+        client = cluster.add_client()
+
+        def driver():
+            return (yield from client.analytics_query(0, 50, limit=5))
+
+        assert len(cluster.run_process(driver())) == 5
+
+
+class TestIsolation:
+    def test_backup_reads_do_not_touch_ingestion_path(self):
+        """The core isolation claim: reads at the Reader leave Ingestor
+        and Compactor read counters untouched."""
+        cluster = tiny_cluster(num_readers=1)
+        client = cluster.add_client(colocate_with="ingestor-0")
+        cluster.run_process(fill(cluster, client, 2_000))
+        cluster.run()
+        ingestor_reads = cluster.ingestors[0].stats.reads
+        compactor_reads = sum(c.stats.reads for c in cluster.compactors)
+
+        def driver():
+            for key in range(0, 200, 10):
+                yield from client.read_from_backup(key)
+
+        cluster.run_process(driver())
+        assert cluster.ingestors[0].stats.reads == ingestor_reads
+        assert sum(c.stats.reads for c in cluster.compactors) == compactor_reads
+        assert cluster.readers[0].stats.reads == 20

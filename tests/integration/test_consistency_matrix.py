@@ -1,0 +1,193 @@
+"""Table I, machine-checked: run each deployment cell under a mixed
+workload and verify its promised consistency guarantee holds.
+
+|                    | Without Readers         | With Readers                      |
+|--------------------|-------------------------|-----------------------------------|
+| 1 Ingestor         | Linearizable            | Snapshot Linearizable             |
+| Multiple Ingestors | Linearizable+Concurrent | Snapshot Linearizable+Concurrent  |
+"""
+
+import random
+
+from repro.core import (
+    check_linearizable,
+    check_linearizable_concurrent,
+    check_snapshot_linearizable,
+)
+from repro.core.history import History
+
+from tests.core.conftest import tiny_cluster
+
+
+def sequential_mixed_workload(cluster, client, ops, seed, key_range=20):
+    """One client issuing a read/write mix over few keys with unique values."""
+    rng = random.Random(seed)
+
+    def driver():
+        counter = 0
+        for __ in range(ops):
+            key = rng.randrange(key_range)
+            if rng.random() < 0.5:
+                counter += 1
+                yield from client.upsert(key, b"u-%d" % counter)
+            else:
+                yield from client.read(key)
+
+    return driver
+
+
+class TestCell1_OneIngestorNoReaders:
+    def test_linearizable(self):
+        cluster = tiny_cluster(num_compactors=2)
+        client = cluster.add_client(colocate_with="ingestor-0")
+        cluster.run_process(sequential_mixed_workload(cluster, client, 400, seed=1)())
+        report = check_linearizable(cluster.history)
+        assert report.ok, report.violations
+
+    def test_linearizable_with_concurrent_clients(self):
+        """Two clients on the single Ingestor: still linearizable."""
+        cluster = tiny_cluster(num_compactors=2)
+        c1 = cluster.add_client(colocate_with="ingestor-0")
+        c2 = cluster.add_client(colocate_with="ingestor-0")
+        p1 = cluster.kernel.spawn(sequential_mixed_workload(cluster, c1, 250, seed=2)())
+        p2 = cluster.kernel.spawn(sequential_mixed_workload(cluster, c2, 250, seed=3)())
+
+        def barrier():
+            yield cluster.kernel.all_of([p1, p2])
+
+        cluster.run_process(barrier())
+        report = check_linearizable(cluster.history)
+        assert report.ok, report.violations[:3]
+
+
+class TestCell2_OneIngestorWithReaders:
+    def test_snapshot_linearizable(self):
+        cluster = tiny_cluster(num_compactors=2, num_readers=1)
+        writer = cluster.add_client(colocate_with="ingestor-0")
+        backup_history = History()
+        analyst = cluster.add_client(record_history=False)
+        analyst.history = backup_history
+
+        def writer_driver():
+            counter = 0
+            for i in range(6_000):
+                # 200 keys: wide enough that L1 overflows and versions
+                # keep flowing to the Reader, with keys 0-9 rewritten
+                # every 200 ops so the analyst sees progression.
+                key = i % 200
+                counter += 1
+                yield from writer.upsert(key, b"w-%d" % counter)
+
+        def analyst_driver():
+            # Overflow selection forwards L1's high-key tail, so the keys
+            # that flow to the Reader are the high ones; read those.
+            rng = random.Random(9)
+            for __ in range(300):
+                yield from analyst.read_from_backup(rng.randrange(150, 200))
+                yield cluster.kernel.timeout(0.004)
+
+        p1 = cluster.kernel.spawn(writer_driver())
+        p2 = cluster.kernel.spawn(analyst_driver())
+
+        def barrier():
+            yield cluster.kernel.all_of([p1, p2])
+
+        cluster.run_process(barrier())
+        report = check_snapshot_linearizable(cluster.history, backup_history)
+        assert report.ok, report.violations[:3]
+        # The reader must actually have served stale-but-progressing data.
+        reads_with_values = [op for op in backup_history.reads() if op.value]
+        assert reads_with_values, "backup never returned data"
+
+
+class TestCell3_MultiIngestorNoReaders:
+    def test_linearizable_concurrent(self):
+        cluster = tiny_cluster(num_ingestors=2, num_compactors=2)
+        c1 = cluster.add_client(
+            colocate_with="ingestor-0", ingestors=["ingestor-0", "ingestor-1"]
+        )
+        c2 = cluster.add_client(
+            colocate_with="ingestor-1", ingestors=["ingestor-1", "ingestor-0"]
+        )
+        p1 = cluster.kernel.spawn(sequential_mixed_workload(cluster, c1, 400, seed=4)())
+        p2 = cluster.kernel.spawn(sequential_mixed_workload(cluster, c2, 400, seed=5)())
+
+        def barrier():
+            yield cluster.kernel.all_of([p1, p2])
+
+        cluster.run_process(barrier())
+        report = check_linearizable_concurrent(cluster.history, cluster.config.delta)
+        assert report.ok, report.violations[:3]
+
+    def test_plain_linearizability_genuinely_weaker(self):
+        """Sanity: the multi-Ingestor runs do produce histories that a
+        strict linearizability checker may reject (concurrent-write
+        anomalies of Section III-E.1) while Lin+Conc accepts them.  We
+        only assert Lin+Conc holds across seeds — the anomalies' absence
+        is workload-dependent."""
+        for seed in (6, 7, 8):
+            cluster = tiny_cluster(num_ingestors=3, num_compactors=2)
+            clients = [
+                cluster.add_client(
+                    colocate_with=f"ingestor-{i}",
+                    ingestors=[f"ingestor-{i}"] + [
+                        f"ingestor-{j}" for j in range(3) if j != i
+                    ],
+                )
+                for i in range(3)
+            ]
+            procs = [
+                cluster.kernel.spawn(
+                    sequential_mixed_workload(cluster, c, 150, seed=seed * 10 + i)()
+                )
+                for i, c in enumerate(clients)
+            ]
+
+            def barrier():
+                yield cluster.kernel.all_of(procs)
+
+            cluster.run_process(barrier())
+            report = check_linearizable_concurrent(
+                cluster.history, cluster.config.delta
+            )
+            assert report.ok, (seed, report.violations[:3])
+
+
+class TestCell4_MultiIngestorWithReaders:
+    def test_snapshot_linearizable_plus_concurrent(self):
+        cluster = tiny_cluster(num_ingestors=2, num_compactors=2, num_readers=1)
+        c1 = cluster.add_client(colocate_with="ingestor-0")
+        c2 = cluster.add_client(colocate_with="ingestor-1", ingestors=["ingestor-1", "ingestor-0"])
+        backup_history = History()
+        analyst = cluster.add_client(record_history=False)
+        analyst.history = backup_history
+
+        def writer(client, seed):
+            def gen():
+                rng = random.Random(seed)
+                for i in range(1_200):
+                    yield from client.upsert(rng.randrange(10), b"%d-%d" % (seed, i))
+            return gen
+
+        def analyst_driver():
+            rng = random.Random(31)
+            for __ in range(200):
+                yield from analyst.read_from_backup(rng.randrange(10))
+                yield cluster.kernel.timeout(0.003)
+
+        procs = [
+            cluster.kernel.spawn(writer(c1, 100)()),
+            cluster.kernel.spawn(writer(c2, 200)()),
+            cluster.kernel.spawn(analyst_driver()),
+        ]
+
+        def barrier():
+            yield cluster.kernel.all_of(procs)
+
+        cluster.run_process(barrier())
+        # Front-end history satisfies Lin+Conc ...
+        front = check_linearizable_concurrent(cluster.history, cluster.config.delta)
+        assert front.ok, front.violations[:3]
+        # ... and backup reads are snapshot-consistent w.r.t. timestamp order.
+        snap = check_snapshot_linearizable(cluster.history, backup_history)
+        assert snap.ok, snap.violations[:3]

@@ -1,0 +1,73 @@
+"""Consistency guarantees must survive network faults.
+
+The network model turns drops into retransmission delay (TCP), so the
+guarantees of Table I should hold unchanged under heavy drop rates.
+"""
+
+import random
+
+from repro.core import check_linearizable, check_linearizable_concurrent
+
+from tests.core.conftest import tiny_cluster
+
+
+def mixed_driver(cluster, client, ops, seed, key_range=15):
+    rng = random.Random(seed)
+
+    def driver():
+        counter = 0
+        for __ in range(ops):
+            key = rng.randrange(key_range)
+            if rng.random() < 0.5:
+                counter += 1
+                yield from client.upsert(key, b"f-%d-%d" % (seed, counter))
+            else:
+                yield from client.read(key)
+
+    return driver
+
+
+def test_linearizable_under_drops():
+    cluster = tiny_cluster(num_compactors=2, drop_probability=0.1)
+    client = cluster.add_client(colocate_with="ingestor-0")
+    cluster.run_process(mixed_driver(cluster, client, 300, seed=21)())
+    assert cluster.network.stats.drops > 0
+    report = check_linearizable(cluster.history)
+    assert report.ok, report.violations[:3]
+
+
+def test_linearizable_concurrent_under_drops():
+    cluster = tiny_cluster(num_ingestors=2, num_compactors=2, drop_probability=0.1)
+    c1 = cluster.add_client(colocate_with="ingestor-0")
+    c2 = cluster.add_client(colocate_with="ingestor-1", ingestors=["ingestor-1", "ingestor-0"])
+    p1 = cluster.kernel.spawn(mixed_driver(cluster, c1, 200, seed=22)())
+    p2 = cluster.kernel.spawn(mixed_driver(cluster, c2, 200, seed=23)())
+
+    def barrier():
+        yield cluster.kernel.all_of([p1, p2])
+
+    cluster.run_process(barrier())
+    assert cluster.network.stats.drops > 0
+    report = check_linearizable_concurrent(cluster.history, cluster.config.delta)
+    assert report.ok, report.violations[:3]
+
+
+def test_no_write_lost_under_heavy_drops():
+    cluster = tiny_cluster(num_compactors=2, drop_probability=0.25)
+    client = cluster.add_client(colocate_with="ingestor-0")
+
+    def driver():
+        oracle = {}
+        for i in range(1_500):
+            key = i % 400
+            value = b"hd-%d" % i
+            yield from client.upsert(key, value)
+            oracle[key] = value
+        misses = 0
+        for key, value in oracle.items():
+            got = yield from client.read(key)
+            misses += got != value
+        return misses
+
+    assert cluster.run_process(driver()) == 0
+    assert cluster.network.stats.drops > 100

@@ -1,0 +1,198 @@
+"""End-to-end integration tests across all CooLSM components."""
+
+import random
+
+from repro.core import ClusterSpec, CooLSMConfig, build_cluster
+from repro.sim.regions import Region
+
+from tests.core.conftest import TINY, tiny_cluster
+
+
+def random_workload(cluster, client, ops, seed, key_range=None, delete_ratio=0.05):
+    key_range = key_range or cluster.config.key_range
+    rng = random.Random(seed)
+    oracle = {}
+
+    def driver():
+        for i in range(ops):
+            key = rng.randrange(key_range)
+            if rng.random() < delete_ratio:
+                yield from client.delete(key)
+                oracle.pop(key, None)
+            else:
+                value = b"e2e-%d" % i
+                yield from client.upsert(key, value)
+                oracle[key] = value
+        return oracle
+
+    return driver
+
+
+class TestSingleIngestorCorrectness:
+    def test_all_reads_match_oracle(self):
+        cluster = tiny_cluster(num_compactors=3)
+        client = cluster.add_client(colocate_with="ingestor-0")
+        driver = random_workload(cluster, client, 4_000, seed=11, key_range=800)
+        oracle = cluster.run_process(driver())
+
+        def verify():
+            misses = []
+            for key in range(800):
+                got = yield from client.read(key)
+                if got != oracle.get(key):
+                    misses.append(key)
+            return misses
+
+        assert cluster.run_process(verify()) == []
+
+    def test_data_distributed_across_partitions(self):
+        cluster = tiny_cluster(num_compactors=4)
+        client = cluster.add_client(colocate_with="ingestor-0")
+        cluster.run_process(random_workload(cluster, client, 6_000, seed=3)())
+        populated = [c for c in cluster.compactors if c.manifest.total_entries() > 0]
+        assert len(populated) == 4
+
+    def test_partition_ranges_respected(self):
+        cluster = tiny_cluster(num_compactors=3)
+        client = cluster.add_client(colocate_with="ingestor-0")
+        cluster.run_process(random_workload(cluster, client, 6_000, seed=5)())
+        parts = cluster.partitioning
+        for compactor in cluster.compactors:
+            for level in (compactor.level2, compactor.level3):
+                for table in level:
+                    assert (
+                        parts.partition_for(table.min_key).members[0]
+                        == compactor.name
+                    )
+                    assert (
+                        parts.partition_for(table.max_key).members[0]
+                        == compactor.name
+                    )
+
+
+class TestMultiClientMultiIngestor:
+    def test_concurrent_writers_all_data_preserved(self):
+        cluster = tiny_cluster(num_ingestors=3, num_compactors=2)
+        clients = [
+            cluster.add_client(colocate_with=f"ingestor-{i}", ingestors=[f"ingestor-{i}"])
+            for i in range(3)
+        ]
+        # Disjoint key ranges per client so the oracle is exact.
+        def writer(client, base):
+            def gen():
+                for i in range(800):
+                    yield from client.upsert(base + (i % 200), b"c%d-%d" % (base, i))
+            return gen
+
+        processes = [
+            cluster.kernel.spawn(writer(client, 1_000 * (index + 1))())
+            for index, client in enumerate(clients)
+        ]
+
+        def barrier():
+            yield cluster.kernel.all_of(processes)
+
+        cluster.run_process(barrier())
+
+        reader_client = cluster.add_client(colocate_with="ingestor-0")
+
+        def verify():
+            misses = 0
+            for base in (1_000, 2_000, 3_000):
+                for key in range(base, base + 200):
+                    value = yield from reader_client.read(key)
+                    if value is None or not value.startswith(b"c%d-" % base):
+                        misses += 1
+            return misses
+
+        assert cluster.run_process(verify()) == 0
+
+
+class TestFaultInjection:
+    def test_correct_under_message_drops(self):
+        """TCP-model drops delay but never lose data."""
+        cluster = tiny_cluster(num_compactors=2, drop_probability=0.05)
+        client = cluster.add_client(colocate_with="ingestor-0")
+        driver = random_workload(cluster, client, 2_500, seed=17, key_range=500)
+        oracle = cluster.run_process(driver())
+        assert cluster.network.stats.drops > 0
+
+        def verify():
+            misses = 0
+            for key in range(500):
+                got = yield from client.read(key)
+                misses += got != oracle.get(key)
+            return misses
+
+        assert cluster.run_process(verify()) == 0
+
+    def test_compactor_crash_recovery_resumes_flow(self):
+        cluster = tiny_cluster(num_compactors=1)
+        client = cluster.add_client(colocate_with="ingestor-0")
+        compactor = cluster.compactors[0]
+
+        def phase1():
+            for i in range(1_000):
+                yield from client.upsert(i % 300, b"p1-%d" % i)
+
+        cluster.run_process(phase1())
+        compactor.crash()
+
+        def phase2():
+            for i in range(800):
+                yield from client.upsert(i % 300, b"p2-%d" % i)
+
+        writer = cluster.kernel.spawn(phase2())
+        cluster.run(until=cluster.kernel.now + 40.0)
+        compactor.recover()
+        cluster.run(until=cluster.kernel.now + 200.0)
+        assert writer.triggered  # writes resumed after recovery
+
+        def verify():
+            got = yield from client.read(5)
+            return got
+
+        assert cluster.run_process(verify()) is not None
+        assert cluster.ingestors[0].stats.forward_retries > 0
+
+
+class TestEdgeCloudPlacement:
+    def test_edge_ingestor_masks_wan_latency(self):
+        """Writes at an edge Ingestor stay sub-millisecond even though
+        the Compactors are across a WAN (Figure 8's key claim)."""
+        config = TINY
+        cluster = build_cluster(
+            ClusterSpec(
+                config=config,
+                num_ingestors=1,
+                num_compactors=2,
+                ingestor_regions=(Region.LONDON,),
+            )
+        )
+        client = cluster.add_client(colocate_with="ingestor-0")
+
+        def driver():
+            for i in range(1_500):
+                yield from client.upsert(i % 300, b"edge-%d" % i)
+
+        cluster.run_process(driver())
+        latencies = client.stats.all("write")
+        latencies.sort()
+        median = latencies[len(latencies) // 2]
+        assert median < 0.001  # < 1 ms despite ~38 ms one-way to the cloud
+        # ... and data still reached the cloud Compactors.
+        assert sum(c.manifest.total_entries() for c in cluster.compactors) > 0
+
+    def test_client_far_from_ingestor_pays_wan(self):
+        config = TINY
+        cluster = build_cluster(
+            ClusterSpec(config=config, num_ingestors=1, num_compactors=1)
+        )
+        client = cluster.add_client(region=Region.CALIFORNIA)
+
+        def driver():
+            yield from client.upsert(1, b"far")
+
+        cluster.run_process(driver())
+        # One CA->VA round trip is ~61 ms.
+        assert client.stats.all("write")[0] > 0.05

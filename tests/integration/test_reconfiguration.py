@@ -1,0 +1,119 @@
+"""Tests for Expand -> Migrate -> Detach reconfiguration (Section III-I)."""
+
+from repro.core import replace_compactor, split_partition
+
+from tests.core.conftest import fill, tiny_cluster
+
+
+def loaded_cluster(num_compactors=1, ops=3_000):
+    cluster = tiny_cluster(num_compactors=num_compactors)
+    client = cluster.add_client(colocate_with="ingestor-0")
+    oracle = cluster.run_process(fill(cluster, client, ops))
+    return cluster, client, oracle
+
+
+def verify_all(cluster, client, oracle):
+    def driver():
+        misses = []
+        for key, value in oracle.items():
+            got = yield from client.read(key)
+            if got != value:
+                misses.append(key)
+        return misses
+
+    return cluster.run_process(driver())
+
+
+class TestReplaceCompactor:
+    def test_data_preserved(self):
+        cluster, client, oracle = loaded_cluster()
+        stats = cluster.run_process(
+            replace_compactor(cluster, "compactor-0", "compactor-0b")
+        )
+        assert stats.entries_migrated > 0
+        assert verify_all(cluster, client, oracle) == []
+
+    def test_old_node_retired(self):
+        cluster, __, ___ = loaded_cluster()
+        cluster.run_process(replace_compactor(cluster, "compactor-0", "compactor-0b"))
+        names = [c.name for c in cluster.compactors]
+        assert "compactor-0" not in names
+        assert "compactor-0b" in names
+        partition = cluster.partitioning.partitions[0]
+        assert partition.members == ["compactor-0b"]
+
+    def test_writes_continue_during_migration(self):
+        cluster, client, oracle = loaded_cluster()
+
+        def combined():
+            migration = cluster.kernel.spawn(
+                replace_compactor(cluster, "compactor-0", "compactor-0b")
+            )
+
+            for i in range(1_000):
+                key = 10_000 + (i % 100)  # outside TINY.key_range, same partition
+                value = b"live-%d" % i
+                yield from client.upsert(key, value)
+                oracle[key] = value
+            yield migration
+
+        cluster.run_process(combined())
+        assert verify_all(cluster, client, oracle) == []
+
+
+class TestSplitPartition:
+    def test_split_preserves_data(self):
+        cluster, client, oracle = loaded_cluster()
+        stats = cluster.run_process(
+            split_partition(cluster, "compactor-0", "compactor-1b")
+        )
+        assert stats.entries_migrated > 0
+        assert verify_all(cluster, client, oracle) == []
+
+    def test_partitioning_recut(self):
+        cluster, __, ___ = loaded_cluster()
+        cluster.run_process(split_partition(cluster, "compactor-0", "compactor-1b"))
+        parts = cluster.partitioning
+        assert len(parts.partitions) == 2
+        assert parts.partitions[0].members == ["compactor-0"]
+        assert parts.partitions[1].members == ["compactor-1b"]
+
+    def test_ranges_disjoint_after_split(self):
+        cluster, __, ___ = loaded_cluster()
+        cluster.run_process(split_partition(cluster, "compactor-0", "compactor-1b"))
+        old = next(c for c in cluster.compactors if c.name == "compactor-0")
+        new = next(c for c in cluster.compactors if c.name == "compactor-1b")
+        boundary = cluster.partitioning.partitions[1].lower
+        for table in old.level2 + old.level3:
+            assert table.max_key < boundary
+        for table in new.level2 + new.level3:
+            assert table.min_key >= boundary
+
+    def test_new_writes_routed_by_new_cut(self):
+        cluster, client, oracle = loaded_cluster()
+        cluster.run_process(split_partition(cluster, "compactor-0", "compactor-1b"))
+        boundary = cluster.partitioning.partitions[1].lower
+
+        def driver():
+            for i in range(2_500):
+                key = i % cluster.config.key_range
+                value = b"post-%d" % i
+                yield from client.upsert(key, value)
+                oracle[key] = value
+
+        cluster.run_process(driver())
+        new = next(c for c in cluster.compactors if c.name == "compactor-1b")
+        assert new.stats.forwards_received > 0
+        for table in new.level2 + new.level3:
+            assert table.min_key >= boundary
+        assert verify_all(cluster, client, oracle) == []
+
+    def test_explicit_boundary(self):
+        cluster, client, oracle = loaded_cluster()
+        cluster.run_process(
+            split_partition(cluster, "compactor-0", "compactor-1b", boundary_key=500)
+        )
+        from repro.lsm.entry import encode_key
+
+        assert cluster.partitioning.partitions[1].lower == encode_key(500)
+        assert verify_all(cluster, client, oracle) == []

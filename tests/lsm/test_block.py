@@ -1,0 +1,75 @@
+"""Unit tests for block encoding."""
+
+import struct
+
+import pytest
+
+from repro.lsm.block import decode_entries, decode_varint, encode_entries, encode_varint
+from repro.lsm.errors import CorruptionError
+
+from tests.conftest import entry
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**32, 2**63 - 1])
+    def test_roundtrip(self, value):
+        encoded = encode_varint(value)
+        decoded, offset = decode_varint(encoded, 0)
+        assert decoded == value
+        assert offset == len(encoded)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_truncated_raises(self):
+        with pytest.raises(CorruptionError):
+            decode_varint(b"\x80", 0)
+
+
+class TestBlockCodec:
+    def test_roundtrip_preserves_everything(self):
+        entries = [
+            entry("a", 1, ts=1.5, value="hello"),
+            entry("b", 2, ts=2.5, value=""),
+            entry("c", 3, tombstone=True),
+        ]
+        decoded = decode_entries(encode_entries(entries))
+        assert decoded == entries
+
+    def test_roundtrip_empty_block(self):
+        assert decode_entries(encode_entries([])) == []
+
+    def test_binary_safe_keys_and_values(self):
+        from repro.lsm.entry import Entry
+
+        e = Entry(b"\x00\xff\x01", 9, 0.0, b"\x00" * 100)
+        assert decode_entries(encode_entries([e])) == [e]
+
+    def test_corrupt_crc_detected(self):
+        data = bytearray(encode_entries([entry("a", 1)]))
+        data[10] ^= 0xFF
+        with pytest.raises(CorruptionError):
+            decode_entries(bytes(data))
+
+    def test_truncated_block_detected(self):
+        data = encode_entries([entry("a", 1), entry("b", 2)])
+        with pytest.raises(CorruptionError):
+            decode_entries(data[:6])
+
+    def test_crc_mismatch_after_bitflip_anywhere(self):
+        data = encode_entries([entry("key-%d" % i, i + 1) for i in range(20)])
+        for pos in range(4, len(data), 37):
+            corrupted = bytearray(data)
+            corrupted[pos] ^= 0x01
+            with pytest.raises(CorruptionError):
+                decode_entries(bytes(corrupted))
+
+    def test_large_values(self):
+        big = entry("k", 1, value="x" * 1_000_000)
+        assert decode_entries(encode_entries([big]))[0].value == big.value
+
+    def test_count_field_matches(self):
+        data = encode_entries([entry(i, i + 1) for i in range(7)])
+        (count,) = struct.unpack_from("<I", data, 4)
+        assert count == 7

@@ -1,0 +1,118 @@
+"""Unit tests for the versioned manifest."""
+
+import pytest
+
+from repro.lsm.errors import ManifestError
+from repro.lsm.manifest import LevelEdit, Manifest
+from repro.lsm.sstable import SSTable
+
+from tests.conftest import entry
+
+
+def table_of(keys):
+    return SSTable.from_entries([entry(k, 1) for k in keys])
+
+
+def test_add_and_remove():
+    m = Manifest(3)
+    t = table_of([1, 2])
+    m.apply(LevelEdit().add(0, [t]))
+    assert m.level(0) == [t]
+    m.apply(LevelEdit().remove(0, [t]))
+    assert m.level(0) == []
+    assert m.version == 2
+
+
+def test_remove_missing_table_rejected_atomically():
+    m = Manifest(2)
+    present = table_of([1])
+    absent = table_of([2])
+    m.apply(LevelEdit().add(0, [present]))
+    version = m.version
+    with pytest.raises(ManifestError):
+        m.apply(LevelEdit().remove(0, [present, absent]).add(1, [table_of([9])]))
+    # Nothing changed: the edit failed atomically.
+    assert m.version == version
+    assert m.level(0) == [present]
+    assert m.level(1) == []
+
+
+def test_overlap_rejected_in_sorted_levels():
+    m = Manifest(2)
+    m.apply(LevelEdit().add(1, [table_of([1, 5])]))
+    with pytest.raises(ManifestError):
+        m.apply(LevelEdit().add(1, [table_of([4, 9])]))
+
+
+def test_overlap_allowed_in_level0():
+    m = Manifest(2)
+    m.apply(LevelEdit().add(0, [table_of([1, 5])]))
+    m.apply(LevelEdit().add(0, [table_of([4, 9])]))
+    assert len(m.level(0)) == 2
+
+
+def test_sorted_levels_kept_ordered():
+    m = Manifest(2)
+    m.apply(LevelEdit().add(1, [table_of([10, 15]), table_of([0, 5])]))
+    mins = [t.min_key for t in m.level(1)]
+    assert mins == sorted(mins)
+
+
+def test_swap_in_one_edit():
+    """A compaction's remove+add lands as a single version bump."""
+    m = Manifest(2)
+    old = [table_of([0, 4]), table_of([5, 9])]
+    m.apply(LevelEdit().add(1, old))
+    new = [table_of([0, 9])]
+    before = m.version
+    m.apply(LevelEdit().remove(1, old).add(1, new))
+    assert m.version == before + 1
+    assert m.level(1) == new
+
+
+def test_snapshot_isolated_from_later_edits():
+    m = Manifest(2)
+    t = table_of([1])
+    m.apply(LevelEdit().add(0, [t]))
+    snap = m.snapshot()
+    m.apply(LevelEdit().remove(0, [t]))
+    assert snap[0] == [t]
+    assert m.level(0) == []
+
+
+def test_level_sizes_and_totals():
+    m = Manifest(3)
+    m.apply(LevelEdit().add(0, [table_of([1, 2])]).add(2, [table_of([5, 6, 7])]))
+    assert m.level_sizes() == [1, 0, 1]
+    assert m.total_entries() == 5
+
+
+def test_zero_levels_rejected():
+    with pytest.raises(ManifestError):
+        Manifest(0)
+
+
+def test_double_add_rejected():
+    """The same table object cannot live in two places at once."""
+    m = Manifest(2)
+    t = table_of([1, 2])
+    m.apply(LevelEdit().add(0, [t]))
+    with pytest.raises(ManifestError):
+        m.apply(LevelEdit().add(1, [t]))
+
+
+def test_double_add_within_one_edit_rejected():
+    m = Manifest(2)
+    t = table_of([1, 2])
+    with pytest.raises(ManifestError):
+        m.apply(LevelEdit().add(0, [t]).add(1, [t]))
+
+
+def test_move_between_levels_in_one_edit_allowed():
+    """Remove+add of the same table (a move) is legal."""
+    m = Manifest(2)
+    t = table_of([1, 2])
+    m.apply(LevelEdit().add(0, [t]))
+    m.apply(LevelEdit().remove(0, [t]).add(1, [t]))
+    assert m.level(0) == []
+    assert m.level(1) == [t]

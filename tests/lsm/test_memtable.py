@@ -1,0 +1,98 @@
+"""Unit tests for the skip-list memtable."""
+
+from repro.lsm.entry import encode_key
+from repro.lsm.memtable import Memtable, SkipList
+
+from tests.conftest import entry
+
+
+class TestSkipList:
+    def test_insert_and_get(self):
+        sl = SkipList()
+        sl.insert(entry("b", 1))
+        sl.insert(entry("a", 2))
+        sl.insert(entry("c", 3))
+        assert sl.get(encode_key("a")).seqno == 2
+        assert sl.get(encode_key("missing")) is None
+        assert len(sl) == 3
+
+    def test_iteration_is_key_ordered(self):
+        sl = SkipList(seed=7)
+        for key in [5, 1, 9, 3, 7, 2, 8, 4, 6, 0]:
+            sl.insert(entry(key, key + 1))
+        keys = [e.key for e in sl]
+        assert keys == sorted(keys)
+
+    def test_newer_version_replaces_older(self):
+        sl = SkipList()
+        sl.insert(entry("k", 1, value="old"))
+        sl.insert(entry("k", 2, value="new"))
+        assert sl.get(encode_key("k")).value == b"new"
+        assert len(sl) == 1
+
+    def test_older_version_does_not_replace_newer(self):
+        sl = SkipList()
+        sl.insert(entry("k", 5, value="new"))
+        sl.insert(entry("k", 1, value="stale"))
+        assert sl.get(encode_key("k")).value == b"new"
+
+    def test_retain_versions_keeps_all_newest_first(self):
+        sl = SkipList()
+        sl.insert(entry("k", 1), retain_versions=True)
+        sl.insert(entry("k", 3), retain_versions=True)
+        sl.insert(entry("k", 2), retain_versions=True)
+        versions = [e.seqno for e in sl]
+        assert versions == [3, 2, 1]
+
+    def test_range_bounds(self):
+        sl = SkipList()
+        for key in range(10):
+            sl.insert(entry(key, key + 1))
+        got = [e.key for e in sl.range(encode_key(3), encode_key(7))]
+        assert got == [encode_key(k) for k in [3, 4, 5, 6]]
+
+    def test_range_unbounded(self):
+        sl = SkipList()
+        for key in range(5):
+            sl.insert(entry(key, key + 1))
+        assert len(list(sl.range(None, None))) == 5
+        assert len(list(sl.range(encode_key(2), None))) == 3
+        assert len(list(sl.range(None, encode_key(2)))) == 2
+
+
+class TestMemtable:
+    def test_fills_at_capacity(self):
+        mt = Memtable(capacity_entries=3)
+        for i in range(3):
+            assert not mt.is_full()
+            mt.put(entry(i, i + 1))
+        assert mt.is_full()
+        assert len(mt) == 3
+
+    def test_overwrites_count_toward_capacity(self):
+        # Capacity is measured in writes (the paper batches *operations*),
+        # not distinct keys.
+        mt = Memtable(capacity_entries=2)
+        mt.put(entry("k", 1))
+        mt.put(entry("k", 2))
+        assert mt.is_full()
+        assert mt.num_keys == 1
+
+    def test_entries_sorted_for_flush(self):
+        mt = Memtable(capacity_entries=100)
+        for key in [9, 2, 5, 1]:
+            mt.put(entry(key, key + 1))
+        keys = [e.key for e in mt.entries()]
+        assert keys == sorted(keys)
+
+    def test_get_returns_newest(self):
+        mt = Memtable(capacity_entries=10)
+        mt.put(entry("k", 1, value="a"))
+        mt.put(entry("k", 2, value="b"))
+        assert mt.get(encode_key("k")).value == b"b"
+
+    def test_retain_versions_mode(self):
+        mt = Memtable(capacity_entries=10, retain_versions=True)
+        mt.put(entry("k", 1))
+        mt.put(entry("k", 2))
+        assert len([e for e in mt.entries() if e.key == encode_key("k")]) == 2

@@ -1,0 +1,105 @@
+"""Unit tests for the on-disk sstable format."""
+
+import os
+
+import pytest
+
+from repro.lsm.entry import encode_key
+from repro.lsm.errors import ClosedError, CorruptionError
+from repro.lsm.sstable import SSTable
+from repro.lsm.sstable_io import SSTableReader, read_sstable, write_sstable
+
+from tests.conftest import entry
+
+
+@pytest.fixture
+def table():
+    return SSTable.from_entries([entry(k, k + 1) for k in range(100)], block_entries=8)
+
+
+def test_roundtrip(tmp_path, table):
+    path = str(tmp_path / "t.sst")
+    write_sstable(table, path, block_entries=8)
+    loaded = read_sstable(path)
+    assert loaded.entries == table.entries
+
+
+def test_point_lookup_without_full_load(tmp_path, table):
+    path = str(tmp_path / "t.sst")
+    write_sstable(table, path, block_entries=8)
+    with SSTableReader(path) as reader:
+        for k in range(100):
+            assert reader.get(encode_key(k)).key == encode_key(k)
+        assert reader.get(encode_key(1000)) is None
+
+
+def test_bloom_filter_persisted(tmp_path, table):
+    path = str(tmp_path / "t.sst")
+    write_sstable(table, path)
+    with SSTableReader(path) as reader:
+        assert all(reader.bloom.might_contain(encode_key(k)) for k in range(100))
+
+
+def test_scan_is_sorted(tmp_path, table):
+    path = str(tmp_path / "t.sst")
+    write_sstable(table, path, block_entries=8)
+    with SSTableReader(path) as reader:
+        keys = [e.key for e in reader.scan()]
+    assert keys == sorted(keys)
+    assert len(keys) == 100
+
+
+def test_closed_reader_raises(tmp_path, table):
+    path = str(tmp_path / "t.sst")
+    write_sstable(table, path)
+    reader = SSTableReader(path)
+    reader.close()
+    with pytest.raises(ClosedError):
+        reader.get(encode_key(1))
+
+
+def test_bad_magic_detected(tmp_path, table):
+    path = str(tmp_path / "t.sst")
+    write_sstable(table, path)
+    with open(path, "r+b") as f:
+        f.seek(-4, os.SEEK_END)
+        f.write(b"XXXX")
+    with pytest.raises(CorruptionError):
+        SSTableReader(path)
+
+
+def test_footer_corruption_detected(tmp_path, table):
+    path = str(tmp_path / "t.sst")
+    write_sstable(table, path)
+    with open(path, "r+b") as f:
+        f.seek(-20, os.SEEK_END)
+        f.write(b"\xff\xff")
+    with pytest.raises(CorruptionError):
+        SSTableReader(path)
+
+
+def test_data_block_corruption_detected(tmp_path, table):
+    path = str(tmp_path / "t.sst")
+    write_sstable(table, path, block_entries=8)
+    with open(path, "r+b") as f:
+        f.seek(20)
+        byte = f.read(1)
+        f.seek(20)
+        f.write(bytes([byte[0] ^ 0xFF]))
+    with pytest.raises(CorruptionError):
+        read_sstable(path)
+
+
+def test_truncated_file_detected(tmp_path, table):
+    path = str(tmp_path / "t.sst")
+    write_sstable(table, path)
+    with open(path, "r+b") as f:
+        f.truncate(10)
+    with pytest.raises(CorruptionError):
+        SSTableReader(path)
+
+
+def test_write_is_atomic_no_tmp_left_behind(tmp_path, table):
+    path = str(tmp_path / "t.sst")
+    write_sstable(table, path)
+    assert not os.path.exists(path + ".tmp")

@@ -1,0 +1,149 @@
+"""Tests for the analytic cost model and Monkey-style bloom tuning."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lsm.errors import InvalidConfigError
+from repro.lsm.tuning import (
+    LSMShape,
+    TuningComparison,
+    bloom_false_positive_rate,
+    expected_zero_result_probes,
+    leveled_space_amplification,
+    leveled_write_cost,
+    optimal_bloom_allocation,
+    point_lookup_cost,
+    tiered_space_amplification,
+    tiered_write_cost,
+    uniform_bloom_allocation,
+)
+
+
+class TestShape:
+    def test_paper_100k_shape(self):
+        # 100K entries, 1K buffer, ratio 10 -> L1 10K? levels: buffer 1K,
+        # L1 10K, L2 100K: two on-disk levels.
+        shape = LSMShape(100_000, 1_000, 10.0)
+        assert shape.num_levels == 2
+        assert shape.level_entries() == [10_000, 100_000]
+
+    def test_tiny_dataset_single_level(self):
+        shape = LSMShape(500, 1_000, 10.0)
+        assert shape.num_levels == 1
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfigError):
+            LSMShape(0, 10)
+        with pytest.raises(InvalidConfigError):
+            LSMShape(10, 10, size_ratio=1.0)
+
+    @given(
+        total=st.integers(min_value=1, max_value=10**9),
+        buffer=st.integers(min_value=1, max_value=10**6),
+        ratio=st.floats(min_value=1.5, max_value=64),
+    )
+    def test_levels_cover_data(self, total, buffer, ratio):
+        shape = LSMShape(total, buffer, ratio)
+        capacity = buffer * ratio**shape.num_levels
+        assert capacity >= total or shape.num_levels >= 1
+
+
+class TestCostFormulas:
+    def test_leveling_costs_more_writes(self):
+        shape = LSMShape(1_000_000, 1_000, 10.0)
+        assert leveled_write_cost(shape) > tiered_write_cost(shape)
+
+    def test_tiering_costs_more_space(self):
+        shape = LSMShape(1_000_000, 1_000, 10.0)
+        assert tiered_space_amplification(shape) > leveled_space_amplification(shape)
+
+    def test_write_cost_grows_with_ratio_for_leveling(self):
+        small = LSMShape(10**6, 10**3, 4.0)
+        large = LSMShape(10**6, 10**3, 16.0)
+        # Same data: higher ratio -> fewer levels but more rewriting per
+        # level; at these sizes the per-level term dominates.
+        assert leveled_write_cost(large) > leveled_write_cost(small)
+
+    def test_comparison_bundle(self):
+        comparison = TuningComparison.for_shape(LSMShape(10**6, 10**3))
+        assert comparison.leveled_write > comparison.tiered_write
+        assert comparison.tiered_space > comparison.leveled_space
+
+
+class TestBloomMath:
+    def test_fp_rate_decreases_with_bits(self):
+        assert bloom_false_positive_rate(10) < bloom_false_positive_rate(5)
+
+    def test_zero_bits_always_positive(self):
+        assert bloom_false_positive_rate(0) == 1.0
+
+    def test_ten_bits_is_about_one_percent(self):
+        assert bloom_false_positive_rate(10) == pytest.approx(0.0082, abs=0.001)
+
+    def test_point_lookup_cost(self):
+        assert point_lookup_cost([0.01, 0.01, 0.01]) == pytest.approx(0.03)
+        assert point_lookup_cost([0.01], hit=True) == pytest.approx(1.01)
+
+    def test_matches_real_bloom_filter(self):
+        """The analytic FP rate predicts our actual BloomFilter."""
+        from repro.lsm.bloom import BloomFilter
+
+        keys = [b"k-%d" % i for i in range(5_000)]
+        bloom = BloomFilter.build(keys, false_positive_rate=0.01)
+        bits_per_entry = bloom.num_bits / len(keys)
+        predicted = bloom_false_positive_rate(bits_per_entry)
+        probes = [b"x-%d" % i for i in range(50_000)]
+        measured = sum(bloom.might_contain(p) for p in probes) / len(probes)
+        assert measured == pytest.approx(predicted, abs=0.01)
+
+
+class TestMonkeyAllocation:
+    LEVELS = [10_000, 100_000, 1_000_000]
+
+    def test_total_bits_respected(self):
+        total = 10.0 * sum(self.LEVELS)
+        allocation = optimal_bloom_allocation(total, self.LEVELS)
+        assert sum(allocation) == pytest.approx(total, rel=1e-6)
+
+    def test_smaller_levels_get_more_bits_per_entry(self):
+        total = 10.0 * sum(self.LEVELS)
+        allocation = optimal_bloom_allocation(total, self.LEVELS)
+        per_entry = [b / n for b, n in zip(allocation, self.LEVELS)]
+        assert per_entry[0] > per_entry[1] > per_entry[2]
+
+    def test_beats_uniform_allocation(self):
+        """Monkey's claim: same memory, fewer expected probes."""
+        total = 8.0 * sum(self.LEVELS)
+        uniform = uniform_bloom_allocation(total, self.LEVELS)
+        optimal = optimal_bloom_allocation(total, self.LEVELS)
+        assert expected_zero_result_probes(
+            optimal, self.LEVELS
+        ) < expected_zero_result_probes(uniform, self.LEVELS)
+
+    def test_single_level_gets_everything(self):
+        allocation = optimal_bloom_allocation(1_000.0, [100])
+        assert allocation == pytest.approx([1_000.0])
+
+    def test_empty_levels(self):
+        assert optimal_bloom_allocation(100.0, []) == []
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfigError):
+            optimal_bloom_allocation(-1.0, [10])
+        with pytest.raises(InvalidConfigError):
+            optimal_bloom_allocation(10.0, [0])
+
+    @given(
+        budget_per_entry=st.floats(min_value=1.0, max_value=20.0),
+        sizes=st.lists(st.integers(min_value=10, max_value=10**6), min_size=1, max_size=6),
+    )
+    def test_never_worse_than_uniform(self, budget_per_entry, sizes):
+        total = budget_per_entry * sum(sizes)
+        uniform = uniform_bloom_allocation(total, sizes)
+        optimal = optimal_bloom_allocation(total, sizes)
+        assert expected_zero_result_probes(optimal, sizes) <= expected_zero_result_probes(
+            uniform, sizes
+        ) * (1 + 1e-6)

@@ -1,0 +1,126 @@
+"""Unit tests for single-decree Paxos."""
+
+import pytest
+
+from repro.replication.paxos import PaxosConflict, PaxosMixin
+from repro.sim.kernel import Kernel
+from repro.sim.machine import Machine
+from repro.sim.network import Network
+from repro.sim.regions import Region
+from repro.sim.rng import RngRegistry
+from repro.sim.rpc import RpcNode
+
+
+class PaxosNode(RpcNode, PaxosMixin):
+    def __init__(self, kernel, network, machine, name):
+        super().__init__(kernel, network, machine, name)
+        self.init_paxos()
+
+
+def build_group(n=3, seed=1):
+    kernel = Kernel()
+    network = Network(kernel, RngRegistry(seed))
+    nodes = []
+    for i in range(n):
+        machine = Machine(kernel, f"m{i}", Region.VIRGINIA)
+        nodes.append(PaxosNode(kernel, network, machine, f"p{i}"))
+    return kernel, nodes
+
+
+def propose(kernel, node, instance, value, acceptors):
+    def driver():
+        return (yield from node.paxos_propose(instance, value, acceptors))
+
+    return kernel.run_process(driver())
+
+
+class TestBasicAgreement:
+    def test_single_proposer_decides_own_value(self):
+        kernel, nodes = build_group()
+        acceptors = [n.name for n in nodes]
+        decided = propose(kernel, nodes[0], "i1", "alpha", acceptors)
+        assert decided == "alpha"
+
+    def test_decision_learned_by_all(self):
+        kernel, nodes = build_group()
+        acceptors = [n.name for n in nodes]
+        propose(kernel, nodes[0], "i1", "alpha", acceptors)
+        kernel.run()
+        for node in nodes:
+            assert node.decisions.get("i1") == "alpha"
+
+    def test_second_proposal_sees_first_decision(self):
+        kernel, nodes = build_group()
+        acceptors = [n.name for n in nodes]
+        propose(kernel, nodes[0], "i1", "alpha", acceptors)
+        decided = propose(kernel, nodes[1], "i1", "beta", acceptors)
+        assert decided == "alpha"  # safety: never two different decisions
+
+    def test_instances_independent(self):
+        kernel, nodes = build_group()
+        acceptors = [n.name for n in nodes]
+        assert propose(kernel, nodes[0], "a", "va", acceptors) == "va"
+        assert propose(kernel, nodes[1], "b", "vb", acceptors) == "vb"
+
+
+class TestConcurrency:
+    def test_concurrent_proposers_agree(self):
+        kernel, nodes = build_group(5)
+        acceptors = [n.name for n in nodes]
+        results = []
+
+        def proposer(node, value):
+            decided = yield from node.paxos_propose("race", value, acceptors)
+            results.append(decided)
+
+        for i in range(3):
+            kernel.spawn(proposer(nodes[i], f"v{i}"))
+        kernel.run()
+        assert len(results) == 3
+        assert len(set(results)) == 1  # agreement
+
+    def test_agreement_across_seeds(self):
+        for seed in range(5):
+            kernel, nodes = build_group(3, seed=seed)
+            acceptors = [n.name for n in nodes]
+            results = []
+
+            def proposer(node, value):
+                decided = yield from node.paxos_propose("x", value, acceptors)
+                results.append(decided)
+
+            kernel.spawn(proposer(nodes[0], "first"))
+            kernel.spawn(proposer(nodes[1], "second"))
+            kernel.run()
+            assert len(set(results)) == 1
+
+
+class TestFailures:
+    def test_decides_with_minority_crashed(self):
+        kernel, nodes = build_group(5)
+        acceptors = [n.name for n in nodes]
+        nodes[3].crash()
+        nodes[4].crash()
+        decided = propose(kernel, nodes[0], "i", "ok", acceptors)
+        assert decided == "ok"
+
+    def test_no_decision_without_majority(self):
+        kernel, nodes = build_group(3)
+        acceptors = [n.name for n in nodes]
+        nodes[1].crash()
+        nodes[2].crash()
+        with pytest.raises(PaxosConflict):
+            propose(kernel, nodes[0], "i", "stuck", acceptors)
+
+    def test_value_survives_partial_accept(self):
+        """If a value reached any acceptor with the highest ballot, a
+        later proposer adopts it (the core safety property)."""
+        kernel, nodes = build_group(3)
+        acceptors = [n.name for n in nodes]
+        # First proposal decides normally.
+        first = propose(kernel, nodes[0], "i", "alpha", acceptors)
+        # Wipe learners to force the second proposer through phase 1.
+        for node in nodes:
+            node.decisions.clear()
+        second = propose(kernel, nodes[1], "i", "beta", acceptors)
+        assert second == first == "alpha"

@@ -1,0 +1,92 @@
+"""Property tests: Paxos agreement under message drops and crashes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.replication.paxos import PaxosConflict, PaxosMixin
+from repro.sim.kernel import Kernel
+from repro.sim.machine import Machine
+from repro.sim.network import FaultPlan, Network
+from repro.sim.regions import Region
+from repro.sim.rng import RngRegistry
+from repro.sim.rpc import RpcNode
+
+
+class PaxosNode(RpcNode, PaxosMixin):
+    def __init__(self, kernel, network, machine, name):
+        super().__init__(kernel, network, machine, name)
+        self.init_paxos()
+
+
+def build_group(n, seed, drop=0.0):
+    kernel = Kernel()
+    network = Network(
+        kernel,
+        RngRegistry(seed),
+        faults=FaultPlan(drop_probability=drop, retransmit_timeout=0.05),
+    )
+    nodes = []
+    for i in range(n):
+        machine = Machine(kernel, f"m{i}", Region.VIRGINIA)
+        nodes.append(PaxosNode(kernel, network, machine, f"p{i}"))
+    return kernel, nodes
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    drop=st.floats(min_value=0.0, max_value=0.3),
+    proposers=st.integers(min_value=1, max_value=4),
+)
+def test_agreement_under_drops(seed, drop, proposers):
+    """No two proposers ever decide different values, whatever the
+    network does (drops become delay under the TCP model)."""
+    kernel, nodes = build_group(5, seed, drop)
+    acceptors = [n.name for n in nodes]
+    decisions = []
+
+    def proposer(node, value):
+        try:
+            decided = yield from node.paxos_propose(
+                "slot", value, acceptors, timeout=0.5, max_rounds=30
+            )
+            decisions.append(decided)
+        except PaxosConflict:
+            pass  # liveness may fail under duels; safety must not
+
+    for i in range(proposers):
+        kernel.spawn(proposer(nodes[i], f"value-{i}"))
+    kernel.run()
+    assert len(set(decisions)) <= 1
+    # All learners that learned agree with the decision.
+    learned = {
+        node.decisions["slot"] for node in nodes if "slot" in node.decisions
+    }
+    assert len(learned) <= 1
+    if decisions:
+        assert learned <= set(decisions)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), crashed=st.integers(min_value=0, max_value=2))
+def test_agreement_with_minority_crashes(seed, crashed):
+    kernel, nodes = build_group(5, seed)
+    acceptors = [n.name for n in nodes]
+    for node in nodes[-crashed:] if crashed else []:
+        node.crash()
+    decisions = []
+
+    def proposer(node, value):
+        try:
+            decided = yield from node.paxos_propose(
+                "slot", value, acceptors, timeout=0.3, max_rounds=20
+            )
+            decisions.append(decided)
+        except PaxosConflict:
+            pass
+
+    kernel.spawn(proposer(nodes[0], "a"))
+    kernel.spawn(proposer(nodes[1], "b"))
+    kernel.run()
+    assert len(set(decisions)) <= 1
+    assert decisions  # a majority is alive: someone must decide

@@ -1,0 +1,100 @@
+"""Unit tests for loose clocks and the 2-delta ordering rule."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.clock import LooseClock, concurrent, definitely_after
+from repro.sim.kernel import Kernel
+from repro.sim.rng import RngRegistry
+
+
+def make_clock(delta=0.01, name="node"):
+    kernel = Kernel()
+    rng = RngRegistry(seed=5).stream(f"clock.{name}")
+    return kernel, LooseClock(kernel, delta, rng)
+
+
+def test_offset_bounded_by_delta():
+    kernel, clock = make_clock(delta=0.05)
+    for t in range(0, 1000, 7):
+        kernel.now = float(t)
+        assert abs(clock.now() - kernel.now) < 0.05
+
+
+def test_readings_monotone_per_node():
+    kernel, clock = make_clock(delta=0.5)
+    last = -1.0
+    for t in [0.0, 0.1, 0.1, 0.2, 0.2000001, 5.0]:
+        kernel.now = t
+        reading = clock.now()
+        assert reading > last
+        last = reading
+
+
+def test_different_nodes_have_different_offsets():
+    kernel = Kernel()
+    registry = RngRegistry(seed=5)
+    a = LooseClock(kernel, 0.05, registry.stream("clock.a"))
+    b = LooseClock(kernel, 0.05, registry.stream("clock.b"))
+    kernel.now = 100.0
+    assert a.now() != b.now()
+
+
+def test_negative_delta_rejected():
+    kernel = Kernel()
+    with pytest.raises(ValueError):
+        LooseClock(kernel, -1.0, RngRegistry(1).stream("x"))
+
+
+def test_zero_delta_is_perfect_clock():
+    kernel, clock = make_clock(delta=0.0)
+    kernel.now = 42.0
+    assert clock.now() == pytest.approx(42.0)
+
+
+class TestTwoDeltaRule:
+    def test_definitely_after(self):
+        delta = 0.01
+        assert definitely_after(1.02, 1.0, delta)
+        assert not definitely_after(1.019, 1.0, delta)
+        assert not definitely_after(1.0, 1.02, delta)
+
+    def test_concurrent_is_symmetric(self):
+        delta = 0.01
+        assert concurrent(1.0, 1.015, delta)
+        assert concurrent(1.015, 1.0, delta)
+        assert not concurrent(1.0, 1.02, delta)
+
+    @given(
+        st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        st.floats(min_value=1e-6, max_value=1.0),
+    )
+    def test_trichotomy(self, ts_a, ts_b, delta):
+        """Any two stamps are ordered one way, the other way, or concurrent."""
+        outcomes = [
+            definitely_after(ts_a, ts_b, delta),
+            definitely_after(ts_b, ts_a, delta),
+            concurrent(ts_a, ts_b, delta),
+        ]
+        assert sum(outcomes) == 1
+
+    @given(st.data())
+    def test_ordering_sound_for_true_times(self, data):
+        """If the rule orders two events, their true times agree.
+
+        Stamps err by less than delta, so ts diff >= 2*delta implies the
+        true times are really ordered — the paper's soundness claim.
+        """
+        delta = data.draw(st.floats(min_value=1e-3, max_value=1.0))
+        true_a = data.draw(st.floats(min_value=0, max_value=100))
+        true_b = data.draw(st.floats(min_value=0, max_value=100))
+        err_a = data.draw(st.floats(min_value=-delta, max_value=delta))
+        err_b = data.draw(st.floats(min_value=-delta, max_value=delta))
+        # strict bound: |err| < delta
+        err_a *= 0.999
+        err_b *= 0.999
+        ts_a, ts_b = true_a + err_a, true_b + err_b
+        if definitely_after(ts_a, ts_b, delta):
+            assert true_a >= true_b

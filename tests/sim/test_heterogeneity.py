@@ -1,0 +1,66 @@
+"""Machine heterogeneity: edge hardware slower than cloud hardware.
+
+The paper's motivation (Section I) includes "machine and workload
+heterogeneity"; the simulator models it via per-machine speed factors.
+"""
+
+from repro.core import ClusterSpec, CooLSMConfig, build_cluster
+from repro.sim.machine import Machine
+from repro.sim.kernel import Kernel
+from repro.sim.regions import Region
+
+from tests.core.conftest import TINY, fill
+
+
+def test_speed_factor_scales_all_compute():
+    kernel = Kernel()
+    fast = Machine(kernel, "fast", Region.VIRGINIA, speed=2.0)
+    slow = Machine(kernel, "slow", Region.VIRGINIA, speed=0.5)
+    times = {}
+
+    def job(machine, tag):
+        start = kernel.now
+        yield from machine.execute(1.0)
+        times[tag] = kernel.now - start
+
+    kernel.spawn(job(fast, "fast"))
+    kernel.spawn(job(slow, "slow"))
+    kernel.run()
+    assert times["fast"] == 0.5
+    assert times["slow"] == 2.0
+
+
+def test_slow_edge_ingestor_raises_write_latency():
+    """A weaker edge machine makes every Ingestor compute step slower,
+    raising write latency — CooLSM still functions correctly."""
+
+    def mean_write(speed):
+        cluster = build_cluster(ClusterSpec(config=TINY, num_compactors=2))
+        # Rebuild the Ingestor machine's speed before driving.
+        cluster.ingestors[0].machine.speed = speed
+        client = cluster.add_client(colocate_with="ingestor-0")
+        oracle = cluster.run_process(fill(cluster, client, 1_500, key_range=300))
+        latencies = client.stats.all("write")
+
+        def verify():
+            misses = 0
+            for key, value in oracle.items():
+                got = yield from client.read(key)
+                misses += got != value
+            return misses
+
+        assert cluster.run_process(verify()) == 0
+        return sum(latencies) / len(latencies)
+
+    assert mean_write(0.25) > mean_write(1.0)
+
+
+def test_busy_time_accounting():
+    kernel = Kernel()
+    machine = Machine(kernel, "m", Region.VIRGINIA, speed=0.5)
+
+    def job():
+        yield from machine.execute(1.0)
+
+    kernel.run_process(job())
+    assert machine.busy_time == 2.0

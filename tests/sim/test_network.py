@@ -1,0 +1,209 @@
+"""Unit tests for machines, regions, and the network."""
+
+import pytest
+
+from repro.sim.kernel import Kernel
+from repro.sim.machine import Machine
+from repro.sim.network import FaultPlan, Network
+from repro.sim.regions import (
+    INTRA_DC_RTT,
+    LatencyModel,
+    Region,
+    one_way,
+    rtt,
+)
+from repro.sim.rng import RngRegistry
+
+
+def build(faults=None, jitter=0.0):
+    kernel = Kernel()
+    rng = RngRegistry(seed=1)
+    network = Network(
+        kernel, rng, LatencyModel(jitter_fraction=jitter), faults or FaultPlan()
+    )
+    va = Machine(kernel, "m-va", Region.VIRGINIA)
+    ca = Machine(kernel, "m-ca", Region.CALIFORNIA)
+    return kernel, network, va, ca
+
+
+class TestRegions:
+    def test_rtt_symmetric(self):
+        for a in Region:
+            for b in Region:
+                assert rtt(a, b) == rtt(b, a)
+
+    def test_same_region_is_intra_dc(self):
+        assert rtt(Region.VIRGINIA, Region.VIRGINIA) == INTRA_DC_RTT
+
+    def test_paper_calibration_california(self):
+        # Table III: a CA<->VA round trip is ~61 ms.
+        assert rtt(Region.VIRGINIA, Region.CALIFORNIA) == pytest.approx(0.061)
+
+    def test_distance_ordering_matches_paper(self):
+        """Ohio < California < Oregon < London from Virginia (Section IV-D)."""
+        distances = [
+            rtt(Region.VIRGINIA, r)
+            for r in (Region.OHIO, Region.CALIFORNIA, Region.OREGON, Region.LONDON)
+        ]
+        assert distances == sorted(distances)
+
+    def test_one_way_is_half_rtt(self):
+        assert one_way(Region.VIRGINIA, Region.OHIO) == rtt(Region.VIRGINIA, Region.OHIO) / 2
+
+
+class TestMachine:
+    def test_execute_consumes_time(self):
+        kernel = Kernel()
+        machine = Machine(kernel, "m", Region.VIRGINIA, cores=1)
+
+        def job():
+            yield from machine.execute(2.0)
+            return kernel.now
+
+        assert kernel.run_process(job()) == 2.0
+
+    def test_speed_scales_cost(self):
+        kernel = Kernel()
+        slow = Machine(kernel, "m", Region.VIRGINIA, cores=1, speed=0.5)
+
+        def job():
+            yield from slow.execute(1.0)
+            return kernel.now
+
+        assert kernel.run_process(job()) == 2.0
+
+    def test_cores_limit_parallelism(self):
+        kernel = Kernel()
+        machine = Machine(kernel, "m", Region.VIRGINIA, cores=4)
+        done = []
+
+        def job():
+            yield from machine.execute(1.0)
+            done.append(kernel.now)
+
+        for __ in range(8):
+            kernel.spawn(job())
+        kernel.run()
+        assert done == [1.0] * 4 + [2.0] * 4
+
+    def test_zero_cost_is_free(self):
+        kernel = Kernel()
+        machine = Machine(kernel, "m", Region.VIRGINIA)
+
+        def job():
+            yield from machine.execute(0.0)
+            return kernel.now
+
+        assert kernel.run_process(job()) == 0.0
+
+    def test_invalid_params_rejected(self):
+        kernel = Kernel()
+        with pytest.raises(ValueError):
+            Machine(kernel, "m", Region.VIRGINIA, speed=0)
+        machine = Machine(kernel, "m2", Region.VIRGINIA)
+
+        def job():
+            yield from machine.execute(-1.0)
+
+        with pytest.raises(ValueError):
+            kernel.run_process(job())
+
+
+class TestNetwork:
+    def test_delivery_latency_about_one_way(self):
+        kernel, network, va, ca = build()
+        inbox = network.register("dst", ca)
+        network.register("src", va)
+
+        def receiver():
+            __, msg = yield inbox.get()
+            return kernel.now, msg
+
+        network.send("src", "dst", "hello", size_bytes=100)
+        arrival, msg = kernel.run_process(receiver())
+        assert msg == "hello"
+        expected = one_way(Region.VIRGINIA, Region.CALIFORNIA)
+        assert expected <= arrival <= expected * 1.2 + 1e-3
+
+    def test_fifo_per_channel(self):
+        kernel, network, va, ca = build(jitter=0.5)
+        inbox = network.register("dst", ca)
+        network.register("src", va)
+        got = []
+
+        def receiver():
+            for __ in range(20):
+                __, msg = yield inbox.get()
+                got.append(msg)
+
+        for i in range(20):
+            network.send("src", "dst", i)
+        kernel.spawn(receiver())
+        kernel.run()
+        assert got == list(range(20))
+
+    def test_loopback_much_faster_than_wan(self):
+        kernel = Kernel()
+        network = Network(kernel, RngRegistry(1))
+        machine = Machine(kernel, "m", Region.CALIFORNIA)
+        inbox = network.register("b", machine)
+        network.register("a", machine)
+
+        def receiver():
+            yield inbox.get()
+            return kernel.now
+
+        network.send("a", "b", "x")
+        arrival = kernel.run_process(receiver())
+        assert arrival < 0.001  # well under intra-region latency
+
+    def test_drop_adds_retransmit_delay(self):
+        faults = FaultPlan(drop_probability=1.0, retransmit_timeout=0.5)
+        kernel, network, va, ca = build(faults=faults)
+        inbox = network.register("dst", ca)
+        network.register("src", va)
+
+        def receiver():
+            yield inbox.get()
+            return kernel.now
+
+        network.send("src", "dst", "x")
+        arrival = kernel.run_process(receiver())
+        assert arrival > 0.5
+        assert network.stats.drops == 1
+
+    def test_partition_holds_messages_until_heal(self):
+        kernel, network, va, ca = build()
+        inbox = network.register("dst", ca)
+        network.register("src", va)
+        network.faults.partition("m-va", "m-ca")
+        got = []
+
+        def receiver():
+            __, msg = yield inbox.get()
+            got.append((kernel.now, msg))
+
+        def healer():
+            yield kernel.timeout(10.0)
+            network.heal_partition("m-va", "m-ca")
+
+        network.send("src", "dst", "x")
+        kernel.spawn(receiver())
+        kernel.spawn(healer())
+        kernel.run()
+        assert len(got) == 1
+        assert got[0][0] > 10.0
+
+    def test_duplicate_registration_rejected(self):
+        kernel, network, va, __ = build()
+        network.register("n", va)
+        with pytest.raises(ValueError):
+            network.register("n", va)
+
+    def test_stats_accumulate(self):
+        kernel, network, va, ca = build()
+        network.register("dst", ca)
+        network.register("src", va)
+        network.send("src", "dst", "x", size_bytes=1000)
+        assert network.stats.messages_sent == 1
+        assert network.stats.bytes_sent == 1000

@@ -1,0 +1,93 @@
+"""Property tests for network delivery invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.kernel import Kernel
+from repro.sim.machine import Machine
+from repro.sim.network import FaultPlan, Network
+from repro.sim.regions import LatencyModel, Region
+from repro.sim.rng import RngRegistry
+
+
+def build(seed, jitter, drop):
+    kernel = Kernel()
+    network = Network(
+        kernel,
+        RngRegistry(seed),
+        LatencyModel(jitter_fraction=jitter),
+        FaultPlan(drop_probability=drop, retransmit_timeout=0.1),
+    )
+    src_machine = Machine(kernel, "ms", Region.VIRGINIA)
+    dst_machine = Machine(kernel, "md", Region.LONDON)
+    inbox = network.register("dst", dst_machine)
+    network.register("src", src_machine)
+    return kernel, network, inbox
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 1_000),
+    jitter=st.floats(min_value=0.0, max_value=0.5),
+    drop=st.floats(min_value=0.0, max_value=0.5),
+    count=st.integers(min_value=1, max_value=40),
+)
+def test_fifo_per_channel_under_any_faults(seed, jitter, drop, count):
+    """Messages on one channel always arrive in send order, regardless
+    of jitter and drop/retransmit faults (the TCP contract)."""
+    kernel, network, inbox = build(seed, jitter, drop)
+    received = []
+
+    def receiver():
+        for __ in range(count):
+            __src, message = yield inbox.get()
+            received.append(message)
+
+    for i in range(count):
+        network.send("src", "dst", i)
+    kernel.spawn(receiver())
+    kernel.run()
+    assert received == list(range(count))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 1_000),
+    drop=st.floats(min_value=0.0, max_value=0.9),
+    count=st.integers(min_value=1, max_value=30),
+)
+def test_no_message_ever_lost(seed, drop, count):
+    kernel, network, inbox = build(seed, 0.1, drop)
+    received = []
+
+    def receiver():
+        for __ in range(count):
+            item = yield inbox.get()
+            received.append(item)
+
+    for i in range(count):
+        network.send("src", "dst", i)
+    kernel.spawn(receiver())
+    kernel.run()
+    assert len(received) == count
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 1_000), count=st.integers(min_value=1, max_value=20))
+def test_delivery_never_faster_than_propagation(seed, count):
+    from repro.sim.regions import one_way
+
+    kernel, network, inbox = build(seed, 0.3, 0.0)
+    floor = one_way(Region.VIRGINIA, Region.LONDON)
+    arrivals = []
+
+    def receiver():
+        for __ in range(count):
+            yield inbox.get()
+            arrivals.append(kernel.now)
+
+    for i in range(count):
+        network.send("src", "dst", i, size_bytes=64)
+    kernel.spawn(receiver())
+    kernel.run()
+    assert all(t >= floor for t in arrivals)

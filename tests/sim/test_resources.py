@@ -1,0 +1,117 @@
+"""Unit tests for resources and stores."""
+
+import pytest
+
+from repro.sim.kernel import Kernel, SimError
+from repro.sim.resources import Resource, Store
+
+
+def test_resource_capacity_enforced():
+    kernel = Kernel()
+    resource = Resource(kernel, 2)
+    finished = []
+
+    def job(tag):
+        yield from resource.use(1.0)
+        finished.append((kernel.now, tag))
+
+    for tag in "abcd":
+        kernel.spawn(job(tag))
+    kernel.run()
+    # 2 run in [0,1], next 2 in [1,2].
+    assert [t for t, __ in finished] == [1.0, 1.0, 2.0, 2.0]
+
+
+def test_resource_fifo_order():
+    kernel = Kernel()
+    resource = Resource(kernel, 1)
+    order = []
+
+    def job(tag):
+        yield from resource.use(1.0)
+        order.append(tag)
+
+    for tag in "abc":
+        kernel.spawn(job(tag))
+    kernel.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_release_without_request_raises():
+    kernel = Kernel()
+    resource = Resource(kernel, 1)
+    with pytest.raises(SimError):
+        resource.release()
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(SimError):
+        Resource(Kernel(), 0)
+
+
+def test_queue_length_visible():
+    kernel = Kernel()
+    resource = Resource(kernel, 1)
+
+    def job():
+        yield from resource.use(5.0)
+
+    kernel.spawn(job())
+    kernel.spawn(job())
+    kernel.spawn(job())
+    kernel.run(until=1.0)
+    assert resource.queue_length == 2
+
+
+def test_store_fifo():
+    kernel = Kernel()
+    store = Store(kernel)
+    got = []
+
+    def consumer():
+        for __ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    def producer():
+        for i in range(3):
+            yield kernel.timeout(1.0)
+            store.put(i)
+
+    kernel.spawn(consumer())
+    kernel.spawn(producer())
+    kernel.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_get_before_put_blocks():
+    kernel = Kernel()
+    store = Store(kernel)
+
+    def consumer():
+        item = yield store.get()
+        return kernel.now, item
+
+    def producer():
+        yield kernel.timeout(4.0)
+        store.put("x")
+
+    proc = kernel.spawn(consumer())
+    kernel.spawn(producer())
+    kernel.run()
+    assert proc.value == (4.0, "x")
+
+
+def test_store_buffers_when_no_getter():
+    kernel = Kernel()
+    store = Store(kernel)
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2
+
+    def consumer():
+        a = yield store.get()
+        b = yield store.get()
+        return [a, b]
+
+    assert kernel.run_process(consumer()) == [1, 2]

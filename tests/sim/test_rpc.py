@@ -1,0 +1,179 @@
+"""Unit tests for the RPC layer."""
+
+import pytest
+
+from repro.sim.kernel import Kernel
+from repro.sim.machine import Machine
+from repro.sim.network import Network
+from repro.sim.regions import Region
+from repro.sim.rng import RngRegistry
+from repro.sim.rpc import RemoteError, RpcNode, RpcTimeout
+
+
+def build_pair():
+    kernel = Kernel()
+    network = Network(kernel, RngRegistry(seed=2))
+    m1 = Machine(kernel, "m1", Region.VIRGINIA)
+    m2 = Machine(kernel, "m2", Region.CALIFORNIA)
+    a = RpcNode(kernel, network, m1, "a")
+    b = RpcNode(kernel, network, m2, "b")
+    return kernel, a, b
+
+
+def test_call_reply_roundtrip():
+    kernel, a, b = build_pair()
+
+    def echo(src, payload):
+        return ("echo", src, payload)
+        yield  # pragma: no cover - makes this a generator
+
+    b.on("echo", echo)
+
+    def client():
+        reply = yield a.call("b", "echo", 42)
+        return reply, kernel.now
+
+    reply, elapsed = kernel.run_process(client())
+    assert reply == ("echo", "a", 42)
+    # One WAN round trip: ~61 ms RTT VA<->CA.
+    assert 0.055 <= elapsed <= 0.075
+
+
+def test_handler_can_wait():
+    kernel, a, b = build_pair()
+
+    def slow(src, payload):
+        yield kernel.timeout(1.0)
+        return payload * 2
+
+    b.on("slow", slow)
+
+    def client():
+        return (yield a.call("b", "slow", 21))
+
+    assert kernel.run_process(client()) == 42
+
+
+def test_unknown_method_raises_remote_error():
+    kernel, a, __ = build_pair()
+
+    def client():
+        yield a.call("b", "nope")
+
+    with pytest.raises(RemoteError):
+        kernel.run_process(client())
+
+
+def test_handler_exception_propagates_as_remote_error():
+    kernel, a, b = build_pair()
+
+    def bad(src, payload):
+        raise ValueError("handler broke")
+        yield  # pragma: no cover
+
+    b.on("bad", bad)
+
+    def client():
+        yield a.call("b", "bad")
+
+    with pytest.raises(RemoteError, match="handler broke"):
+        kernel.run_process(client())
+
+
+def test_timeout_on_crashed_peer():
+    kernel, a, b = build_pair()
+    b.crash()
+
+    def client():
+        yield a.call("b", "anything", timeout=0.5)
+
+    with pytest.raises(RpcTimeout):
+        kernel.run_process(client())
+
+
+def test_retry_succeeds_after_recovery():
+    kernel, a, b = build_pair()
+
+    def pong(src, payload):
+        return "pong"
+        yield  # pragma: no cover
+
+    b.on("ping", pong)
+    b.crash()
+
+    def recoverer():
+        yield kernel.timeout(0.6)
+        b.recover()
+
+    def client():
+        reply = yield a.call("b", "ping", timeout=0.5, retries=3)
+        return reply
+
+    kernel.spawn(recoverer())
+    assert kernel.run_process(client()) == "pong"
+
+
+def test_cast_is_one_way():
+    kernel, a, b = build_pair()
+    received = []
+
+    def note(src, payload):
+        received.append((src, payload))
+        return None
+        yield  # pragma: no cover
+
+    b.on("note", note)
+
+    def client():
+        a.cast("b", "note", "hello")
+        yield kernel.timeout(1.0)
+
+    kernel.run_process(client())
+    assert received == [("a", "hello")]
+
+
+def test_crashed_node_drops_casts():
+    kernel, a, b = build_pair()
+    received = []
+
+    def note(src, payload):
+        received.append(payload)
+        return None
+        yield  # pragma: no cover
+
+    b.on("note", note)
+    b.crash()
+
+    def client():
+        a.cast("b", "note", "lost")
+        yield kernel.timeout(1.0)
+
+    kernel.run_process(client())
+    assert received == []
+
+
+def test_concurrent_calls_independent():
+    kernel, a, b = build_pair()
+
+    def double(src, payload):
+        yield kernel.timeout(payload)
+        return payload * 2
+
+    b.on("double", double)
+
+    def client():
+        calls = [a.call("b", "double", d) for d in (0.3, 0.1, 0.2)]
+        values = yield kernel.all_of(calls)
+        return values
+
+    assert kernel.run_process(client()) == [0.6, 0.2, 0.4]
+
+
+def test_compute_uses_machine_cores():
+    kernel, a, __ = build_pair()
+
+    def job():
+        yield from a.compute(1.5)
+        return kernel.now
+
+    assert kernel.run_process(job()) == 1.5

@@ -1,0 +1,83 @@
+"""Tests for key distributions."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.lsm.errors import InvalidConfigError
+from repro.workloads.distributions import (
+    Hotspot,
+    Sequential,
+    Uniform,
+    Zipfian,
+    make_picker,
+)
+
+
+def draw(picker, n=10_000, seed=1):
+    rng = random.Random(seed)
+    return [picker.pick(rng) for __ in range(n)]
+
+
+class TestUniform:
+    def test_in_range(self):
+        keys = draw(Uniform(100))
+        assert all(0 <= k < 100 for k in keys)
+
+    def test_roughly_flat(self):
+        counts = Counter(draw(Uniform(10), n=50_000))
+        assert max(counts.values()) < 2 * min(counts.values())
+
+
+class TestSequential:
+    def test_round_robin(self):
+        picker = Sequential(5)
+        rng = random.Random(0)
+        assert [picker.pick(rng) for __ in range(7)] == [0, 1, 2, 3, 4, 0, 1]
+
+    def test_start_offset(self):
+        picker = Sequential(5, start=3)
+        rng = random.Random(0)
+        assert picker.pick(rng) == 3
+
+
+class TestZipfian:
+    def test_in_range(self):
+        keys = draw(Zipfian(1_000))
+        assert all(0 <= k < 1_000 for k in keys)
+
+    def test_skewed(self):
+        counts = Counter(draw(Zipfian(1_000), n=30_000))
+        top_share = sum(c for __, c in counts.most_common(10)) / 30_000
+        assert top_share > 0.3  # top 1% of keys gets >30% of accesses
+
+    def test_theta_validated(self):
+        with pytest.raises(InvalidConfigError):
+            Zipfian(100, theta=0.0)
+
+
+class TestHotspot:
+    def test_hot_set_dominates(self):
+        picker = Hotspot(1_000, hot_fraction=0.1, hot_access=0.9)
+        keys = draw(picker, n=20_000)
+        hot = sum(1 for k in keys if k < 100)
+        assert hot / len(keys) > 0.85
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfigError):
+            Hotspot(100, hot_fraction=0.0)
+
+
+class TestFactory:
+    def test_by_name(self):
+        assert isinstance(make_picker("uniform", 10), Uniform)
+        assert isinstance(make_picker("zipfian", 10), Zipfian)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(InvalidConfigError):
+            make_picker("gaussian", 10)
+
+    def test_zero_range_rejected(self):
+        with pytest.raises(InvalidConfigError):
+            Uniform(0)

@@ -1,0 +1,132 @@
+"""Tests for workload generators and the smart traffic benchmark."""
+
+import pytest
+
+from repro.lsm.errors import InvalidConfigError
+from repro.workloads import (
+    CityModel,
+    WorkloadSpec,
+    analytics_queries,
+    mixed,
+    populate_city,
+    preload,
+    real_time_action,
+    update_and_explore,
+    write_only,
+)
+
+from tests.core.conftest import tiny_cluster
+
+
+class TestWorkloadSpec:
+    def test_validation(self):
+        with pytest.raises(InvalidConfigError):
+            WorkloadSpec(ops=0)
+        with pytest.raises(InvalidConfigError):
+            WorkloadSpec(read_fraction=1.5)
+
+
+class TestGenerators:
+    def test_write_only_counts(self):
+        cluster = tiny_cluster()
+        client = cluster.add_client(colocate_with="ingestor-0")
+        writes, reads = cluster.run_process(write_only(client, ops=500))
+        assert writes == 500 and reads == 0
+        assert len(client.stats.all("write")) == 500
+
+    def test_mixed_ratio_roughly_respected(self):
+        cluster = tiny_cluster()
+        client = cluster.add_client(colocate_with="ingestor-0")
+        writes, reads = cluster.run_process(mixed(client, 0.5, ops=1_000))
+        assert writes + reads == 1_000
+        assert 0.4 < reads / 1_000 < 0.6
+
+    def test_preload_populates(self):
+        cluster = tiny_cluster()
+        client = cluster.add_client(colocate_with="ingestor-0")
+        cluster.run_process(preload(client, 300, key_range=300))
+
+        def check():
+            return (yield from client.read(37))
+
+        assert cluster.run_process(check()) is not None
+
+    def test_deterministic_given_seed(self):
+        def run():
+            cluster = tiny_cluster(seed=5)
+            client = cluster.add_client(colocate_with="ingestor-0")
+            cluster.run_process(write_only(client, ops=400, seed=9))
+            return client.stats.all("write")
+
+        assert run() == run()
+
+
+class TestCityModel:
+    def test_intersections_partition_cars(self):
+        city = CityModel(num_cars=100, num_intersections=10)
+        assert city.intersection_of(13) == 3
+        cars = city.cars_at(3)
+        assert 13 in cars
+        assert all(city.intersection_of(c) == 3 for c in cars)
+
+    def test_neighbours_same_intersection(self):
+        import random
+
+        city = CityModel(num_cars=100, num_intersections=10)
+        neighbours = city.neighbours(13, 5, random.Random(1))
+        assert len(neighbours) == 5
+        assert 13 not in neighbours
+        assert all(city.intersection_of(n) == 3 for n in neighbours)
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfigError):
+            CityModel(num_cars=0)
+
+
+class TestTrafficTasks:
+    def build(self):
+        cluster = tiny_cluster(num_readers=1)
+        client = cluster.add_client(colocate_with="ingestor-0")
+        city = CityModel(num_cars=500, num_intersections=20)
+        cluster.run_process(populate_city(client, city))
+        return cluster, client, city
+
+    def test_real_time_action_measures_sequences(self):
+        cluster, client, city = self.build()
+        result = cluster.run_process(
+            real_time_action(client, client, city, rounds=20)
+        )
+        assert len(result.latencies) == 20
+        assert result.mean > 0
+
+    def test_update_and_explore_scales_with_explorations(self):
+        cluster, client, city = self.build()
+        small = cluster.run_process(
+            update_and_explore(client, city, explorations=1, rounds=10)
+        )
+        large = cluster.run_process(
+            update_and_explore(client, city, explorations=10, rounds=10)
+        )
+        assert large.mean > small.mean
+
+    def test_analytics_served_from_reader(self):
+        cluster, client, city = self.build()
+        cluster.run()  # let backups catch up
+        reads_before = cluster.readers[0].stats.reads
+        result = cluster.run_process(
+            analytics_queries(client, city, query_size=50, rounds=5)
+        )
+        assert len(result.latencies) == 5
+        # All reads (including the setup round trips) hit the Reader.
+        assert cluster.readers[0].stats.reads > reads_before + 5 * 50
+
+    def test_analytics_per_read_latency_amortises(self):
+        cluster, client, city = self.build()
+        cluster.run()
+        small = cluster.run_process(
+            analytics_queries(client, city, query_size=20, rounds=5)
+        )
+        large = cluster.run_process(
+            analytics_queries(client, city, query_size=200, rounds=5)
+        )
+        assert large.mean < small.mean

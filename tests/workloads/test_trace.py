@@ -1,0 +1,95 @@
+"""Tests for workload trace record/replay."""
+
+import pytest
+
+from repro.lsm.errors import InvalidConfigError
+from repro.workloads.trace import Trace, TraceOp, replay
+
+from tests.core.conftest import tiny_cluster
+
+
+class TestSynthesis:
+    def test_mix_respected(self):
+        trace = Trace.synthesize(2_000, read_fraction=0.3, delete_fraction=0.1, seed=4)
+        kinds = [op.kind for op in trace]
+        assert 0.25 < kinds.count("read") / len(kinds) < 0.35
+        assert 0.05 < kinds.count("delete") / len(kinds) < 0.15
+
+    def test_deterministic(self):
+        a = Trace.synthesize(500, seed=9)
+        b = Trace.synthesize(500, seed=9)
+        assert a.ops == b.ops
+
+    def test_bad_fractions(self):
+        with pytest.raises(InvalidConfigError):
+            Trace.synthesize(10, read_fraction=0.8, delete_fraction=0.5)
+
+    def test_bad_kind(self):
+        with pytest.raises(InvalidConfigError):
+            Trace().append("scan", 1)
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        trace = Trace.synthesize(200, read_fraction=0.3, delete_fraction=0.1, seed=2)
+        assert Trace.loads(trace.dumps()).ops == trace.ops
+
+    def test_file_roundtrip(self, tmp_path):
+        trace = Trace.synthesize(50, seed=3)
+        path = str(tmp_path / "w.trace")
+        trace.save(path)
+        assert Trace.load(path).ops == trace.ops
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# comment\n\nwrite 5 6162\nread 5\n"
+        trace = Trace.loads(text)
+        assert trace.ops == [TraceOp("write", 5, b"ab"), TraceOp("read", 5)]
+
+    def test_bad_lines_rejected(self):
+        with pytest.raises(InvalidConfigError):
+            Trace.loads("write 5")
+        with pytest.raises(InvalidConfigError):
+            Trace.loads("upsert 5 00")
+
+
+class TestReplay:
+    def test_replay_returns_oracle(self):
+        cluster = tiny_cluster()
+        client = cluster.add_client(colocate_with="ingestor-0")
+        trace = Trace.synthesize(
+            1_000, read_fraction=0.2, delete_fraction=0.05, key_range=200, seed=7
+        )
+        model = cluster.run_process(replay(client, trace))
+
+        def verify():
+            misses = 0
+            for key in range(200):
+                got = yield from client.read(key)
+                misses += got != model.get(key)
+            return misses
+
+        assert cluster.run_process(verify()) == 0
+
+    def test_same_trace_same_data_across_deployments(self):
+        """The point of traces: identical input to different topologies
+        yields identical logical state."""
+        trace = Trace.synthesize(800, delete_fraction=0.1, key_range=150, seed=11)
+
+        def final_state(num_compactors):
+            cluster = tiny_cluster(num_compactors=num_compactors)
+            client = cluster.add_client(colocate_with="ingestor-0")
+            model = cluster.run_process(replay(client, trace))
+
+            def read_all():
+                state = {}
+                for key in range(150):
+                    state[key] = yield from client.read(key)
+                return state
+
+            state = cluster.run_process(read_all())
+            return model, state
+
+        model_a, state_a = final_state(1)
+        model_b, state_b = final_state(3)
+        assert model_a == model_b
+        assert state_a == state_b

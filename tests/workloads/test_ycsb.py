@@ -1,0 +1,79 @@
+"""Tests for the YCSB-style workloads."""
+
+import pytest
+
+from repro.lsm.errors import InvalidConfigError
+from repro.workloads import preload
+from repro.workloads.ycsb import (
+    WORKLOADS,
+    workload_a,
+    workload_c,
+    workload_d,
+    workload_e,
+    workload_f,
+)
+
+from tests.core.conftest import tiny_cluster
+
+
+def build():
+    cluster = tiny_cluster(num_compactors=2)
+    client = cluster.add_client(colocate_with="ingestor-0", record_history=False)
+    cluster.run_process(preload(client, 2_000, key_range=cluster.config.key_range))
+    return cluster, client
+
+
+class TestMixes:
+    def test_workload_a_balanced(self):
+        cluster, client = build()
+        result = cluster.run_process(workload_a(client, ops=600, seed=1))
+        assert result.total_ops == 600
+        assert 0.4 < result.reads / 600 < 0.6
+        assert result.updates == 600 - result.reads
+
+    def test_workload_c_read_only(self):
+        cluster, client = build()
+        result = cluster.run_process(workload_c(client, ops=300, seed=2))
+        assert result.reads == 300
+        assert result.updates == 0
+
+    def test_workload_d_read_latest(self):
+        cluster, client = build()
+        result = cluster.run_process(workload_d(client, ops=500, seed=3))
+        assert result.inserts > 0
+        assert result.reads > result.inserts
+        assert result.mean("read") > 0
+
+    def test_workload_e_scans(self):
+        cluster, client = build()
+        result = cluster.run_process(workload_e(client, ops=60, seed=4))
+        assert result.scans > result.inserts
+        assert result.mean("scan") > 0
+
+    def test_workload_e_validates_scan_length(self):
+        cluster, client = build()
+        with pytest.raises(InvalidConfigError):
+            workload_e(client, max_scan_length=0)
+
+    def test_workload_f_rmw(self):
+        cluster, client = build()
+        result = cluster.run_process(workload_f(client, ops=300, seed=5))
+        assert result.rmws > 0
+        # RMW = read + write: costs at least as much as a plain read.
+        assert result.mean("rmw") >= result.mean("read")
+
+    def test_registry_complete(self):
+        assert set(WORKLOADS) == {"A", "B", "C", "D", "E", "F"}
+
+
+class TestLatencyShape:
+    def test_read_heavy_faster_than_write_heavy_at_tail(self):
+        """Workload C (no writes -> no compaction stalls) has a smaller
+        maximum latency than workload A on the same deployment."""
+        cluster, client = build()
+        result_a = cluster.run_process(workload_a(client, ops=800, seed=6))
+        cluster2, client2 = build()
+        result_c = cluster2.run_process(workload_c(client2, ops=800, seed=6))
+        max_a = max(result_a.latencies["update"] + result_a.latencies["read"])
+        max_c = max(result_c.latencies["read"])
+        assert max_c <= max_a
