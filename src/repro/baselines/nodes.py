@@ -16,7 +16,6 @@ from repro.lsm.tree import LSMConfig, LSMTree
 from repro.sim.clock import LooseClock
 from repro.sim.kernel import Kernel
 from repro.sim.machine import Machine
-from repro.sim.network import Network
 from repro.sim.rpc import RpcNode
 
 from .tiered import TieredConfig, TieredTree

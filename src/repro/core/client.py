@@ -28,7 +28,7 @@ from repro.sim.clock import definitely_after
 from repro.sim.kernel import Kernel
 from repro.sim.machine import Machine
 from repro.sim.network import Network
-from repro.sim.rpc import RpcNode
+from repro.sim.rpc import RemoteError, RpcNode, RpcTimeout
 
 from .config import CooLSMConfig
 from .history import History
@@ -51,6 +51,8 @@ class ClientStats:
 
     latencies: dict[str, list[float]] = field(default_factory=dict)
     phase2_reads: int = 0
+    timeouts: int = 0
+    failovers: int = 0
 
     def record(self, kind: str, latency: float) -> None:
         self.latencies.setdefault(kind, []).append(latency)
@@ -102,6 +104,70 @@ class Client(RpcNode):
         self.stats = ClientStats()
 
     # ------------------------------------------------------------------
+    # Fault handling: timeouts and failover
+    # ------------------------------------------------------------------
+    def _target_order(self, preferred: str | None, pool: list[str]) -> list[str]:
+        """Preferred target first, then the remaining pool as alternates."""
+        first = preferred or (pool[0] if pool else None)
+        if first is None:
+            raise ValueError("no target available")
+        return [first] + [t for t in pool if t != first]
+
+    def _failover_call(
+        self,
+        preferred: str | None,
+        pool: list[str],
+        method: str,
+        request,
+        size_bytes: int = 256,
+    ):
+        """Issue an RPC with the config-derived timeout, failing over to
+        alternate targets.
+
+        Every client RPC goes through here (or the equivalent loop in
+        :meth:`read`), so a crashed node surfaces as
+        :class:`~repro.sim.rpc.RpcTimeout` after the retry budget —
+        never as a driver hung forever on ``timeout=None``.  Returns
+        ``(serving_target, reply)``.
+        """
+        order = self._target_order(preferred, pool)
+        last_error: Exception | None = None
+        for attempt in range(self.config.client_retry_budget):
+            target = order[attempt % len(order)]
+            if attempt:
+                if target != order[(attempt - 1) % len(order)]:
+                    self.stats.failovers += 1
+            try:
+                reply = yield self.call(
+                    target,
+                    method,
+                    request,
+                    size_bytes=size_bytes,
+                    timeout=self.config.request_timeout,
+                )
+                return target, reply
+            except (RpcTimeout, RemoteError) as error:
+                last_error = error
+                self.stats.timeouts += 1
+        raise last_error
+
+    def _member_read(self, member: str, request: ReadRequest):
+        """Phase-2 helper: bounded-retry read against one Compactor.
+        Raises after the budget — a missing member's answer could hide
+        the newest version, so the read must fail, not degrade."""
+        last_error: Exception | None = None
+        for __ in range(self.config.client_retry_budget):
+            try:
+                reply = yield self.call(
+                    member, "read", request, timeout=self.config.request_timeout
+                )
+                return reply
+            except (RpcTimeout, RemoteError) as error:
+                last_error = error
+                self.stats.timeouts += 1
+        raise last_error
+
+    # ------------------------------------------------------------------
     # Writes
     # ------------------------------------------------------------------
     def upsert(self, key, value, ingestor: str | None = None):
@@ -117,10 +183,10 @@ class Client(RpcNode):
         return (yield from self._do_upsert(request, ingestor))
 
     def _do_upsert(self, request: UpsertRequest, ingestor: str | None):
-        target = ingestor or self.ingestors[0]
         invoked = self.kernel.now
-        reply = yield self.call(
-            target, "upsert", request, size_bytes=64 + len(request.value)
+        target, reply = yield from self._failover_call(
+            ingestor, self.ingestors, "upsert", request,
+            size_bytes=64 + len(request.value),
         )
         assert isinstance(reply, UpsertReply)
         latency = self.kernel.now - invoked
@@ -142,15 +208,35 @@ class Client(RpcNode):
     # Reads
     # ------------------------------------------------------------------
     def read(self, key, coordinator: str | None = None):
-        """Point read with the deployment's strongest available path."""
+        """Point read with the deployment's strongest available path.
+
+        Times out and fails over to an alternate Ingestor (or, for the
+        two-phase protocol, an alternate coordinator) when the serving
+        node is crashed or unreachable.
+        """
         encoded = encode_key(key)
         invoked = self.kernel.now
         if self.multi_ingestor:
-            entry, read_ts = yield from self._two_phase_read(encoded, coordinator)
-            stamp = read_ts
+            order = self._target_order(coordinator, self.ingestors)
+            last_error: Exception | None = None
+            entry = stamp = None
+            for attempt in range(self.config.client_retry_budget):
+                target = order[attempt % len(order)]
+                if attempt and target != order[(attempt - 1) % len(order)]:
+                    self.stats.failovers += 1
+                try:
+                    entry, stamp = yield from self._two_phase_read(encoded, target)
+                    last_error = None
+                    break
+                except (RpcTimeout, RemoteError) as error:
+                    last_error = error
+                    self.stats.timeouts += 1
+            if last_error is not None:
+                raise last_error
         else:
-            target = coordinator or self.ingestors[0]
-            reply = yield self.call(target, "read", ReadRequest(encoded))
+            __, reply = yield from self._failover_call(
+                coordinator, self.ingestors, "read", ReadRequest(encoded)
+            )
             entry = reply.entry
             stamp = entry.timestamp if entry is not None else 0.0
         latency = self.kernel.now - invoked
@@ -166,7 +252,10 @@ class Client(RpcNode):
     def _two_phase_read(self, key: bytes, coordinator: str | None):
         """Section III-E.2's two-phase multi-Ingestor read."""
         target = coordinator or self.ingestors[0]
-        phase1 = yield self.call(target, "read_phase1", Phase1Request(key))
+        phase1 = yield self.call(
+            target, "read_phase1", Phase1Request(key),
+            timeout=self.config.request_timeout,
+        )
         assert isinstance(phase1, Phase1Reply)
         found = [r.entry for r in phase1.results if r.entry is not None]
         # Freshness proof: every record at the Compactors was forwarded by
@@ -183,7 +272,10 @@ class Client(RpcNode):
             self.stats.phase2_reads += 1
             partition = self.partitioning.partition_for(key)
             request = ReadRequest(key, as_of=phase1.read_ts)
-            calls = [self.call(m, "read", request) for m in partition.members]
+            calls = [
+                self.kernel.spawn(self._member_read(m, request))
+                for m in partition.members
+            ]
             replies = yield self.kernel.all_of(calls)
             for reply in replies:
                 assert isinstance(reply, ReadReply)
@@ -197,10 +289,11 @@ class Client(RpcNode):
         """Point read served by a Reader (snapshot-linearizable)."""
         if not self.readers and reader is None:
             raise ValueError("deployment has no Readers")
-        target = reader or self.readers[0]
         encoded = encode_key(key)
         invoked = self.kernel.now
-        reply = yield self.call(target, "read", ReadRequest(encoded))
+        target, reply = yield from self._failover_call(
+            reader, self.readers, "read", ReadRequest(encoded)
+        )
         latency = self.kernel.now - invoked
         self.stats.record("backup_read", latency)
         entry = reply.entry
@@ -221,10 +314,11 @@ class Client(RpcNode):
         lagging Reader snapshot) but interferes with the ingestion path.
         Returns sorted (key, value) pairs, tombstones elided.
         """
-        target = ingestor or self.ingestors[0]
         request = RangeQuery(encode_key(lo), encode_key(hi), limit)
         invoked = self.kernel.now
-        reply = yield self.call(target, "range_query", request, size_bytes=64)
+        __, reply = yield from self._failover_call(
+            ingestor, self.ingestors, "range_query", request, size_bytes=64
+        )
         assert isinstance(reply, RangeQueryReply)
         self.stats.record("scan", self.kernel.now - invoked)
         return list(reply.pairs)
@@ -233,10 +327,11 @@ class Client(RpcNode):
         """Range query served by a Reader (the paper's analytics task)."""
         if not self.readers and reader is None:
             raise ValueError("deployment has no Readers")
-        target = reader or self.readers[0]
         request = RangeQuery(encode_key(lo), encode_key(hi), limit)
         invoked = self.kernel.now
-        reply = yield self.call(target, "range_query", request, size_bytes=64)
+        __, reply = yield from self._failover_call(
+            reader, self.readers, "range_query", request, size_bytes=64
+        )
         assert isinstance(reply, RangeQueryReply)
         self.stats.record("analytics", self.kernel.now - invoked)
         return list(reply.pairs)

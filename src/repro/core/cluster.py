@@ -222,6 +222,9 @@ def build_cluster(spec: ClusterSpec) -> Cluster:
         )
 
     compactor_names = [f"compactor-{i}" for i in range(spec.num_compactors)]
+    for reader in cluster.readers:
+        reader.set_sources(compactor_names)
+
     cluster.partitioning = Partitioning.uniform(
         spec.config.key_range, compactor_names, replicas=spec.compactor_replicas
     )
@@ -280,6 +283,7 @@ def build_cluster(spec: ClusterSpec) -> Cluster:
                 peers=peers,
                 multi_ingestor=spec.multi_ingestor,
                 backups=reader_names if spec.ingestors_feed_readers else (),
+                rng=cluster.rngs.stream(f"backoff.{name}"),
             )
         )
     if spec.tolerated_failures > 0:

@@ -42,6 +42,7 @@ from repro.sim.rpc import RpcNode
 
 from .config import CooLSMConfig
 from .messages import (
+    AreaSnapshot,
     BackupUpdate,
     ForwardReply,
     ForwardRequest,
@@ -70,6 +71,8 @@ class CompactorStats:
 
     forwards_received: int = 0
     tables_received: int = 0
+    duplicate_forwards: int = 0
+    snapshots_served: int = 0
     reads: int = 0
     compactions: list[CompactionTiming] = field(default_factory=list)
 
@@ -109,9 +112,20 @@ class Compactor(RpcNode):
         self.manifest = Manifest(2, overlapping_levels=frozenset())
         self._merge_lock = Resource(kernel, 1)
         self._l2_pointer: bytes | None = None
+        # Idempotent forwards: retried batches (lost acks) are answered
+        # from this table instead of being merged twice.  Keyed by
+        # (ingestor, batch_id); part of the durable meta-information of
+        # Section III-H (a real system would prune it below the
+        # Ingestors' acked watermark).
+        self._completed_batches: dict[tuple[str, int], ForwardReply] = {}
+        self._pending_batches: dict[tuple[str, int], object] = {}
+        # Monotone per-source sequence stamped on every Reader update
+        # broadcast; Readers use it for gap detection (catch-up protocol).
+        self._backup_seq = 0
         self.on("forward", self._handle_forward)
         self.on("read", self._handle_read)
         self.on("range_query", self._handle_range_query)
+        self.on("fetch_area", self._handle_fetch_area)
 
     # ------------------------------------------------------------------
     # Level access
@@ -135,9 +149,45 @@ class Compactor(RpcNode):
     # ------------------------------------------------------------------
     # Write path: major compaction
     # ------------------------------------------------------------------
+    @staticmethod
+    def _batch_key(src: str, request: ForwardRequest) -> tuple[str, int]:
+        return (request.ingestor or src, request.batch_id)
+
     def _handle_forward(self, src: str, request: ForwardRequest):
         """Merge forwarded sstables into L2 (and overflow into L3),
-        atomically, then ack the Ingestor and update the Readers."""
+        atomically, then ack the Ingestor and update the Readers.
+
+        Idempotent: when an ack is lost the Ingestor retries the same
+        ``(ingestor, batch_id)``; the duplicate is answered from the
+        completed-batch table (or, if the first merge is still running,
+        waits for it) rather than double-merged.
+        """
+        key = self._batch_key(src, request)
+        cached = self._completed_batches.get(key)
+        if cached is not None:
+            self.stats.duplicate_forwards += 1
+            return cached
+        pending = self._pending_batches.get(key)
+        if pending is not None:
+            self.stats.duplicate_forwards += 1
+            reply = yield pending
+            return reply
+        done = self.kernel.event()
+        self._pending_batches[key] = done
+        try:
+            reply = yield from self._process_forward(src, request)
+        except BaseException as error:
+            self._pending_batches.pop(key, None)
+            done.defused = True  # waiters (if any) still see the failure
+            done.fail(error)
+            raise
+        self._pending_batches.pop(key, None)
+        self._completed_batches[key] = reply
+        done.succeed(reply)
+        return reply
+
+    def _process_forward(self, src: str, request: ForwardRequest):
+        """The actual merge work; runs at most once per batch."""
         self.stats.forwards_received += 1
         self.stats.tables_received += len(request.tables)
         yield self._merge_lock.request()
@@ -148,6 +198,15 @@ class Compactor(RpcNode):
         finally:
             self._merge_lock.release()
         return ForwardReply(request.batch_id, merged)
+
+    def record_applied_batch(self, ingestor: str, batch_id: int, merged: int) -> None:
+        """Mark a batch as merged without serving it (replicas applying
+        their replicated log call this so that, after promotion, a
+        retried forward is deduplicated instead of re-merged)."""
+        if ingestor:
+            self._completed_batches.setdefault(
+                (ingestor, batch_id), ForwardReply(batch_id, merged)
+            )
 
     def _compact_into_l2(self, incoming: list[SSTable]):
         started = self.kernel.now
@@ -214,8 +273,11 @@ class Compactor(RpcNode):
         """
         if not tables and not removed_l2_ids:
             return
+        self._backup_seq += 1
         entries = sum(len(t) for t in tables)
-        update = BackupUpdate(paper_level, tuple(tables), self.name, removed_l2_ids)
+        update = BackupUpdate(
+            paper_level, tuple(tables), self.name, removed_l2_ids, seq=self._backup_seq
+        )
         for backup in self.backups:
             self.cast(
                 backup,
@@ -223,6 +285,17 @@ class Compactor(RpcNode):
                 update,
                 size_bytes=self.config.costs.tables_size_bytes(entries),
             )
+
+    def _handle_fetch_area(self, src: str, request) -> "AreaSnapshot":
+        """Reader catch-up (Section III-H recovery, Reader side): serve
+        the complete current L2/L3 so a Reader that missed updates — a
+        crash, a partition — can resynchronise its area wholesale."""
+        self.stats.snapshots_served += 1
+        entries = self.manifest.total_entries()
+        yield from self.compute(entries * self.config.costs.scan_per_entry)
+        return AreaSnapshot(
+            self._backup_seq, tuple(self.level2), tuple(self.level3), self.name
+        )
 
     # ------------------------------------------------------------------
     # Read path

@@ -47,6 +47,20 @@ class CooLSMConfig:
             backpressure that makes write latency depend on the number
             of Compactors (Figure 3).
         ack_timeout: Ingestor->Compactor RPC timeout, seconds.
+        forward_backoff_base: First retry delay after a failed forward,
+            seconds; doubles per consecutive failure (with jitter).
+        forward_backoff_cap: Upper bound on the forward retry delay.
+        forward_retry_budget: Failed attempts against one Compactor
+            before the Ingestor rotates to the partition's next member
+            (or the promoted replacement) and resets its backoff.
+        client_timeout: Default timeout for every client RPC, seconds.
+            ``None`` derives it as ``2 * ack_timeout`` (see
+            :attr:`request_timeout`), so a crashed node surfaces
+            :class:`~repro.sim.rpc.RpcTimeout` instead of hanging the
+            driver forever.
+        client_retry_budget: Attempts a client (and internal read
+            fan-outs) make — cycling through alternate Ingestors or
+            Readers — before giving up and raising.
         costs: The compute cost model.
     """
 
@@ -61,6 +75,11 @@ class CooLSMConfig:
     gc_slack: float = 2.0
     max_inflight_tables: int = 120
     ack_timeout: float = 30.0
+    forward_backoff_base: float = 0.05
+    forward_backoff_cap: float = 2.0
+    forward_retry_budget: int = 6
+    client_timeout: float | None = None
+    client_retry_budget: int = 4
     costs: CostModel = DEFAULT_COSTS
 
     def __post_init__(self) -> None:
@@ -78,6 +97,22 @@ class CooLSMConfig:
             raise InvalidConfigError("gc_slack must be at least 2*delta")
         if self.max_inflight_tables <= 0:
             raise InvalidConfigError("max_inflight_tables must be positive")
+        if self.forward_backoff_base <= 0 or self.forward_backoff_cap <= 0:
+            raise InvalidConfigError("forward backoff parameters must be positive")
+        if self.forward_backoff_cap < self.forward_backoff_base:
+            raise InvalidConfigError("forward_backoff_cap must be >= base")
+        if self.forward_retry_budget <= 0 or self.client_retry_budget <= 0:
+            raise InvalidConfigError("retry budgets must be positive")
+        if self.client_timeout is not None and self.client_timeout <= 0:
+            raise InvalidConfigError("client_timeout must be positive")
+
+    @property
+    def request_timeout(self) -> float:
+        """The effective per-RPC timeout clients (and internal read
+        fan-outs) use: ``client_timeout`` if set, else ``2 * ack_timeout``."""
+        if self.client_timeout is not None:
+            return self.client_timeout
+        return 2.0 * self.ack_timeout
 
     @classmethod
     def paper_100k(cls, **overrides) -> "CooLSMConfig":

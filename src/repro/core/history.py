@@ -14,7 +14,7 @@ assigned, which is what the 2δ rule reasons about.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 _op_ids = itertools.count(1)

@@ -22,6 +22,7 @@ Compactors — which clients use to decide whether phase 2 is needed.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -71,8 +72,11 @@ class IngestorStats:
     minor_compaction_times: list[float] = field(default_factory=list)
     forwarded_tables: int = 0
     forward_retries: int = 0
+    forward_failovers: int = 0
+    forward_backoff_time: float = 0.0
     stall_time: float = 0.0
     reads_forwarded: int = 0
+    read_retries: int = 0
 
 
 class Ingestor(RpcNode):
@@ -104,6 +108,7 @@ class Ingestor(RpcNode):
         peers: Iterable[str] = (),
         multi_ingestor: bool = False,
         backups: Iterable[str] = (),
+        rng: random.Random | None = None,
     ) -> None:
         super().__init__(kernel, network, machine, name)
         self.config = config
@@ -112,6 +117,11 @@ class Ingestor(RpcNode):
         self.peers = list(peers)
         self.multi_ingestor = multi_ingestor
         self.backups = list(backups)
+        # Jitter stream for retry backoff; seeded per node by the
+        # cluster builder so chaotic runs replay bit-identically.
+        self._rng = rng or random.Random(0xC001)
+        # Event forward-retry loops wait on while this node is down.
+        self._recovered: "object | None" = None
         self.stats = IngestorStats()
         self.manifest = Manifest(2)  # index 0 = L0, index 1 = L1
         self._memtable = self._new_memtable()
@@ -292,11 +302,28 @@ class Ingestor(RpcNode):
             )
 
     def _forward_batch(self, partition, pieces: list[SSTable], batch_id: int, high_ts: float):
+        """Ship one batch until a Compactor acks the merge.
+
+        Failed attempts back off exponentially with jitter (bounded by
+        ``forward_backoff_cap``) instead of hammering a struggling or
+        partitioned Compactor; after ``forward_retry_budget`` failures
+        against one target the loop fails over to the partition's next
+        member — which round-robin load balancing or a completed leader
+        election may have repointed.  Retries reuse the same
+        ``(ingestor, batch_id)``, so the Compactor's dedup table makes
+        redelivery after a lost ack harmless.
+        """
         entries = sum(len(t) for t in pieces)
-        request = ForwardRequest(tuple(pieces), high_ts, batch_id)
+        request = ForwardRequest(tuple(pieces), high_ts, batch_id, ingestor=self.name)
         size = self.config.costs.tables_size_bytes(entries)
+        target = partition.writer()
+        failures_on_target = 0
+        backoff = self.config.forward_backoff_base
         while True:
-            target = partition.writer()
+            # A crashed Ingestor initiates nothing: hold the retry loop
+            # until recovery (the in-flight set is durable state).
+            while self.crashed:
+                yield self._recovery_event()
             try:
                 reply = yield self.call(
                     target,
@@ -308,9 +335,20 @@ class Ingestor(RpcNode):
                 assert isinstance(reply, ForwardReply)
                 break
             except (RpcTimeout, RemoteError):
-                # Compactor slow or failed: retry (round-robin picks the
-                # next overlapping member, or the promoted replacement).
                 self.stats.forward_retries += 1
+                failures_on_target += 1
+                if failures_on_target >= self.config.forward_retry_budget:
+                    # Budget exhausted: move on (round-robin picks the
+                    # next overlapping member, or the promoted
+                    # replacement) and restart the backoff ramp.
+                    self.stats.forward_failovers += 1
+                    target = partition.writer()
+                    failures_on_target = 0
+                    backoff = self.config.forward_backoff_base
+                delay = backoff * (0.5 + 0.5 * self._rng.random())
+                self.stats.forward_backoff_time += delay
+                yield self.kernel.timeout(delay)
+                backoff = min(backoff * 2.0, self.config.forward_backoff_cap)
         # Ack received: the Compactor has merged the tables; drop our
         # retained copies and wake any stalled compaction.
         self._in_flight.pop(batch_id, None)
@@ -331,16 +369,45 @@ class Ingestor(RpcNode):
         if lose_memtable:
             self._memtable = self._new_memtable()
 
+    def _recovery_event(self):
+        """The event :meth:`recover` fires; created lazily while down."""
+        if self._recovered is None:
+            self._recovered = self.kernel.event()
+        return self._recovered
+
     def recover(self) -> None:
         """Restart: replay the WAL into a fresh memtable, restoring the
-        pre-crash batch exactly, then resume serving."""
+        pre-crash batch exactly, then resume serving (which also
+        releases any forward-retry loops parked during the outage)."""
         for entry in self._wal:
             self._memtable.put(entry)
         super().recover()
+        event, self._recovered = self._recovered, None
+        if event is not None:
+            event.succeed()
 
     # ------------------------------------------------------------------
     # Read path
     # ------------------------------------------------------------------
+    def _call_retry(self, target: str, method: str, request):
+        """Remote call with the configured timeout and a bounded retry
+        budget, so a crashed or partitioned peer surfaces an error to
+        the caller instead of hanging the read forever.  Raises the
+        last failure once the budget is exhausted — never returns a
+        partial answer (which could violate Table I's guarantees)."""
+        last_error: Exception | None = None
+        for attempt in range(self.config.client_retry_budget):
+            if attempt:
+                self.stats.read_retries += 1
+            try:
+                reply = yield self.call(
+                    target, method, request, timeout=self.config.request_timeout
+                )
+                return reply
+            except (RpcTimeout, RemoteError) as error:
+                last_error = error
+        raise last_error
+
     def _search_local(self, key: bytes, as_of: float | None) -> tuple[Entry | None, int]:
         """Newest visible version in memtable/L0/L1/in-flight tables.
 
@@ -389,10 +456,13 @@ class Ingestor(RpcNode):
         self.stats.reads_forwarded += 1
         partition = self.partitioning.partition_for(request.key)
         if len(partition.members) == 1:
-            reply = yield self.call(partition.members[0], "read", request)
+            reply = yield from self._call_retry(partition.members[0], "read", request)
         else:
             # Overlapping Compactors: ask all members, newest wins.
-            calls = [self.call(m, "read", request) for m in partition.members]
+            calls = [
+                self.kernel.spawn(self._call_retry(m, "read", request))
+                for m in partition.members
+            ]
             replies = yield self.kernel.all_of(calls)
             found = [r.entry for r in replies if r.entry is not None]
             best = max(found, key=lambda e: e.version) if found else None
@@ -422,7 +492,10 @@ class Ingestor(RpcNode):
         # overlapping groups, newest version wins).
         partitions = self.partitioning.partitions_for_range(request.lo, request.hi)
         members = [m for p in partitions for m in p.members]
-        calls = [self.call(m, "range_query", request) for m in members]
+        calls = [
+            self.kernel.spawn(self._call_retry(m, "range_query", request))
+            for m in members
+        ]
         replies = yield self.kernel.all_of(calls)
         remote_by_key: dict[bytes, list[tuple[bytes, bytes]]] = {}
         for reply in replies:
@@ -464,7 +537,10 @@ class Ingestor(RpcNode):
         self.stats.reads += 1
         read_ts = self.clock.now()
         probe = ReadRequest(request.key, as_of=read_ts)
-        calls = [self.call(peer, "ingestor_read", probe) for peer in self.peers]
+        calls = [
+            self.kernel.spawn(self._call_retry(peer, "ingestor_read", probe))
+            for peer in self.peers
+        ]
         yield from self.compute(self.config.costs.read_base)
         entry, probes = self._search_local(request.key, read_ts)
         yield from self.compute(probes * self.config.costs.probe_table)

@@ -87,11 +87,16 @@ class ForwardRequest:
     ``high_ts`` is the largest timestamp among the forwarded entries;
     the Compactor acks only after the major compaction has merged the
     tables (the ack lets the Ingestor drop its retained copies).
+
+    ``ingestor`` names the originating Ingestor so the Compactor can
+    deduplicate retried forwards by ``(ingestor, batch_id)`` — a lost
+    ack must never cause the same batch to be merged twice.
     """
 
     tables: tuple[SSTable, ...]
     high_ts: float
     batch_id: int
+    ingestor: str = ""
 
 
 @dataclass(frozen=True, slots=True)
@@ -113,6 +118,25 @@ class BackupUpdate:
     #: For level-3 updates: ids of the L2 tables whose content moved down,
     #: so the Reader can drop its (now duplicated) copies of them.
     removed_l2_ids: tuple[int, ...] = ()
+    #: Per-source update sequence number (1, 2, 3, ...).  A Reader that
+    #: observes a gap — updates lost while it was crashed or cut off —
+    #: re-fetches the source's full area instead of installing out of
+    #: order.  ``None`` marks an unsequenced update (direct test
+    #: injection), which is always installed.
+    seq: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class AreaSnapshot:
+    """Compactor -> Reader catch-up reply: the complete current content
+    of the Compactor's L2/L3, plus the update sequence number it is
+    current as of.  Installing it wholesale resynchronises the Reader's
+    area after a crash or partition."""
+
+    seq: int
+    l2: tuple[SSTable, ...]
+    l3: tuple[SSTable, ...]
+    compactor: str
 
 
 @dataclass(frozen=True, slots=True)

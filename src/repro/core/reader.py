@@ -25,6 +25,7 @@ analytics from the ingestion path (Figure 7, Figure 9b).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.lsm.entry import Entry
 from repro.lsm.iterators import dedup_newest, k_way_merge
@@ -33,10 +34,11 @@ from repro.lsm.sstable import SSTable
 from repro.sim.kernel import Kernel
 from repro.sim.machine import Machine
 from repro.sim.network import Network
-from repro.sim.rpc import RpcNode
+from repro.sim.rpc import RemoteError, RpcNode, RpcTimeout
 
 from .config import CooLSMConfig
 from .messages import (
+    AreaSnapshot,
     BackupUpdate,
     IngestorL1Update,
     RangeQuery,
@@ -56,6 +58,10 @@ class ReaderStats:
     tables_installed: int = 0
     reads: int = 0
     range_queries: int = 0
+    gaps_detected: int = 0
+    stale_updates: int = 0
+    catchups: int = 0
+    failed_catchups: int = 0
 
 
 class _MergedView:
@@ -107,10 +113,21 @@ class Reader(RpcNode):
         # Section III-D.3 fresh area: the latest L1 snapshot received
         # from each Ingestor (only populated when Ingestors feed Readers).
         self.fresh_area: dict[str, tuple[SSTable, ...]] = {}
+        # Catch-up protocol: next expected update seq per source, the
+        # set of sources with a resync in flight, and the full source
+        # list (filled in by the cluster builder) used after a crash.
+        self._next_seq: dict[str, int] = {}
+        self._syncing: set[str] = set()
+        self._sources: list[str] = []
         self.on("backup_update", self._handle_backup_update)
         self.on("ingestor_update", self._handle_ingestor_update)
         self.on("read", self._handle_read)
         self.on("range_query", self._handle_range_query)
+
+    def set_sources(self, compactors: list[str] | tuple[str, ...]) -> None:
+        """Tell the Reader which Compactors feed it (for post-crash
+        resync before any of them happens to send an update)."""
+        self._sources = list(compactors)
 
     def _area(self, compactor: str) -> Manifest:
         if compactor not in self._areas:
@@ -140,8 +157,27 @@ class Reader(RpcNode):
         atomically.  Keeping areas per source makes overlapping
         Compactors safe: one source's update can never clobber another
         source's tables; reads merge areas by version.
+
+        Updates are sequence-numbered per source.  A gap — updates lost
+        while this Reader was crashed, or cut off by a partition whose
+        held traffic was superseded — means applying this update could
+        skip intermediate states, so the Reader instead re-fetches the
+        source's complete area (:meth:`_catch_up`), which restores
+        snapshot progression.  Updates older than the fetched snapshot
+        are ignored as stale.
         """
         self.stats.updates_received += 1
+        if update.seq is not None:
+            expected = self._next_seq.get(update.compactor, 1)
+            if update.seq < expected:
+                self.stats.stale_updates += 1
+                return None
+            if update.seq > expected or update.compactor in self._syncing:
+                if update.seq > expected:
+                    self.stats.gaps_detected += 1
+                yield from self._catch_up(update.compactor)
+                return None
+            self._next_seq[update.compactor] = update.seq + 1
         area = self._area(update.compactor)
         tables = list(update.tables)
         entries = sum(len(t) for t in tables)
@@ -163,6 +199,68 @@ class Reader(RpcNode):
         area.apply(edit)
         self.stats.tables_installed += len(tables)
         return None
+
+    def _catch_up(self, source: str):
+        """Re-fetch ``source``'s complete area and install it wholesale.
+
+        Runs at most once per source at a time; concurrent triggers
+        (several gapped updates) fold into the running attempt.  On
+        success the area becomes the Compactor's current state — some
+        past-or-present state of that source, so snapshot
+        linearizability per area is preserved.
+        """
+        if source in self._syncing:
+            return
+        self._syncing.add(source)
+        try:
+            snapshot = None
+            for __ in range(self.config.client_retry_budget):
+                try:
+                    snapshot = yield self.call(
+                        source,
+                        "fetch_area",
+                        None,
+                        timeout=self.config.request_timeout,
+                    )
+                    break
+                except (RpcTimeout, RemoteError):
+                    continue
+            if not isinstance(snapshot, AreaSnapshot):
+                # Source unreachable: stay stale; the next sequenced
+                # update re-detects the gap and retries.
+                self.stats.failed_catchups += 1
+                return
+            entries = sum(len(t) for t in snapshot.l2 + snapshot.l3)
+            yield from self.compute(entries * self.config.costs.install_per_entry)
+            area = Manifest(2, overlapping_levels=frozenset({_L2, _L3}))
+            edit = LevelEdit()
+            if snapshot.l2:
+                edit.add(_L2, list(snapshot.l2))
+            if snapshot.l3:
+                edit.add(_L3, list(snapshot.l3))
+            area.apply(edit)
+            self._areas[source] = area
+            self._next_seq[source] = snapshot.seq + 1
+            self.stats.catchups += 1
+            self.stats.tables_installed += len(snapshot.l2) + len(snapshot.l3)
+        finally:
+            self._syncing.discard(source)
+
+    def resync(self, sources: Iterable[str] | None = None) -> None:
+        """Spawn a catch-up for every known source (or the given ones).
+        Used after recovery, or by drivers after healing a fault."""
+        names = sorted(set(sources if sources is not None else [])
+                       | set(self._sources) | set(self._areas))
+        for source in names:
+            self.kernel.spawn(
+                self._catch_up(source), f"{self.name}.catchup.{source}"
+            )
+
+    def recover(self) -> None:
+        """Restart after a crash: updates cast while down were lost, so
+        proactively resynchronise every source area."""
+        super().recover()
+        self.resync()
 
     def _handle_ingestor_update(self, src: str, update: IngestorL1Update):
         """Install an Ingestor's fresh L1 snapshot (Section III-D.3).

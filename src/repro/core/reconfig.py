@@ -57,11 +57,24 @@ def add_compactor(cluster, name: str) -> Compactor:
     return node
 
 
-def _migrate_tables(source: Compactor, target_name: str, tables: list[SSTable], stats: ReconfigStats):
+def _migrate_tables(
+    source: Compactor,
+    target_name: str,
+    tables: list[SSTable],
+    stats: ReconfigStats,
+    phase: str = "migrate",
+):
     """Forward ``tables`` from a Compactor to another via the normal
-    forward/merge path, in bounded batches."""
+    forward/merge path, in bounded batches.
+
+    ``phase`` namespaces the batch ids in the target's idempotency
+    table: each migration phase restarts its batch counter, so without
+    a distinct sender tag the target would deduplicate (i.e. drop) the
+    second phase's batches against the first phase's.
+    """
     batch_size = 16
     batch_id = 1_000_000  # distinct from Ingestor batch ids
+    sender = f"{source.name}#{phase}"
     for start in range(0, len(tables), batch_size):
         batch = tables[start : start + batch_size]
         if not batch:
@@ -72,7 +85,7 @@ def _migrate_tables(source: Compactor, target_name: str, tables: list[SSTable], 
         yield source.call(
             target_name,
             "forward",
-            ForwardRequest(tuple(batch), high_ts, batch_id),
+            ForwardRequest(tuple(batch), high_ts, batch_id, ingestor=sender),
             size_bytes=source.config.costs.tables_size_bytes(entries),
             timeout=source.config.ack_timeout,
         )
@@ -100,7 +113,7 @@ def replace_compactor(cluster, old_name: str, new_name: str):
 
     # 2. Migrate: push the old node's state to the new node.
     tables = list(old.level2) + list(old.level3)
-    yield from _migrate_tables(old, new_name, tables, stats)
+    yield from _migrate_tables(old, new_name, tables, stats, phase="migrate")
 
     # 3. Detach: retire the old node.  Any tables it accumulated while
     #    migration ran (round-robin writes) are drained first.
@@ -110,7 +123,7 @@ def replace_compactor(cluster, old_name: str, new_name: str):
         for t in list(old.level2) + list(old.level3)
         if t.table_id not in {x.table_id for x in tables}
     ]
-    yield from _migrate_tables(old, new_name, straggler_tables, stats)
+    yield from _migrate_tables(old, new_name, straggler_tables, stats, phase="drain")
     old.crash()  # retired: stops serving anything
     cluster.compactors.remove(old)
     return stats
@@ -149,7 +162,7 @@ def split_partition(cluster, compactor_name: str, new_name: str, boundary_key=No
     #    readable at the old node throughout).
     # 2. Migrate: copy tables (splitting any that straddle the boundary)
     #    whose keys are >= boundary to the new node.
-    yield from _migrate_upper_half(old, new_name, boundary, stats)
+    yield from _migrate_upper_half(old, new_name, boundary, stats, phase="copy")
 
     # 3. Detach: atomically re-cut the partitioning so each node owns
     #    its half, sweep any stragglers that landed on the old node in
@@ -157,12 +170,18 @@ def split_partition(cluster, compactor_name: str, new_name: str, boundary_key=No
     new_partition = Partition(boundary, [new_name])
     parts.partitions.insert(index + 1, new_partition)
     parts._boundaries = [p.lower for p in parts.partitions[1:]]
-    yield from _migrate_upper_half(old, new_name, boundary, stats)
+    yield from _migrate_upper_half(old, new_name, boundary, stats, phase="sweep")
     _drop_upper_half(old, boundary)
     return stats
 
 
-def _migrate_upper_half(old: Compactor, new_name: str, boundary: bytes, stats: ReconfigStats):
+def _migrate_upper_half(
+    old: Compactor,
+    new_name: str,
+    boundary: bytes,
+    stats: ReconfigStats,
+    phase: str = "migrate",
+):
     to_move: list[SSTable] = []
     for level_tables in (list(old.level2), list(old.level3)):
         for table in level_tables:
@@ -172,7 +191,7 @@ def _migrate_upper_half(old: Compactor, new_name: str, boundary: bytes, stats: R
                 for piece in table.split_at([boundary]):
                     if piece.min_key >= boundary:
                         to_move.append(piece)
-    yield from _migrate_tables(old, new_name, to_move, stats)
+    yield from _migrate_tables(old, new_name, to_move, stats, phase=phase)
 
 
 def _drop_upper_half(old: Compactor, boundary: bytes) -> None:

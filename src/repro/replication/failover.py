@@ -124,12 +124,28 @@ class ReplicaGroup:
         self.term = term
         self._promote(winner)
 
+    def _node(self, name: str):
+        if self.leader.name == name:
+            return self.leader
+        for replica in self.replicas:
+            if replica.name == name:
+                return replica
+        return None
+
     def _promote(self, winner_name: str) -> None:
         if winner_name == self.current_leader_name:
             return
+        # Fence the deposed leader first: if it was merely partitioned
+        # (not crashed) and later resurrects, it must reject forwards
+        # instead of accepting writes the new leader never sees.
+        old = self._node(self.current_leader_name)
+        if isinstance(old, ReplicatedCompactor):
+            old.fence(self.term)
+        elif isinstance(old, CompactorReplica):
+            old.demote(self.term)
         for replica in self.replicas:
             if replica.name == winner_name:
-                replica.promote()
+                replica.promote(self.term)
                 break
         # Repoint the partition: swap the failed leader for the promoted
         # replica, leaving any other (overlapping) members untouched.

@@ -82,20 +82,48 @@ class ReplicatedCompactor(Compactor, PaxosMixin):
         self.f = tolerated_failures
         self.replication = ReplicationStats()
         self._log_index = 0
+        self.term = 0
+        self.fenced = False
         self.on("ping", self._handle_ping)
 
     def _handle_ping(self, src: str, payload: Any):
         return "pong"
         yield  # pragma: no cover - generator form required by RPC layer
 
+    def fence(self, term: int) -> None:
+        """Depose this leader: a newer term exists.
+
+        A fenced leader rejects every subsequent forward, so an old
+        leader resurrected after its group elected a successor cannot
+        accept writes the successor never sees (split-brain).  The
+        rejection surfaces at the Ingestor as a RemoteError, and its
+        failover loop re-resolves the partition to the new leader.
+        """
+        self.fenced = True
+        self.term = max(self.term, term)
+
     def _handle_forward(self, src: str, request: ForwardRequest):
-        """Replicate the operation to a majority, then merge and ack."""
+        if self.fenced:
+            raise RuntimeError(
+                f"{self.name} was deposed at term {self.term}; "
+                "forward to the current leader"
+            )
+        reply = yield from super()._handle_forward(src, request)
+        return reply
+
+    def _process_forward(self, src: str, request: ForwardRequest):
+        """Replicate the operation to a majority, then merge and ack.
+
+        Runs under the base class's idempotency gate, so a retried
+        batch is answered from the completed-batch table instead of
+        being re-replicated and re-merged.
+        """
         self._log_index += 1
         record = LogRecord(self._log_index, request, self.name)
         yield from self.compute(LOG_APPEND_COST)
         if self.replicas:
             yield from self._replicate(record)
-        reply = yield from super()._handle_forward(src, request)
+        reply = yield from super()._process_forward(src, request)
         return reply
 
     def _replicate(self, record: LogRecord):
@@ -149,6 +177,7 @@ class CompactorReplica(Compactor, PaxosMixin):
         )
         self.init_paxos()
         self.active = False
+        self.term = 0
         self.replication = ReplicationStats()
         self.log: list[LogRecord] = []
         self._applied_index = 0
@@ -181,11 +210,17 @@ class CompactorReplica(Compactor, PaxosMixin):
             self._applied_index += 1
             yield self._merge_lock.request()
             try:
-                yield from self._compact_into_l2(list(record.request.tables))
+                merged = yield from self._compact_into_l2(list(record.request.tables))
                 if len(self.level2) > self.config.l2_threshold:
                     yield from self._compact_l2_overflow_into_l3()
             finally:
                 self._merge_lock.release()
+            # Remember the batch so that, after a promotion, an Ingestor
+            # retrying it (its ack from the old leader was lost) gets a
+            # deduplicated ack instead of a double merge.
+            self.record_applied_batch(
+                record.request.ingestor, record.request.batch_id, merged
+            )
             self.replication.records_applied += 1
 
     @property
@@ -196,9 +231,16 @@ class CompactorReplica(Compactor, PaxosMixin):
     def caught_up(self) -> bool:
         return self._applied_index >= len(self.log)
 
-    def promote(self) -> None:
+    def promote(self, term: int = 0) -> None:
         """Assume the Compactor role (called after winning election)."""
         self.active = True
+        self.term = max(self.term, term)
+
+    def demote(self, term: int = 0) -> None:
+        """Step down: a later election chose someone else.  A demoted
+        replica rejects forwards again (split-brain fencing)."""
+        self.active = False
+        self.term = max(self.term, term)
 
     def _handle_forward(self, src: str, request: ForwardRequest):
         """Serve forwards only once promoted; reject otherwise so the

@@ -11,6 +11,19 @@ a generator-coroutine event kernel (:mod:`repro.sim.kernel`).
 from .clock import LooseClock, concurrent, definitely_after
 from .kernel import AllOf, AnyOf, Event, Interrupted, Kernel, Process, SimError, Timeout
 from .machine import DEFAULT_CORES, Machine
+from .nemesis import (
+    CrashNode,
+    DropBurst,
+    Nemesis,
+    NemesisLog,
+    NemesisRecord,
+    NemesisStats,
+    PartitionPair,
+    SkewClock,
+    SlowMachine,
+    flapping_partition,
+    rolling_partitions,
+)
 from .network import FaultPlan, Network, NetworkStats
 from .regions import (
     CLOUD_REGION,
@@ -30,7 +43,9 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "CLOUD_REGION",
+    "CrashNode",
     "DEFAULT_CORES",
+    "DropBurst",
     "EDGE_REGIONS",
     "Event",
     "FaultPlan",
@@ -41,8 +56,13 @@ __all__ = [
     "LatencyModel",
     "LooseClock",
     "Machine",
+    "Nemesis",
+    "NemesisLog",
+    "NemesisRecord",
+    "NemesisStats",
     "Network",
     "NetworkStats",
+    "PartitionPair",
     "Process",
     "Region",
     "RemoteError",
@@ -51,10 +71,14 @@ __all__ = [
     "RpcNode",
     "RpcTimeout",
     "SimError",
+    "SkewClock",
+    "SlowMachine",
     "Store",
     "Timeout",
     "concurrent",
     "definitely_after",
+    "flapping_partition",
     "one_way",
+    "rolling_partitions",
     "rtt",
 ]

@@ -41,13 +41,24 @@ class LooseClock:
         self._phase = rng.uniform(0.0, 2.0 * math.pi)
         self._period = rng.uniform(60.0, 600.0)
         self._last = -math.inf
+        # Fault injection (nemesis clock-skew spikes): extra offset on
+        # top of the bounded NTP error, deliberately able to exceed δ.
+        self._injected = 0.0
+
+    def inject_skew(self, extra: float) -> None:
+        """Add ``extra`` seconds of error (0.0 restores normality).
+
+        Used by the nemesis to model a clock-sync fault; while nonzero
+        the advertised δ bound may be violated on purpose.
+        """
+        self._injected = extra
 
     def offset(self) -> float:
         """Current clock error (true + offset = reading)."""
         drift = self._amplitude * math.sin(
             2.0 * math.pi * self.kernel.now / self._period + self._phase
         )
-        return self._base + drift
+        return self._base + drift + self._injected
 
     def now(self) -> float:
         """This node's current timestamp (monotone per node)."""

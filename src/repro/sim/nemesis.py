@@ -1,0 +1,430 @@
+"""The nemesis: deterministic, composable, replayable fault scenarios.
+
+The fault-tolerance claims of Section III-H (and the guarantees of
+Table I) are only credible if they survive *composed* faults — a crash
+in the middle of a forward, a partition during an election, a machine
+that is slow but not dead.  Before this module, faults were injected ad
+hoc per test: a static ``drop_probability`` here, a manual
+``FaultPlan.partition()`` there.  The nemesis makes fault schedules
+first-class data:
+
+* a **scenario** is a list of fault events (:class:`CrashNode`,
+  :class:`PartitionPair`, :class:`DropBurst`, :class:`SlowMachine`,
+  :class:`SkewClock`), each with an absolute simulation time;
+* :meth:`Nemesis.schedule` turns the scenario into kernel processes
+  that apply each fault at its time and revert it after its duration;
+* every applied action is appended to :class:`NemesisLog`, whose
+  :meth:`~NemesisLog.fingerprint` lets tests assert that two runs of
+  the same seed executed the *identical* fault sequence;
+* :meth:`Nemesis.random_schedule` draws a scenario from a named,
+  seeded RNG stream, so chaotic runs replay bit-identically — a
+  failing seed is a reproducible bug report.
+
+The module deliberately knows nothing about CooLSM node types: targets
+are any objects with ``crash()``/``recover()`` (fault-stop),
+:class:`~repro.sim.machine.Machine` instances (slowdowns, partitions),
+or :class:`~repro.sim.clock.LooseClock` instances (skew spikes).
+:meth:`Nemesis.for_cluster` wires all three maps from a built cluster
+by duck typing, keeping ``sim`` free of ``core`` imports.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from .kernel import Kernel, Process
+from .machine import Machine
+from .network import Network
+
+
+# ----------------------------------------------------------------------
+# Scenario events (pure data; times are absolute simulation seconds)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class CrashNode:
+    """Fail-stop ``target`` at ``at``; restart after ``downtime``
+    (``None`` = stays down for the rest of the run)."""
+
+    target: str
+    at: float
+    downtime: float | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionPair:
+    """Partition the two *machines* at ``at``; heal after ``duration``.
+
+    Traffic between the machines is held (TCP model: retransmitted, not
+    lost) and flushed at heal time.
+    """
+
+    machine_a: str
+    machine_b: str
+    at: float
+    duration: float
+
+
+@dataclass(frozen=True, slots=True)
+class DropBurst:
+    """Raise the network drop probability to ``probability`` during
+    [at, at + duration), then restore the previous value."""
+
+    probability: float
+    at: float
+    duration: float
+
+
+@dataclass(frozen=True, slots=True)
+class SlowMachine:
+    """Gray failure: divide ``machine``'s speed by ``factor`` during the
+    window — the node answers, just slowly (no failure detector fires
+    cleanly on it)."""
+
+    machine: str
+    at: float
+    duration: float
+    factor: float = 4.0
+
+
+@dataclass(frozen=True, slots=True)
+class SkewClock:
+    """Clock-skew spike: add ``skew`` seconds to ``target``'s loose
+    clock during the window (deliberately violating the δ bound, to
+    probe the 2δ ordering machinery)."""
+
+    target: str
+    at: float
+    duration: float
+    skew: float
+
+
+NemesisEvent = CrashNode | PartitionPair | DropBurst | SlowMachine | SkewClock
+
+
+def flapping_partition(
+    machine_a: str,
+    machine_b: str,
+    at: float,
+    up: float,
+    down: float,
+    flaps: int,
+) -> list[PartitionPair]:
+    """A link that flaps: ``flaps`` partition windows of length ``down``
+    separated by ``up`` seconds of connectivity, starting at ``at``."""
+    if flaps < 1:
+        raise ValueError("flaps must be >= 1")
+    events = []
+    start = at
+    for __ in range(flaps):
+        events.append(PartitionPair(machine_a, machine_b, start, down))
+        start += down + up
+    return events
+
+
+def rolling_partitions(
+    machines: Sequence[str], peer: str, at: float, duration: float, gap: float = 0.0
+) -> list[PartitionPair]:
+    """Partition each machine in ``machines`` from ``peer`` in turn —
+    a rolling isolation sweep."""
+    events = []
+    start = at
+    for machine in machines:
+        events.append(PartitionPair(machine, peer, start, duration))
+        start += duration + gap
+    return events
+
+
+# ----------------------------------------------------------------------
+# Applied-action log (for replay assertions)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class NemesisRecord:
+    """One applied or reverted fault action."""
+
+    time: float
+    action: str
+    target: str
+
+
+class NemesisLog:
+    """Append-only record of what the nemesis actually did and when."""
+
+    def __init__(self) -> None:
+        self.records: list[NemesisRecord] = []
+
+    def add(self, time: float, action: str, target: str) -> None:
+        self.records.append(NemesisRecord(time, action, target))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def fingerprint(self) -> tuple:
+        """Hashable summary; equal across replays of the same seed."""
+        return tuple((r.time, r.action, r.target) for r in self.records)
+
+
+@dataclass(slots=True)
+class NemesisStats:
+    """Counters, split by fault family."""
+
+    crashes: int = 0
+    restarts: int = 0
+    partitions: int = 0
+    heals: int = 0
+    drop_bursts: int = 0
+    slowdowns: int = 0
+    skews: int = 0
+
+
+class Nemesis:
+    """Schedules fault scenarios against a running simulation.
+
+    Args:
+        kernel: The simulation kernel events run on.
+        network: The network whose fault plan is manipulated.
+        nodes: name -> object with ``crash()``/``recover()``.
+        machines: name -> :class:`Machine` (slowdowns; names are also
+            what :class:`PartitionPair` refers to).
+        clocks: name -> :class:`~repro.sim.clock.LooseClock`.
+        rng: Seeded stream for :meth:`random_schedule` draws.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        network: Network,
+        nodes: dict[str, Any] | None = None,
+        machines: dict[str, Machine] | None = None,
+        clocks: dict[str, Any] | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.kernel = kernel
+        self.network = network
+        self.nodes = dict(nodes or {})
+        self.machines = dict(machines or {})
+        self.clocks = dict(clocks or {})
+        self.rng = rng or random.Random(0)
+        self.log = NemesisLog()
+        self.stats = NemesisStats()
+        self._processes: list[Process] = []
+
+    @classmethod
+    def for_cluster(cls, cluster) -> "Nemesis":
+        """Wire a nemesis from a built cluster (duck-typed: any object
+        with kernel/network/rngs plus the standard node lists works)."""
+        nodes: dict[str, Any] = {}
+        for group in (
+            getattr(cluster, "ingestors", []),
+            getattr(cluster, "compactors", []),
+            getattr(cluster, "readers", []),
+        ):
+            for node in group:
+                nodes[node.name] = node
+        for replica_group in getattr(cluster, "replica_groups", []):
+            for replica in replica_group.replicas:
+                nodes[replica.name] = replica
+        monolith = getattr(cluster, "monolith", None)
+        if monolith is not None:
+            nodes[monolith.name] = monolith
+        return cls(
+            cluster.kernel,
+            cluster.network,
+            nodes=nodes,
+            machines=dict(getattr(cluster, "machines", {})),
+            clocks=dict(getattr(cluster, "clocks", {})),
+            rng=cluster.rngs.stream("nemesis"),
+        )
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, events: Iterable[NemesisEvent]) -> list[Process]:
+        """Spawn one process per event; returns the process handles so
+        callers can barrier on the whole scenario finishing."""
+        spawned = []
+        for event in events:
+            self._validate(event)
+            runner = self._runner_for(event)
+            spawned.append(
+                self.kernel.spawn(runner, f"nemesis.{type(event).__name__}")
+            )
+        self._processes.extend(spawned)
+        return spawned
+
+    def done(self) -> bool:
+        """True once every scheduled event has been applied and reverted."""
+        return all(p.triggered for p in self._processes)
+
+    def _validate(self, event: NemesisEvent) -> None:
+        """Fail fast on typo'd targets at schedule time, instead of a
+        bare ``KeyError`` surfacing mid-run inside the kernel."""
+
+        def known(name: str, table: dict, kind: str) -> None:
+            # An empty table means the caller wired the Nemesis by hand
+            # without that facet; don't reject what we can't check.
+            if table and name not in table:
+                raise ValueError(
+                    f"nemesis: unknown {kind} {name!r}; "
+                    f"known: {', '.join(sorted(table))}"
+                )
+
+        if isinstance(event, CrashNode):
+            known(event.target, self.nodes, "node")
+        elif isinstance(event, SlowMachine):
+            known(event.machine, self.machines, "machine")
+        elif isinstance(event, SkewClock):
+            known(event.target, self.clocks, "clock")
+        elif isinstance(event, PartitionPair):
+            known(event.machine_a, self.machines, "machine")
+            known(event.machine_b, self.machines, "machine")
+
+    def _runner_for(self, event: NemesisEvent):
+        if isinstance(event, CrashNode):
+            return self._run_crash(event)
+        if isinstance(event, PartitionPair):
+            return self._run_partition(event)
+        if isinstance(event, DropBurst):
+            return self._run_drop_burst(event)
+        if isinstance(event, SlowMachine):
+            return self._run_slowdown(event)
+        if isinstance(event, SkewClock):
+            return self._run_skew(event)
+        raise TypeError(f"unknown nemesis event: {event!r}")
+
+    def _sleep_until(self, at: float):
+        yield self.kernel.timeout(max(0.0, at - self.kernel.now))
+
+    def _run_crash(self, event: CrashNode):
+        node = self.nodes[event.target]
+        yield from self._sleep_until(event.at)
+        node.crash()
+        self.stats.crashes += 1
+        self.log.add(self.kernel.now, "crash", event.target)
+        if event.downtime is None:
+            return
+        yield self.kernel.timeout(event.downtime)
+        node.recover()
+        self.stats.restarts += 1
+        self.log.add(self.kernel.now, "recover", event.target)
+
+    def _run_partition(self, event: PartitionPair):
+        yield from self._sleep_until(event.at)
+        self.network.faults.partition(event.machine_a, event.machine_b)
+        self.stats.partitions += 1
+        key = f"{event.machine_a}|{event.machine_b}"
+        self.log.add(self.kernel.now, "partition", key)
+        yield self.kernel.timeout(event.duration)
+        self.network.heal_partition(event.machine_a, event.machine_b)
+        self.stats.heals += 1
+        self.log.add(self.kernel.now, "heal", key)
+
+    def _run_drop_burst(self, event: DropBurst):
+        yield from self._sleep_until(event.at)
+        previous = self.network.faults.drop_probability
+        self.network.faults.drop_probability = event.probability
+        self.stats.drop_bursts += 1
+        self.log.add(self.kernel.now, "drop_burst", f"p={event.probability}")
+        yield self.kernel.timeout(event.duration)
+        self.network.faults.drop_probability = previous
+        self.log.add(self.kernel.now, "drop_restore", f"p={previous}")
+
+    def _run_slowdown(self, event: SlowMachine):
+        machine = self.machines[event.machine]
+        yield from self._sleep_until(event.at)
+        previous = machine.speed
+        machine.speed = previous / event.factor
+        self.stats.slowdowns += 1
+        self.log.add(self.kernel.now, "slow", event.machine)
+        yield self.kernel.timeout(event.duration)
+        machine.speed = previous
+        self.log.add(self.kernel.now, "restore_speed", event.machine)
+
+    def _run_skew(self, event: SkewClock):
+        clock = self.clocks[event.target]
+        yield from self._sleep_until(event.at)
+        clock.inject_skew(event.skew)
+        self.stats.skews += 1
+        self.log.add(self.kernel.now, "skew", event.target)
+        yield self.kernel.timeout(event.duration)
+        clock.inject_skew(0.0)
+        self.log.add(self.kernel.now, "unskew", event.target)
+
+    # ------------------------------------------------------------------
+    # Random scenario generation (seeded, hence replayable)
+    # ------------------------------------------------------------------
+    def random_schedule(
+        self,
+        horizon: float,
+        crashes: int = 2,
+        partitions: int = 2,
+        drop_bursts: int = 1,
+        slowdowns: int = 1,
+        skews: int = 0,
+        mean_downtime: float = 0.5,
+        max_skew: float = 0.05,
+        crash_targets: Sequence[str] | None = None,
+    ) -> list[NemesisEvent]:
+        """Draw a scenario from this nemesis's seeded RNG stream.
+
+        Target choices iterate sorted name lists, so the draw depends
+        only on the seed and the deployment shape — the same seed
+        always yields the same scenario.
+        """
+        rng = self.rng
+        events: list[NemesisEvent] = []
+        node_names = sorted(crash_targets or self.nodes)
+        machine_names = sorted(self.machines)
+        clock_names = sorted(self.clocks)
+        for __ in range(crashes):
+            if not node_names:
+                break
+            events.append(
+                CrashNode(
+                    rng.choice(node_names),
+                    rng.uniform(0.0, horizon),
+                    rng.uniform(0.5, 1.5) * mean_downtime,
+                )
+            )
+        for __ in range(partitions):
+            if len(machine_names) < 2:
+                break
+            a, b = rng.sample(machine_names, 2)
+            events.append(
+                PartitionPair(a, b, rng.uniform(0.0, horizon), rng.uniform(0.5, 1.5) * mean_downtime)
+            )
+        for __ in range(drop_bursts):
+            events.append(
+                DropBurst(
+                    rng.uniform(0.1, 0.4),
+                    rng.uniform(0.0, horizon),
+                    rng.uniform(0.5, 1.5) * mean_downtime,
+                )
+            )
+        for __ in range(slowdowns):
+            if not machine_names:
+                break
+            events.append(
+                SlowMachine(
+                    rng.choice(machine_names),
+                    rng.uniform(0.0, horizon),
+                    rng.uniform(0.5, 1.5) * mean_downtime,
+                    factor=rng.uniform(2.0, 8.0),
+                )
+            )
+        for __ in range(skews):
+            if not clock_names:
+                break
+            events.append(
+                SkewClock(
+                    rng.choice(clock_names),
+                    rng.uniform(0.0, horizon),
+                    rng.uniform(0.5, 1.5) * mean_downtime,
+                    skew=rng.uniform(-max_skew, max_skew),
+                )
+            )
+        return sorted(events, key=lambda e: e.at)

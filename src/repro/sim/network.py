@@ -120,14 +120,18 @@ class Network:
     def _deliver(self, src: str, dst: str, message: Any, size_bytes: int) -> None:
         src_machine = self._machines[src]
         dst_machine = self._machines[dst]
+        same_machine = src_machine is dst_machine
         delay = self.latency.delay(
             src_machine.region,
             dst_machine.region,
             size_bytes,
             self._rng.random(),
-            same_machine=src_machine is dst_machine,
+            same_machine=same_machine,
         )
-        if self._drop_rng.random() < self.faults.drop_probability:
+        # Loopback (colocated nodes) never traverses a lossy link: TCP
+        # over loopback does not drop, so colocated deployments (e.g.
+        # the monolithic baseline) must not pay retransmit delays.
+        if not same_machine and self._drop_rng.random() < self.faults.drop_probability:
             self.stats.drops += 1
             delay += self.faults.retransmit_timeout
         now = self.kernel.now

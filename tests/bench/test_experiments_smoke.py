@@ -2,8 +2,6 @@
 and returns structurally valid results.  The full-size shape assertions
 live in benchmarks/."""
 
-import pytest
-
 from repro.bench.experiments import (
     ablations,
     fig3_write_scaling,

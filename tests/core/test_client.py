@@ -2,9 +2,6 @@
 
 import pytest
 
-from repro.core.messages import ReadRequest
-from repro.lsm.entry import encode_key
-
 from tests.core.conftest import fill, tiny_cluster
 
 

@@ -1,0 +1,150 @@
+"""Client-side timeouts and Ingestor failover.
+
+Every client RPC carries a config-derived timeout (never ``None``), so
+a crashed node surfaces as a bounded error — and where an alternate
+target exists, the client fails over to it transparently.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import ClusterSpec, CooLSMConfig, build_cluster
+from repro.sim.rpc import RemoteError, RpcTimeout
+
+from tests.core.conftest import TINY
+
+#: Short timeouts so crashed-node tests fail fast in simulation time.
+SNAPPY = replace(TINY, ack_timeout=0.2)
+
+
+def snappy_cluster(**overrides):
+    params = dict(config=SNAPPY, num_ingestors=1, num_compactors=2, num_readers=0)
+    params.update(overrides)
+    return build_cluster(ClusterSpec(**params))
+
+
+class TestTimeoutDerivation:
+    def test_default_derived_from_ack_timeout(self):
+        config = CooLSMConfig(ack_timeout=3.0)
+        assert config.request_timeout == 6.0
+
+    def test_explicit_client_timeout_wins(self):
+        config = CooLSMConfig(ack_timeout=3.0, client_timeout=1.5)
+        assert config.request_timeout == 1.5
+
+
+class TestBoundedFailure:
+    def test_upsert_to_crashed_only_ingestor_raises_bounded(self):
+        cluster = snappy_cluster()
+        client = cluster.add_client(region=cluster.spec.cloud_region)
+        cluster.ingestors[0].crash()
+
+        def driver():
+            with pytest.raises((RpcTimeout, RemoteError)):
+                yield from client.upsert(1, b"x")
+
+        cluster.run_process(driver())
+        # Bounded: retry budget x request timeout, not forever.
+        budget = cluster.config.client_retry_budget
+        assert cluster.kernel.now <= budget * cluster.config.request_timeout + 1.0
+        assert client.stats.timeouts == budget
+
+    def test_read_from_crashed_only_ingestor_raises(self):
+        cluster = snappy_cluster()
+        client = cluster.add_client(region=cluster.spec.cloud_region)
+        cluster.ingestors[0].crash()
+
+        def driver():
+            with pytest.raises((RpcTimeout, RemoteError)):
+                yield from client.read(1)
+
+        cluster.run_process(driver())
+        assert client.stats.timeouts > 0
+
+
+class TestFailover:
+    def test_upsert_fails_over_to_alternate_ingestor(self):
+        cluster = snappy_cluster(num_ingestors=2)
+        client = cluster.add_client(colocate_with="ingestor-0")
+        cluster.ingestors[0].crash()
+
+        def driver():
+            reply = yield from client.upsert(1, b"v")
+            return reply
+
+        cluster.run_process(driver())
+        assert client.stats.failovers > 0
+        assert client.stats.timeouts > 0
+        # The write landed at the alternate Ingestor.
+        assert cluster.ingestors[1].stats.upserts == 1
+        assert cluster.ingestors[0].stats.upserts == 0
+
+    def test_history_records_serving_ingestor(self):
+        cluster = snappy_cluster(num_ingestors=2)
+        client = cluster.add_client(colocate_with="ingestor-0")
+        cluster.ingestors[0].crash()
+
+        def driver():
+            yield from client.upsert(7, b"v")
+
+        cluster.run_process(driver())
+        [op] = list(cluster.history)
+        assert op.server == "ingestor-1"
+
+    def test_backup_read_fails_over_to_alternate_reader(self):
+        cluster = snappy_cluster(num_readers=2)
+        client = cluster.add_client(region=cluster.spec.cloud_region)
+        cluster.readers[0].crash()
+
+        def driver():
+            value = yield from client.read_from_backup(1)
+            return value
+
+        cluster.run_process(driver())
+        assert client.stats.failovers > 0
+        assert cluster.readers[1].stats.reads == 1
+
+    def test_analytics_fails_over_to_alternate_reader(self):
+        cluster = snappy_cluster(num_readers=2)
+        client = cluster.add_client(region=cluster.spec.cloud_region)
+        cluster.readers[0].crash()
+
+        def driver():
+            pairs = yield from client.analytics_query(0, 100)
+            return pairs
+
+        cluster.run_process(driver())
+        assert cluster.readers[1].stats.range_queries == 1
+
+    def test_no_failover_when_target_healthy(self):
+        cluster = snappy_cluster(num_ingestors=2)
+        client = cluster.add_client(colocate_with="ingestor-0")
+
+        def driver():
+            for i in range(50):
+                yield from client.upsert(i, b"v-%d" % i)
+
+        cluster.run_process(driver())
+        assert client.stats.failovers == 0
+        assert client.stats.timeouts == 0
+
+
+class TestCrashThenRecover:
+    def test_writes_resume_on_same_ingestor_after_restart(self):
+        cluster = snappy_cluster()
+        client = cluster.add_client(region=cluster.spec.cloud_region)
+        ingestor = cluster.ingestors[0]
+
+        def driver():
+            yield from client.upsert(1, b"before")
+            ingestor.crash()
+            # While down, the client's retries keep timing out...
+            yield cluster.kernel.timeout(0.05)
+            ingestor.recover()
+            # ...but once it is back, the next attempt lands.
+            yield from client.upsert(2, b"after")
+            got = yield from client.read(2)
+            return got
+
+        assert cluster.run_process(driver()) == b"after"

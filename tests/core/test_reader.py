@@ -1,6 +1,6 @@
 """Tests for the Reader (backup) node."""
 
-from repro.core.messages import BackupUpdate, RangeQuery, ReadRequest
+from repro.core.messages import BackupUpdate
 from repro.lsm.entry import encode_key
 from repro.lsm.sstable import SSTable
 

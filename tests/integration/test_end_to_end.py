@@ -2,7 +2,7 @@
 
 import random
 
-from repro.core import ClusterSpec, CooLSMConfig, build_cluster
+from repro.core import ClusterSpec, build_cluster
 from repro.sim.regions import Region
 
 from tests.core.conftest import TINY, tiny_cluster

@@ -4,7 +4,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.lsm.entry import Entry
-from repro.lsm.sstable import SSTable, sort_run
+from repro.lsm.sstable import SSTable
 from repro.lsm.sstable_io import SSTableReader, read_sstable, write_sstable
 from repro.lsm.wal import WriteAheadLog, replay
 

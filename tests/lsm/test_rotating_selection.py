@@ -4,7 +4,6 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.lsm.compaction import select_overflow_rotating
-from repro.lsm.entry import encode_key
 from repro.lsm.sstable import SSTable
 
 from tests.conftest import entry

@@ -1,6 +1,5 @@
 """Tests for the analytic cost model and Monkey-style bloom tuning."""
 
-import math
 
 import pytest
 from hypothesis import given

@@ -1,0 +1,142 @@
+"""Old-leader resurrection must not split-brain a ReplicaGroup.
+
+When a ReplicaGroup elects a successor, the deposed leader is fenced by
+term: if it was merely unreachable (not dead) and later resurrects, it
+rejects forwards instead of accepting writes the new leader never sees.
+"""
+
+import pytest
+
+from repro.core.messages import ForwardRequest
+from repro.lsm.sstable import SSTable
+from repro.sim.rpc import RemoteError
+
+from tests.conftest import entry
+from tests.replication.test_failover import replicated_cluster, write_n
+
+
+def crash_and_fail_over(cluster):
+    group = cluster.replica_groups[0]
+    cluster.compactors[0].crash()
+    cluster.run(until=cluster.kernel.now + 30.0)
+    assert group.stats.promotions == 1
+    return group
+
+
+def forward_probe(cluster, target, batch_id=777_000):
+    """Send one forward RPC to ``target`` from a fresh client-side node."""
+    table = SSTable.from_entries([entry(k, batch_id + k, ts=1.0) for k in range(5)])
+    request = ForwardRequest((table,), 1.0, batch_id, ingestor="probe")
+    ingestor = cluster.ingestors[0]
+
+    def driver():
+        reply = yield ingestor.call(
+            target, "forward", request, timeout=5.0
+        )
+        return reply
+
+    return cluster.run_process(driver())
+
+
+class TestFencing:
+    def test_old_leader_fenced_on_promotion(self):
+        cluster = replicated_cluster()
+        client = cluster.add_client(colocate_with="ingestor-0")
+        write_n(cluster, client, 1_500)
+        group = crash_and_fail_over(cluster)
+        old = cluster.compactors[0]
+        assert old.fenced
+        assert old.term == group.term
+
+    def test_resurrected_leader_rejects_forwards(self):
+        cluster = replicated_cluster()
+        client = cluster.add_client(colocate_with="ingestor-0")
+        write_n(cluster, client, 1_500)
+        crash_and_fail_over(cluster)
+        old = cluster.compactors[0]
+        old.recover()  # resurrects, but stays fenced
+        with pytest.raises(RemoteError):
+            forward_probe(cluster, old.name)
+
+    def test_new_leader_accepts_after_resurrection(self):
+        cluster = replicated_cluster()
+        client = cluster.add_client(colocate_with="ingestor-0")
+        write_n(cluster, client, 1_500)
+        group = crash_and_fail_over(cluster)
+        cluster.compactors[0].recover()
+        reply = forward_probe(cluster, group.current_leader_name)
+        assert reply.batch_id == 777_000
+
+    def test_writes_after_resurrection_land_on_new_leader(self):
+        cluster = replicated_cluster()
+        client = cluster.add_client(colocate_with="ingestor-0")
+        write_n(cluster, client, 1_500, prefix=b"before")
+        group = crash_and_fail_over(cluster)
+        old = cluster.compactors[0]
+        old.recover()
+        before = old.stats.forwards_received
+        write_n(cluster, client, 1_500, prefix=b"after", until_extra=300.0)
+        promoted = next(
+            r for r in group.replicas if r.name == group.current_leader_name
+        )
+        # Exactly one node absorbed the new writes.
+        assert promoted.stats.forwards_received > 0
+        assert old.stats.forwards_received == before
+
+    def test_exactly_one_acceptor_after_resurrection(self):
+        cluster = replicated_cluster()
+        client = cluster.add_client(colocate_with="ingestor-0")
+        write_n(cluster, client, 1_000)
+        group = crash_and_fail_over(cluster)
+        old = cluster.compactors[0]
+        old.recover()
+        cluster.run(until=cluster.kernel.now + 10.0)
+        acceptors = [not old.fenced] + [r.active for r in group.replicas]
+        assert sum(acceptors) == 1
+        # And the partition routes to that one acceptor.
+        assert group.partition.members == [group.current_leader_name]
+
+
+class TestDemotion:
+    def test_demoted_replica_rejects_forwards(self):
+        cluster = replicated_cluster()
+        client = cluster.add_client(colocate_with="ingestor-0")
+        write_n(cluster, client, 1_000)
+        replica = cluster.replica_groups[0].replicas[0]
+        replica.promote(term=1)
+        replica.demote(term=2)
+        assert replica.term == 2
+        with pytest.raises(RemoteError):
+            forward_probe(cluster, replica.name)
+
+    def test_retried_batch_deduplicated_after_promotion(self):
+        """A batch the old leader merged (and replicated) but whose ack
+        was lost is answered from the promoted replica's dedup table —
+        not merged a second time."""
+        cluster = replicated_cluster()
+        client = cluster.add_client(colocate_with="ingestor-0")
+        write_n(cluster, client, 2_000)
+        cluster.run(until=cluster.kernel.now + 60.0)  # replicas apply their log
+        group = crash_and_fail_over(cluster)
+        promoted = next(
+            r for r in group.replicas if r.name == group.current_leader_name
+        )
+        assert promoted.caught_up
+        assert promoted.replication.records_applied > 0
+        applied = promoted.log[0]
+        assert applied.request.ingestor == "ingestor-0"
+        merges_before = len(promoted.stats.compactions)
+        # Retry the first logged batch, as the Ingestor would after a
+        # lost ack: same (ingestor, batch_id).
+        ingestor = cluster.ingestors[0]
+
+        def driver():
+            reply = yield ingestor.call(
+                promoted.name, "forward", applied.request, timeout=5.0
+            )
+            return reply
+
+        reply = cluster.run_process(driver())
+        assert reply.batch_id == applied.request.batch_id
+        assert promoted.stats.duplicate_forwards == 1
+        assert len(promoted.stats.compactions) == merges_before

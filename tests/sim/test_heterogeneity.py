@@ -4,7 +4,7 @@ The paper's motivation (Section I) includes "machine and workload
 heterogeneity"; the simulator models it via per-machine speed factors.
 """
 
-from repro.core import ClusterSpec, CooLSMConfig, build_cluster
+from repro.core import ClusterSpec, build_cluster
 from repro.sim.machine import Machine
 from repro.sim.kernel import Kernel
 from repro.sim.regions import Region
