@@ -65,3 +65,18 @@ def throughput(ops: int, duration: float) -> float:
     if duration <= 0:
         return 0.0
     return ops / duration
+
+
+def cache_summary(stats) -> dict[str, float]:
+    """A :class:`~repro.lsm.cache.CacheStats` flattened to a plain dict
+    (the shape ``BENCH_read_path.json`` and reports embed)."""
+    return {
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "lookups": stats.lookups,
+        "hit_rate": stats.hit_rate,
+        "inserts": stats.inserts,
+        "evictions": stats.evictions,
+        "bloom_probes": stats.bloom_probes,
+        "bloom_negatives": stats.bloom_negatives,
+    }

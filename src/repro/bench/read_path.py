@@ -1,0 +1,347 @@
+"""Read-path micro-benchmark: streaming scans, fence index, read cache.
+
+Measures the monolithic :class:`~repro.lsm.tree.LSMTree` read path
+against a faithful re-implementation of the *pre-overhaul* path (linear
+level probing, per-table list materialisation on scans, no cache) and
+emits a machine-readable report — the checked-in
+``BENCH_read_path.json`` at the repository root.
+
+Because both paths run in the same process on the same tree, the
+numbers that matter are **ratios** (speedups), which are stable across
+machines; absolute latencies are recorded for context only.  The
+regression check therefore compares speedups, never wall-clock.
+
+Run::
+
+    PYTHONPATH=src python -m repro.bench.read_path --out BENCH_read_path.json
+    PYTHONPATH=src python -m repro.bench.read_path --smoke \
+        --check BENCH_read_path.json
+
+The ``--check`` mode re-runs the benchmark and fails (exit 1) if an
+invariant breaks (point gets not bit-identical, YCSB-C hit rate below
+50%) or if a speedup degraded by more than ``--max-regression`` versus
+the baseline file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from typing import Iterator
+
+from repro.lsm.entry import Entry, encode_key
+from repro.lsm.iterators import dedup_newest, k_way_merge
+from repro.lsm.tree import LSMConfig, LSMTree
+from repro.workloads.distributions import Zipfian
+
+from .metrics import LatencySummary, cache_summary
+
+#: Invariant floors (acceptance criteria, not tuning knobs).
+MIN_SCAN_SPEEDUP = 2.0
+MIN_YCSB_HIT_RATE = 0.5
+
+
+# ----------------------------------------------------------------------
+# Tree construction
+# ----------------------------------------------------------------------
+def build_tree(
+    num_keys: int,
+    cache_capacity: int = 4_096,
+    cache_policy: str = "lru",
+    seed: int = 7,
+) -> LSMTree:
+    """A populated in-memory tree with a realistic level layout: keys
+    are inserted in shuffled order, and the memtable is kept small
+    relative to the key count, so flushes and compactions spread the
+    data across L0..L3 instead of parking it all in L0."""
+    config = LSMConfig(
+        memtable_entries=250,
+        sstable_entries=100,
+        cache_capacity=cache_capacity,
+        cache_policy=cache_policy,
+    )
+    tree = LSMTree(config)
+    keys = list(range(num_keys))
+    random.Random(seed).shuffle(keys)
+    for key in keys:
+        tree.put(key, f"value-{key}".encode())
+    return tree
+
+
+# ----------------------------------------------------------------------
+# The legacy read path (pre-overhaul), re-implemented for A/B timing
+# ----------------------------------------------------------------------
+def legacy_get_entry(tree: LSMTree, key: bytes | str | int) -> Entry | None:
+    """The pre-overhaul point lookup: linear probe over every table of
+    every level (range-checked), no fence-index bisect, no cache."""
+    encoded = encode_key(key)
+    best = tree._memtable.get(encoded)
+    for table in reversed(tree.manifest.level(0)):
+        if not table.key_in_range(encoded):
+            continue
+        found = table.get(encoded)
+        if found is not None and (best is None or found.version > best.version):
+            best = found
+        if best is not None:
+            break
+    if best is not None:
+        return best
+    for level in range(1, tree.manifest.num_levels):
+        for table in tree.manifest.level(level):
+            if not table.key_in_range(encoded):
+                continue
+            found = table.get(encoded)
+            if found is not None:
+                return found
+    return None
+
+
+def legacy_scan(
+    tree: LSMTree,
+    lo: bytes | str | int | None = None,
+    hi: bytes | str | int | None = None,
+) -> Iterator[tuple[bytes, bytes]]:
+    """The pre-overhaul scan: every overlapping table's slice is
+    materialised into a list up front, so even a scan consuming one
+    result pays for the whole range in every level."""
+    lo_b = encode_key(lo) if lo is not None else None
+    hi_b = encode_key(hi) if hi is not None else None
+    sources: list = [tree._memtable.range(lo_b, hi_b)]
+    for table in reversed(tree.manifest.level(0)):
+        sources.append(list(table.scan(lo_b, hi_b)))
+    for level in range(1, tree.manifest.num_levels):
+        for table in tree.manifest.level(level):
+            sources.append(list(table.scan(lo_b, hi_b)))
+    for entry in dedup_newest(k_way_merge(sources)):
+        if not entry.tombstone:
+            yield entry.key, entry.value
+
+
+# ----------------------------------------------------------------------
+# Benchmark stages
+# ----------------------------------------------------------------------
+def _time_gets(get_fn, keys: list[int]) -> tuple[list[float], list]:
+    latencies: list[float] = []
+    results = []
+    for key in keys:
+        start = time.perf_counter()
+        results.append(get_fn(key))
+        latencies.append(time.perf_counter() - start)
+    return latencies, results
+
+
+def bench_point_gets(tree: LSMTree, num_ops: int, seed: int) -> dict:
+    """Zipfian point gets, legacy vs current, plus the bit-identity
+    invariant: every lookup must return exactly the same entry."""
+    picker = Zipfian(tree.approximate_len() or 1)
+    rng = random.Random(seed)
+    keys = [picker.pick(rng) for __ in range(num_ops)]
+    legacy_lat, legacy_res = _time_gets(lambda k: legacy_get_entry(tree, k), keys)
+    new_lat, new_res = _time_gets(tree.get_entry, keys)
+    identical = legacy_res == new_res
+    legacy = LatencySummary.from_samples(legacy_lat)
+    new = LatencySummary.from_samples(new_lat)
+    return {
+        "ops": num_ops,
+        "identical": identical,
+        "legacy_p50_us": legacy.p50 * 1e6,
+        "legacy_p99_us": legacy.p99 * 1e6,
+        "new_p50_us": new.p50 * 1e6,
+        "new_p99_us": new.p99 * 1e6,
+        "speedup_p50": legacy.p50 / new.p50 if new.p50 else 0.0,
+    }
+
+
+def bench_early_scan(tree: LSMTree, limit: int, num_ops: int, seed: int) -> dict:
+    """Scans that stop after ``limit`` results — the case streaming is
+    for.  The legacy path materialises every level slice regardless."""
+    rng = random.Random(seed)
+    num_keys = tree.approximate_len()
+    starts = [rng.randrange(max(1, num_keys // 2)) for __ in range(num_ops)]
+
+    def run(scan_fn) -> float:
+        begin = time.perf_counter()
+        for lo in starts:
+            taken = 0
+            for __ in scan_fn(lo):
+                taken += 1
+                if taken >= limit:
+                    break
+        return time.perf_counter() - begin
+
+    legacy_s = run(lambda lo: legacy_scan(tree, lo))
+    new_s = run(lambda lo: tree.scan(lo))
+    return {
+        "ops": num_ops,
+        "limit": limit,
+        "legacy_s": legacy_s,
+        "new_s": new_s,
+        "speedup": legacy_s / new_s if new_s else 0.0,
+    }
+
+
+def bench_full_scan(tree: LSMTree) -> dict:
+    """Unbounded scan throughput (streaming should not regress it)."""
+    begin = time.perf_counter()
+    legacy_count = sum(1 for __ in legacy_scan(tree))
+    legacy_s = time.perf_counter() - begin
+    begin = time.perf_counter()
+    new_count = sum(1 for __ in tree.scan())
+    new_s = time.perf_counter() - begin
+    return {
+        "entries": new_count,
+        "identical": legacy_count == new_count,
+        "legacy_entries_per_s": legacy_count / legacy_s if legacy_s else 0.0,
+        "new_entries_per_s": new_count / new_s if new_s else 0.0,
+        "speedup": legacy_s / new_s if new_s else 0.0,
+    }
+
+
+def bench_ycsb_c(tree: LSMTree, num_ops: int, seed: int) -> dict:
+    """YCSB workload C (read-only, zipfian): the cache's home turf.
+    Counters are reset first so the report reflects only this stage."""
+    tree.stats.cache.reset()
+    picker = Zipfian(tree.approximate_len() or 1)
+    rng = random.Random(seed)
+    begin = time.perf_counter()
+    for __ in range(num_ops):
+        tree.get(picker.pick(rng))
+    elapsed = time.perf_counter() - begin
+    return {
+        "ops": num_ops,
+        "ops_per_s": num_ops / elapsed if elapsed else 0.0,
+        "cache": cache_summary(tree.stats.cache),
+    }
+
+
+def run_benchmark(
+    num_keys: int = 20_000,
+    num_ops: int = 2_000,
+    scan_limit: int = 10,
+    cache_capacity: int = 4_096,
+    cache_policy: str = "lru",
+    seed: int = 7,
+) -> dict:
+    """The full report (the shape of ``BENCH_read_path.json``)."""
+    tree = build_tree(num_keys, cache_capacity, cache_policy, seed)
+    report = {
+        "benchmark": "read_path",
+        "config": {
+            "num_keys": num_keys,
+            "num_ops": num_ops,
+            "scan_limit": scan_limit,
+            "cache_capacity": cache_capacity,
+            "cache_policy": cache_policy,
+            "seed": seed,
+            "python": sys.version.split()[0],
+        },
+        "levels": [len(tree.manifest.level(i)) for i in range(tree.manifest.num_levels)],
+        "point_get": bench_point_gets(tree, num_ops, seed),
+        "early_scan": bench_early_scan(tree, scan_limit, max(1, num_ops // 10), seed),
+        "full_scan": bench_full_scan(tree),
+        "ycsb_c": bench_ycsb_c(tree, num_ops, seed),
+    }
+    return report
+
+
+# ----------------------------------------------------------------------
+# Regression checking
+# ----------------------------------------------------------------------
+def check_regression(
+    current: dict, baseline: dict | None, max_regression: float = 2.0
+) -> list[str]:
+    """Failures (empty when healthy).  Invariants are absolute; speed
+    comparisons are ratio-vs-ratio so heterogeneous CI machines do not
+    flake: a failure means *this* machine's own legacy-vs-new gap
+    shrank by more than ``max_regression`` against the baseline's."""
+    failures: list[str] = []
+    if not current["point_get"]["identical"]:
+        failures.append("point gets are not bit-identical to the legacy path")
+    if not current["full_scan"]["identical"]:
+        failures.append("full scan count differs from the legacy path")
+    speedup = current["early_scan"]["speedup"]
+    if speedup < MIN_SCAN_SPEEDUP:
+        failures.append(
+            f"early-terminated scan speedup {speedup:.2f}x < {MIN_SCAN_SPEEDUP}x floor"
+        )
+    hit_rate = current["ycsb_c"]["cache"]["hit_rate"]
+    if hit_rate < MIN_YCSB_HIT_RATE:
+        failures.append(
+            f"YCSB-C cache hit rate {hit_rate:.2%} < {MIN_YCSB_HIT_RATE:.0%} floor"
+        )
+    if baseline is not None and _comparable(current, baseline):
+        for stage, metric in (("early_scan", "speedup"), ("full_scan", "speedup")):
+            base = baseline.get(stage, {}).get(metric, 0.0)
+            cur = current[stage][metric]
+            if base > 0 and cur < base / max_regression:
+                failures.append(
+                    f"{stage}.{metric} regressed {base:.2f}x -> {cur:.2f}x "
+                    f"(allowed factor {max_regression}x)"
+                )
+    return failures
+
+
+def _comparable(current: dict, baseline: dict) -> bool:
+    """Speedup ratios are only meaningful between runs of the same
+    workload shape (a smoke run against the full baseline is not);
+    interpreter version may differ."""
+
+    def shape(report: dict) -> dict:
+        config = dict(report.get("config", {}))
+        config.pop("python", None)
+        return config
+
+    return shape(current) == shape(baseline)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--keys", type=int, default=20_000)
+    parser.add_argument("--ops", type=int, default=2_000)
+    parser.add_argument("--scan-limit", type=int, default=10)
+    parser.add_argument("--cache-capacity", type=int, default=4_096)
+    parser.add_argument("--cache-policy", choices=("lru", "clock"), default="lru")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny workload for CI smoke runs"
+    )
+    parser.add_argument("--out", help="write the JSON report here")
+    parser.add_argument(
+        "--check", help="baseline JSON to compare speedup ratios against"
+    )
+    parser.add_argument("--max-regression", type=float, default=2.0)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.keys = min(args.keys, 5_000)
+        args.ops = min(args.ops, 500)
+    report = run_benchmark(
+        num_keys=args.keys,
+        num_ops=args.ops,
+        scan_limit=args.scan_limit,
+        cache_capacity=args.cache_capacity,
+        cache_policy=args.cache_policy,
+        seed=args.seed,
+    )
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(text + "\n")
+    else:
+        print(text)
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as f:
+            baseline = json.load(f)
+        failures = check_regression(report, baseline, args.max_regression)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print("regression check passed", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

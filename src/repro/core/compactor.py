@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.lsm.cache import ReadCache
 from repro.lsm.compaction import (
     KeepPolicy,
     NEWEST_WINS,
@@ -31,6 +32,7 @@ from repro.lsm.compaction import (
     select_overflow_rotating,
 )
 from repro.lsm.entry import Entry
+from repro.lsm.iterators import level_scan
 from repro.lsm.manifest import LevelEdit, Manifest
 from repro.lsm.sstable import SSTable
 from repro.sim.clock import LooseClock
@@ -110,6 +112,12 @@ class Compactor(RpcNode):
         self.multi_ingestor = multi_ingestor
         self.stats = CompactorStats()
         self.manifest = Manifest(2, overlapping_levels=frozenset())
+        # Volatile row cache over immutable sstables; wiped on crash.
+        self.read_cache: ReadCache | None = (
+            ReadCache(config.read_cache_capacity)
+            if config.read_cache_capacity > 0
+            else None
+        )
         self._merge_lock = Resource(kernel, 1)
         self._l2_pointer: bytes | None = None
         # Idempotent forwards: retried batches (lost acks) are answered
@@ -298,16 +306,28 @@ class Compactor(RpcNode):
         )
 
     # ------------------------------------------------------------------
+    # Failure model
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Fail-stop.  The read cache models volatile memory and is
+        wiped; L2/L3 and the batch-dedup table survive (durable)."""
+        super().crash()
+        if self.read_cache is not None:
+            self.read_cache.clear()
+
+    # ------------------------------------------------------------------
     # Read path
     # ------------------------------------------------------------------
     def _search(self, key: bytes, as_of: float | None) -> tuple[Entry | None, int]:
         probes = 0
         candidates: list[Entry] = []
-        for level in (self.level2, self.level3):
-            for table in level:
-                if table.key_in_range(key) and table.bloom.might_contain(key):
+        for level in (L2, L3):
+            # Both levels are non-overlapping: the fence index bisects to
+            # the single table covering ``key`` instead of scanning.
+            for table in self.manifest.tables_for_key(level, key):
+                if table.bloom.might_contain(key):
                     probes += 1
-                    versions = table.versions(key)
+                    versions = table.versions(key, self.read_cache)
                     if as_of is not None:
                         versions = [v for v in versions if v.timestamp <= as_of]
                     candidates.extend(versions[:1])
@@ -333,8 +353,15 @@ class Compactor(RpcNode):
 
         self.stats.reads += 1
         yield from self.compute(self.config.costs.read_base)
+        # Each level is non-overlapping, so it becomes one lazy chained
+        # stream; with a limit the merge stops after O(limit) entries.
         sources = [
-            list(t.scan(request.lo, request.hi)) for t in self.level2 + self.level3
+            level_scan(
+                self.manifest.tables_for_range(level, request.lo, request.hi),
+                request.lo,
+                request.hi,
+            )
+            for level in (L2, L3)
         ]
         pairs: list[tuple[bytes, bytes]] = []
         for entry in dedup_newest(k_way_merge(sources)):

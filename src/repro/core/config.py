@@ -61,6 +61,10 @@ class CooLSMConfig:
         client_retry_budget: Attempts a client (and internal read
             fan-outs) make — cycling through alternate Ingestors or
             Readers — before giving up and raising.
+        read_cache_capacity: Entries in each node's read cache (row
+            results keyed by immutable sstable id, so cached entries
+            never go stale; see :mod:`repro.lsm.cache`).  0 disables
+            node-side caching.  Volatile state: cleared on crash.
         costs: The compute cost model.
     """
 
@@ -80,6 +84,7 @@ class CooLSMConfig:
     forward_retry_budget: int = 6
     client_timeout: float | None = None
     client_retry_budget: int = 4
+    read_cache_capacity: int = 4_096
     costs: CostModel = DEFAULT_COSTS
 
     def __post_init__(self) -> None:
@@ -105,6 +110,8 @@ class CooLSMConfig:
             raise InvalidConfigError("retry budgets must be positive")
         if self.client_timeout is not None and self.client_timeout <= 0:
             raise InvalidConfigError("client_timeout must be positive")
+        if self.read_cache_capacity < 0:
+            raise InvalidConfigError("read_cache_capacity must be non-negative")
 
     @property
     def request_timeout(self) -> float:

@@ -26,6 +26,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.lsm.cache import ReadCache
 from repro.lsm.compaction import (
     KeepPolicy,
     NEWEST_WINS,
@@ -124,6 +125,13 @@ class Ingestor(RpcNode):
         self._recovered: "object | None" = None
         self.stats = IngestorStats()
         self.manifest = Manifest(2)  # index 0 = L0, index 1 = L1
+        # Per-node read cache over immutable sstable rows.  Volatile:
+        # wiped on crash (it is reconstructible state, never durable).
+        self.read_cache: ReadCache | None = (
+            ReadCache(config.read_cache_capacity)
+            if config.read_cache_capacity > 0
+            else None
+        )
         self._memtable = self._new_memtable()
         self._seqno = 0
         self._batch_seq = 0
@@ -368,6 +376,8 @@ class Ingestor(RpcNode):
         super().crash()
         if lose_memtable:
             self._memtable = self._new_memtable()
+        if self.read_cache is not None:
+            self.read_cache.clear()
 
     def _recovery_event(self):
         """The event :meth:`recover` fires; created lazily while down."""
@@ -420,10 +430,14 @@ class Ingestor(RpcNode):
         for table in reversed(self.level0):
             if table.key_in_range(key) and table.bloom.might_contain(key):
                 probes += 1
-                candidates.extend(self._visible(table.versions(key), as_of))
+                candidates.extend(
+                    self._visible(table.versions(key, self.read_cache), as_of)
+                )
                 if candidates and as_of is None:
                     break  # L0 newest-first: first hit wins
-        search_l1 = [t for t in self.level1 if t.key_in_range(key)]
+        # L1 is non-overlapping: the manifest's fence index bisects to
+        # the single candidate table instead of scanning the level.
+        search_l1 = self.manifest.tables_for_key(1, key)
         inflight = [
             t
             for batch in self._in_flight.values()
@@ -433,7 +447,9 @@ class Ingestor(RpcNode):
         for table in search_l1 + inflight:
             if table.bloom.might_contain(key):
                 probes += 1
-                candidates.extend(self._visible(table.versions(key), as_of))
+                candidates.extend(
+                    self._visible(table.versions(key, self.read_cache), as_of)
+                )
         if not candidates:
             return None, probes
         return max(candidates, key=lambda e: e.version), probes
@@ -479,7 +495,7 @@ class Ingestor(RpcNode):
 
         self.stats.reads += 1
         yield from self.compute(self.config.costs.read_base)
-        sources: list[list[Entry]] = [self._memtable.range(request.lo, request.hi)]
+        sources: list = [self._memtable.range(request.lo, request.hi)]
         local_tables = (
             list(reversed(self.level0))
             + list(self.level1)
@@ -487,7 +503,7 @@ class Ingestor(RpcNode):
         )
         for table in local_tables:
             if table.overlaps(request.lo, request.hi):
-                sources.append(list(table.scan(request.lo, request.hi)))
+                sources.append(table.scan(request.lo, request.hi))
         # Fan out to every partition the range touches (all members of
         # overlapping groups, newest version wins).
         partitions = self.partitioning.partitions_for_range(request.lo, request.hi)

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro.lsm.cache import ReadCache
 from repro.lsm.entry import Entry
 from repro.lsm.iterators import dedup_newest, k_way_merge
 from repro.lsm.manifest import LevelEdit, Manifest
@@ -110,6 +111,12 @@ class Reader(RpcNode):
         # so levels are overlap-tolerant; reads resolve by version.
         self._areas: dict[str, Manifest] = {}
         self.manifest = _MergedView(self._areas)
+        # Volatile row cache over immutable sstables; wiped on crash.
+        self.read_cache: ReadCache | None = (
+            ReadCache(config.read_cache_capacity)
+            if config.read_cache_capacity > 0
+            else None
+        )
         # Section III-D.3 fresh area: the latest L1 snapshot received
         # from each Ingestor (only populated when Ingestors feed Readers).
         self.fresh_area: dict[str, tuple[SSTable, ...]] = {}
@@ -256,6 +263,13 @@ class Reader(RpcNode):
                 self._catch_up(source), f"{self.name}.catchup.{source}"
             )
 
+    def crash(self) -> None:
+        """Fail-stop.  The read cache models volatile memory and is
+        wiped; the installed areas survive (durable snapshot state)."""
+        super().crash()
+        if self.read_cache is not None:
+            self.read_cache.clear()
+
     def recover(self) -> None:
         """Restart after a crash: updates cast while down were lost, so
         proactively resynchronise every source area."""
@@ -284,17 +298,34 @@ class Reader(RpcNode):
         probes = 0
         candidates: list[Entry] = []
         fresh_tables = [t for run in self.fresh_area.values() for t in run]
-        for tables in (fresh_tables, self.level2, self.level3):
-            for table in tables:
-                if table.key_in_range(key) and table.bloom.might_contain(key):
-                    probes += 1
-                    versions = table.versions(key)
-                    if as_of is not None:
-                        versions = [v for v in versions if v.timestamp <= as_of]
-                    candidates.extend(versions[:1])
+        for table in fresh_tables:
+            if table.key_in_range(key) and table.bloom.might_contain(key):
+                probes += 1
+                candidates.extend(
+                    self._visible(table.versions(key, self.read_cache), as_of)
+                )
+        # Each area's fence index narrows the level to the tables whose
+        # range contains the key (areas are overlap-tolerant, so this
+        # can be more than one); resolution stays purely by version.
+        for level in (_L2, _L3):
+            for area in self._areas.values():
+                for table in area.tables_for_key(level, key):
+                    if table.bloom.might_contain(key):
+                        probes += 1
+                        candidates.extend(
+                            self._visible(
+                                table.versions(key, self.read_cache), as_of
+                            )
+                        )
         if not candidates:
             return None, probes
         return max(candidates, key=lambda e: e.version), probes
+
+    @staticmethod
+    def _visible(versions: list[Entry], as_of: float | None) -> list[Entry]:
+        if as_of is not None:
+            versions = [v for v in versions if v.timestamp <= as_of]
+        return versions[:1]
 
     def _handle_read(self, src: str, request: ReadRequest):
         """Point read served purely from the local snapshot."""
@@ -309,10 +340,15 @@ class Reader(RpcNode):
         self.stats.range_queries += 1
         yield from self.compute(self.config.costs.read_base)
         fresh_tables = [t for run in self.fresh_area.values() for t in run]
-        sources = [
-            list(t.scan(request.lo, request.hi))
-            for t in fresh_tables + self.level2 + self.level3
-        ]
+        # Lazy per-table cursors: each area's fence index prunes the
+        # tables outside [lo, hi), and nothing is materialised, so a
+        # limited query stops after O(limit) merged entries.  Areas are
+        # overlap-tolerant, so tables stay separate merge streams.
+        sources = [t.scan(request.lo, request.hi) for t in fresh_tables]
+        for area in self._areas.values():
+            for level in (_L2, _L3):
+                for table in area.tables_for_range(level, request.lo, request.hi):
+                    sources.append(table.scan(request.lo, request.hi))
         pairs: list[tuple[bytes, bytes]] = []
         for entry in dedup_newest(k_way_merge(sources)):
             if entry.tombstone:

@@ -14,6 +14,7 @@ from .amplification import (
     measure_tiered_tree,
 )
 from .bloom import BloomFilter
+from .cache import MISS, CacheStats, ReadCache
 from .compaction import (
     CompactionResult,
     CompactionStats,
@@ -39,9 +40,10 @@ from .iterators import (
     dedup_newest,
     drop_tombstones,
     k_way_merge,
+    level_scan,
     retain_versions_above,
 )
-from .manifest import LevelEdit, Manifest
+from .manifest import LevelEdit, LevelFenceIndex, Manifest
 from .memtable import Memtable, SkipList
 from .sstable import SSTable, sort_run
 from .sstable_io import SSTableReader, read_sstable, write_sstable
@@ -64,6 +66,7 @@ from .wal import WriteAheadLog, replay
 __all__ = [
     "AmplificationReport",
     "BloomFilter",
+    "CacheStats",
     "ClosedError",
     "CompactionEvent",
     "CompactionResult",
@@ -78,10 +81,13 @@ __all__ = [
     "LSMShape",
     "LSMTree",
     "LevelEdit",
+    "LevelFenceIndex",
+    "MISS",
     "Manifest",
     "ManifestError",
     "Memtable",
     "NEWEST_WINS",
+    "ReadCache",
     "SSTable",
     "SSTableReader",
     "SkipList",
@@ -97,6 +103,7 @@ __all__ = [
     "encode_value",
     "expected_zero_result_probes",
     "k_way_merge",
+    "level_scan",
     "leveled_space_amplification",
     "leveled_write_cost",
     "major_compaction",

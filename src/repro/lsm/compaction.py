@@ -21,6 +21,7 @@ from .iterators import (
     dedup_newest,
     drop_tombstones,
     k_way_merge,
+    level_scan,
     retain_versions_above,
 )
 from .sstable import SSTable
@@ -85,18 +86,38 @@ def merge_tables(
     tables: list[SSTable],
     run_size: int,
     policy: KeepPolicy = NEWEST_WINS,
+    level_run: list[SSTable] | None = None,
 ) -> CompactionResult:
-    """K-way merge ``tables`` (newer sources first) into fixed-size runs."""
+    """K-way merge ``tables`` (newer sources first) into fixed-size runs.
+
+    ``level_run``, if given, is a disjoint min-key-sorted run (a leveled
+    target level) merged as the *oldest* source: its tables are chained
+    into one lazy :func:`level_scan` cursor, so the merge heap holds one
+    entry for the whole run instead of one per table.
+    """
+    level_run = level_run or []
     stats = CompactionStats(
-        entries_in=sum(len(t) for t in tables),
-        tables_in=len(tables),
+        entries_in=sum(len(t) for t in tables) + sum(len(t) for t in level_run),
+        tables_in=len(tables) + len(level_run),
     )
-    merged = k_way_merge([t.entries for t in tables])
+    streams: list = [t.entries for t in tables]
+    if level_run:
+        streams.append(level_scan(level_run))
+    merged = k_way_merge(streams)
     kept = policy.apply(merged)
     out_tables = [SSTable(chunk) for chunk in chunk_into_runs(kept, run_size)]
     stats.entries_out = sum(len(t) for t in out_tables)
     stats.tables_out = len(out_tables)
     return CompactionResult(out_tables, stats)
+
+
+def _is_disjoint_run(tables: list[SSTable]) -> bool:
+    """True when ``tables`` are min-key-sorted and pairwise disjoint —
+    the precondition for chaining them into one sorted stream."""
+    for left, right in zip(tables, tables[1:]):
+        if left.max_key >= right.min_key:
+            return False
+    return True
 
 
 def minor_compaction(
@@ -197,6 +218,13 @@ def major_compaction(
     lo = min(t.min_key for t in incoming)
     hi = max(t.max_key for t in incoming)
     overlapping, untouched = find_overlaps(level_tables, lo, hi)
-    result = merge_tables(list(incoming) + overlapping, run_size, policy)
+    if _is_disjoint_run(overlapping):
+        result = merge_tables(
+            list(incoming), run_size, policy, level_run=overlapping
+        )
+    else:
+        # Defensive: a caller handed us an overlapping target level —
+        # merge table-by-table, which is always order-correct.
+        result = merge_tables(list(incoming) + overlapping, run_size, policy)
     result.stats.overlap_tables = len(overlapping)
     return result, untouched

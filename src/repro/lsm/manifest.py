@@ -15,6 +15,7 @@ mixture.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 
 from .errors import ManifestError
@@ -37,6 +38,61 @@ class LevelEdit:
         return self
 
 
+class LevelFenceIndex:
+    """Interval index over one level's tables: sorted min keys + a
+    running max of max keys, so point and range lookups bisect straight
+    to the overlapping tables instead of scanning the level.
+
+    Works for overlapping levels too: the prefix-max array bounds the
+    leftward walk from the bisect position, so a lookup inspects only
+    tables that *could* contain the key.  For a non-overlapping level
+    the walk visits at most one table — the paper's fence-pointer
+    argument, lifted from blocks-within-a-table to tables-within-a-level.
+    """
+
+    __slots__ = ("_tables", "_positions", "_min_keys", "_prefix_max")
+
+    def __init__(self, level_tables: list[SSTable]) -> None:
+        order = sorted(range(len(level_tables)), key=lambda i: level_tables[i].min_key)
+        self._tables = [level_tables[i] for i in order]
+        self._positions = order  # original level-list position per sorted slot
+        self._min_keys = [t.min_key for t in self._tables]
+        prefix_max: list[bytes] = []
+        running: bytes | None = None
+        for table in self._tables:
+            running = table.max_key if running is None else max(running, table.max_key)
+            prefix_max.append(running)
+        self._prefix_max = prefix_max
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def candidates_for_key(self, key: bytes) -> list[SSTable]:
+        """Tables whose [min_key, max_key] contains ``key``, in original
+        level-list order (so L0's newest-first convention survives)."""
+        hits: list[tuple[int, SSTable]] = []
+        i = bisect.bisect_right(self._min_keys, key) - 1
+        while i >= 0 and self._prefix_max[i] >= key:
+            if self._tables[i].max_key >= key:
+                hits.append((self._positions[i], self._tables[i]))
+            i -= 1
+        hits.sort(key=lambda pair: pair[0])
+        return [table for __, table in hits]
+
+    def candidates_for_range(
+        self, lo: bytes | None, hi: bytes | None
+    ) -> list[SSTable]:
+        """Tables intersecting ``[lo, hi)``, sorted by min key (the
+        order a chained level scan needs)."""
+        start = 0 if lo is None else bisect.bisect_left(self._prefix_max, lo)
+        end = len(self._tables) if hi is None else bisect.bisect_left(self._min_keys, hi)
+        return [
+            table
+            for table in self._tables[start:end]
+            if lo is None or table.max_key >= lo
+        ]
+
+
 class Manifest:
     """Tracks the sstables of each level and applies edits atomically.
 
@@ -53,6 +109,7 @@ class Manifest:
             raise ManifestError("num_levels must be positive")
         self._levels: list[list[SSTable]] = [[] for __ in range(num_levels)]
         self._overlapping = overlapping_levels
+        self._indexes: list[LevelFenceIndex | None] = [None] * num_levels
         self.version = 0
 
     @property
@@ -69,6 +126,27 @@ class Manifest:
 
     def total_entries(self) -> int:
         return sum(len(t) for tables in self._levels for t in tables)
+
+    def fence_index(self, level: int) -> LevelFenceIndex:
+        """The level's interval index, built lazily and cached until the
+        next :meth:`apply` (level lists are replaced, never mutated, so
+        a cached index is valid for the manifest version it was built at)."""
+        index = self._indexes[level]
+        if index is None:
+            index = LevelFenceIndex(self._levels[level])
+            self._indexes[level] = index
+        return index
+
+    def tables_for_key(self, level: int, key: bytes) -> list[SSTable]:
+        """Tables of ``level`` whose key range contains ``key``, in
+        level-list order — at most one for a non-overlapping level."""
+        return self.fence_index(level).candidates_for_key(key)
+
+    def tables_for_range(
+        self, level: int, lo: bytes | None, hi: bytes | None
+    ) -> list[SSTable]:
+        """Tables of ``level`` intersecting ``[lo, hi)``, by min key."""
+        return self.fence_index(level).candidates_for_range(lo, hi)
 
     def apply(self, edit: LevelEdit) -> int:
         """Validate and apply an edit atomically; return the new version.
@@ -113,6 +191,7 @@ class Manifest:
                     )
             new_levels[level_index] = ordered
         self._levels = new_levels
+        self._indexes = [None] * len(new_levels)
         self.version += 1
         return self.version
 

@@ -181,3 +181,9 @@ class Memtable:
     def range(self, lo: bytes | None, hi: bytes | None) -> list[Entry]:
         """All buffered versions with lo <= key < hi."""
         return list(self._list.range(lo, hi))
+
+    def iter_range(self, lo: bytes | None, hi: bytes | None) -> Iterator[Entry]:
+        """Lazy variant of :meth:`range`.  The iterator walks the live
+        skip list, so interleaving writes with iteration is undefined —
+        callers that mutate mid-scan should use :meth:`range`."""
+        return self._list.range(lo, hi)

@@ -15,6 +15,17 @@ these two structures.
 Entries within a table are sorted by ``(key, version descending)`` so a
 table may hold several versions of one key (needed when CooLSM's
 GC-horizon retains versions).  Classic tables hold one version per key.
+
+Lookups optionally go through a :class:`~repro.lsm.cache.ReadCache`:
+because tables are immutable and ``table_id`` is never reused, a cached
+``(table_id, key) -> versions`` result is valid forever, so the cache
+needs no invalidation — only eviction.
+
+Observability: each table counts how many scan cursors were actually
+opened on it (:attr:`SSTable.opens`) and how many point lookups reached
+its block search (:attr:`SSTable.probes`).  Laziness tests use these to
+prove an early-terminated scan never touched tables beyond its cursor
+frontier.
 """
 
 from __future__ import annotations
@@ -24,6 +35,7 @@ import itertools
 from typing import Iterator, Sequence
 
 from .bloom import BloomFilter
+from .cache import MISS, ReadCache
 from .entry import Entry
 from .errors import InvalidConfigError
 
@@ -52,8 +64,13 @@ class SSTable:
     Args:
         entries: Entries in sstable order (see :func:`sort_run`).
         block_entries: Fence-pointer granularity.
-        bloom_fp_rate: Target bloom false-positive rate.
+        bloom_fp_rate: Target bloom false-positive rate (retained on the
+            table so derived tables — e.g. :meth:`split_at` pieces —
+            inherit it).
         table_id: Unique id; allocated automatically if omitted.
+        bloom: A pre-built filter over exactly these entries' keys (the
+            on-disk reader passes its deserialised filter to avoid a
+            rebuild); built from scratch when omitted.
     """
 
     __slots__ = (
@@ -62,6 +79,9 @@ class SSTable:
         "min_key",
         "max_key",
         "bloom",
+        "bloom_fp_rate",
+        "opens",
+        "probes",
         "_fences",
         "_keys",
         "_block_entries",
@@ -73,6 +93,7 @@ class SSTable:
         block_entries: int = DEFAULT_BLOCK_ENTRIES,
         bloom_fp_rate: float = 0.01,
         table_id: int | None = None,
+        bloom: BloomFilter | None = None,
     ) -> None:
         if not entries:
             raise InvalidConfigError("an sstable must contain at least one entry")
@@ -83,10 +104,17 @@ class SSTable:
         self.min_key = entries[0].key
         self.max_key = entries[-1].key
         self._block_entries = block_entries
+        self.bloom_fp_rate = bloom_fp_rate
         # Fence pointers: first key of each block.
         self._fences = [entries[i].key for i in range(0, len(entries), block_entries)]
         self._keys = [e.key for e in entries]
-        self.bloom = BloomFilter.build((e.key for e in entries), bloom_fp_rate)
+        self.bloom = (
+            bloom
+            if bloom is not None
+            else BloomFilter.build((e.key for e in entries), bloom_fp_rate)
+        )
+        self.opens = 0
+        self.probes = 0
 
     @classmethod
     def from_entries(
@@ -122,38 +150,61 @@ class SSTable:
         """True if this table's key range intersects ``other``'s."""
         return self.overlaps(other.min_key, other.max_key)
 
-    def get(self, key: bytes) -> Entry | None:
+    def get(self, key: bytes, cache: ReadCache | None = None) -> Entry | None:
         """Newest version of ``key`` in this table, or None.
 
-        Consults the bloom filter, then fence pointers, then binary
-        search within the selected block — the read path the paper
-        describes.  Returns the number of probes via :meth:`probe_cost`
-        style accounting on the caller side.
+        Consults the row cache (if given), then the bloom filter, then
+        fence pointers and binary search within the run — the read path
+        the paper describes.
         """
-        if not self.key_in_range(key) or not self.bloom.might_contain(key):
-            return None
+        versions = self.versions(key, cache)
+        return versions[0] if versions else None
+
+    def versions(self, key: bytes, cache: ReadCache | None = None) -> list[Entry]:
+        """All versions of ``key`` in this table, newest first.
+
+        With a cache, the ``(table_id, key) -> versions`` result —
+        including the empty "bloom false positive" outcome — is served
+        from and stored into the cache; immutability makes the cached
+        value permanently valid.
+        """
+        if not self.key_in_range(key):
+            return []
+        if cache is not None:
+            cached = cache.get_row(self.table_id, key)
+            if cached is not MISS:
+                return list(cached)
+            cache.stats.bloom_probes += 1
+            if not self.bloom.might_contain(key):
+                cache.stats.bloom_negatives += 1
+                # Memoise the negative too: re-reads of a hot key skip
+                # even the bloom probe on tables that lack the key.
+                cache.put_row(self.table_id, key, ())
+                return []
+        elif not self.bloom.might_contain(key):
+            return []
+        self.probes += 1
+        idx = bisect.bisect_left(self._keys, key)
+        out = []
         # Versions are stored newest-first per key, so the *first*
         # occurrence in the run is the newest — found directly with a
         # lower-bound search (a key's versions may span block
         # boundaries, so a per-block search could land on older ones).
-        index = bisect.bisect_left(self._keys, key)
-        if index < len(self.entries) and self.entries[index].key == key:
-            return self.entries[index]
-        return None
-
-    def versions(self, key: bytes) -> list[Entry]:
-        """All versions of ``key`` in this table, newest first."""
-        if not self.key_in_range(key) or not self.bloom.might_contain(key):
-            return []
-        idx = bisect.bisect_left(self._keys, key)
-        out = []
         while idx < len(self.entries) and self.entries[idx].key == key:
             out.append(self.entries[idx])
             idx += 1
+        if cache is not None:
+            cache.put_row(self.table_id, key, tuple(out))
         return out
 
     def scan(self, lo: bytes | None = None, hi: bytes | None = None) -> Iterator[Entry]:
-        """Iterate entries with lo <= key < hi (None = unbounded)."""
+        """Iterate entries with lo <= key < hi (None = unbounded).
+
+        Lazy: no work happens (and :attr:`opens` is not incremented)
+        until the first entry is requested, so a k-way merge that never
+        reaches this table never touches it.
+        """
+        self.opens += 1
         start = 0
         if lo is not None:
             start = bisect.bisect_left(self._keys, lo)
@@ -172,18 +223,23 @@ class SSTable:
         in ``[boundaries[i-1], boundaries[i])`` with open ends at the
         extremes.  Used by the Ingestor when a forwarded sstable spans
         more than one Compactor's range (Section III-C).
+
+        Pieces inherit this table's block granularity and bloom
+        false-positive rate, and are sliced directly out of the parent's
+        already-sorted run (no per-entry re-accumulation).
         """
+        cuts = [0]
+        for bound in boundaries:
+            cuts.append(bisect.bisect_left(self._keys, bound))
+        cuts.append(len(self.entries))
         pieces: list[SSTable] = []
-        segment: list[Entry] = []
-        bound_iter = iter(boundaries)
-        bound = next(bound_iter, None)
-        for entry in self.entries:
-            while bound is not None and entry.key >= bound:
-                if segment:
-                    pieces.append(SSTable(segment, self._block_entries))
-                    segment = []
-                bound = next(bound_iter, None)
-            segment.append(entry)
-        if segment:
-            pieces.append(SSTable(segment, self._block_entries))
+        for start, stop in zip(cuts, cuts[1:]):
+            if stop > start:
+                pieces.append(
+                    SSTable(
+                        self.entries[start:stop],
+                        self._block_entries,
+                        self.bloom_fp_rate,
+                    )
+                )
         return pieces

@@ -28,9 +28,10 @@ from typing import Iterator
 
 from .block import decode_entries, decode_varint, encode_entries, encode_varint
 from .bloom import BloomFilter
+from .cache import MISS, ReadCache
 from .entry import Entry
 from .errors import ClosedError, CorruptionError
-from .sstable import DEFAULT_BLOCK_ENTRIES, SSTable
+from .sstable import DEFAULT_BLOCK_ENTRIES, SSTable, next_table_id
 
 _MAGIC = b"COOLSST1"
 _FOOTER = struct.Struct("<QIQII")  # index_off, index_len, bloom_off, bloom_len, crc
@@ -97,10 +98,16 @@ class SSTableReader:
     Reads one data block per point lookup, guided by the on-disk fence
     pointers and bloom filter — the same read path as the in-memory
     :class:`~repro.lsm.sstable.SSTable`.
+
+    With a :class:`~repro.lsm.cache.ReadCache`, decoded blocks are
+    cached under a per-reader id, so hot blocks skip both the file read
+    and the CRC-checked decode.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, cache: ReadCache | None = None) -> None:
         self.path = path
+        self.cache = cache
+        self._cache_id = next_table_id()
         self._file = open(path, "rb")
         self._closed = False
         self._load_footer()
@@ -145,9 +152,16 @@ class SSTableReader:
             raise ClosedError("reader is closed")
 
     def _read_block(self, index: int) -> list[Entry]:
+        if self.cache is not None:
+            cached = self.cache.get_block(self._cache_id, index)
+            if cached is not MISS:
+                return cached
         __, offset, length = self._fences[index]
         self._file.seek(offset)
-        return decode_entries(self._file.read(length))
+        entries = decode_entries(self._file.read(length))
+        if self.cache is not None:
+            self.cache.put_block(self._cache_id, index, entries)
+        return entries
 
     def get(self, key: bytes) -> Entry | None:
         """Newest version of ``key``, reading at most two data blocks.
@@ -188,8 +202,9 @@ class SSTableReader:
             yield from self._read_block(index)
 
     def load(self) -> SSTable:
-        """Materialise the whole file as an in-memory :class:`SSTable`."""
-        return SSTable(list(self.scan()))
+        """Materialise the whole file as an in-memory :class:`SSTable`,
+        reusing the deserialised bloom filter instead of rebuilding it."""
+        return SSTable(list(self.scan()), bloom=self.bloom)
 
 
 def read_sstable(path: str) -> SSTable:

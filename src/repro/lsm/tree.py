@@ -24,6 +24,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
+from .cache import CacheStats, ReadCache
 from .compaction import (
     CompactionStats,
     KeepPolicy,
@@ -61,6 +62,10 @@ class LSMConfig:
             so :meth:`LSMTree.snapshot` gives consistent point-in-time
             reads (LevelDB-style).  Costs memory proportional to the
             churn since the oldest open snapshot.
+        cache_capacity: Entries in the shared read cache (row results
+            keyed by immutable table id, so the cache never needs
+            invalidation).  0 disables caching.
+        cache_policy: Eviction policy, ``"lru"`` or ``"clock"``.
     """
 
     memtable_entries: int = 1_000
@@ -69,6 +74,8 @@ class LSMConfig:
     keep_policy: KeepPolicy = NEWEST_WINS
     wal_sync: bool = True
     enable_snapshots: bool = False
+    cache_capacity: int = 4_096
+    cache_policy: str = "lru"
 
     def __post_init__(self) -> None:
         if self.memtable_entries <= 0 or self.sstable_entries <= 0:
@@ -77,6 +84,8 @@ class LSMConfig:
             raise InvalidConfigError("need at least levels L0 and L1")
         if any(t < 0 for t in self.level_thresholds):
             raise InvalidConfigError("thresholds must be non-negative")
+        if self.cache_capacity < 0:
+            raise InvalidConfigError("cache_capacity must be non-negative")
 
     @classmethod
     def for_key_range(cls, key_range: int, **overrides) -> "LSMConfig":
@@ -108,13 +117,19 @@ class CompactionEvent:
 
 @dataclass(slots=True)
 class TreeStats:
-    """Cumulative counters exposed by :attr:`LSMTree.stats`."""
+    """Cumulative counters exposed by :attr:`LSMTree.stats`.
+
+    ``cache`` is the same object the tree's :class:`ReadCache` updates,
+    so hit/miss/eviction and bloom-probe counters are readable here
+    without reaching into the cache.
+    """
 
     puts: int = 0
     gets: int = 0
     deletes: int = 0
     flushes: int = 0
     compactions: list[CompactionEvent] = field(default_factory=list)
+    cache: CacheStats = field(default_factory=CacheStats)
 
     def compaction_count(self, level: int | None = None) -> int:
         if level is None:
@@ -183,6 +198,15 @@ class LSMTree:
         self._closed = False
         self.manifest = Manifest(self.config.num_levels)
         self.stats = TreeStats()
+        self._cache: ReadCache | None = (
+            ReadCache(
+                self.config.cache_capacity,
+                policy=self.config.cache_policy,
+                stats=self.stats.cache,
+            )
+            if self.config.cache_capacity > 0
+            else None
+        )
         # Per-level rotating compaction pointers (LevelDB-style sweep).
         self._compaction_pointers: list[bytes | None] = [None] * self.config.num_levels
         self._active_snapshots: list[float] = []
@@ -302,11 +326,12 @@ class LSMTree:
             v for v in self._memtable.versions(key) if v.timestamp <= as_of
         ]
         for level in range(self.manifest.num_levels):
-            for table in self.manifest.level(level):
-                if table.key_in_range(key):
-                    candidates.extend(
-                        v for v in table.versions(key) if v.timestamp <= as_of
-                    )
+            for table in self.manifest.tables_for_key(level, key):
+                candidates.extend(
+                    v
+                    for v in table.versions(key, self._cache)
+                    if v.timestamp <= as_of
+                )
         if not candidates:
             return None
         return max(candidates, key=lambda e: e.version)
@@ -421,15 +446,19 @@ class LSMTree:
         """Newest entry for ``key`` (including tombstones), or None.
 
         Search order is the paper's read flow: memtable, then L0 newest
-        table first, then each level in order (non-overlapping levels
-        need at most one table probe thanks to fence pointers).
+        table first, then each level in order.  Levels below L0 go
+        through the manifest's fence index, so a non-overlapping level
+        costs one bisect and at most one table probe — and probes go
+        through the shared read cache, so a hot key's block search runs
+        at most once per table.
         """
         self._check_open()
         self.stats.gets += 1
         encoded = encode_key(key)
+        cache = self._cache
         best = self._memtable.get(encoded)
         for table in reversed(self.manifest.level(0)):
-            found = table.get(encoded)
+            found = table.get(encoded, cache)
             if found is not None and (best is None or found.version > best.version):
                 best = found
             if best is not None:
@@ -439,10 +468,8 @@ class LSMTree:
         if best is not None:
             return best
         for level in range(1, self.manifest.num_levels):
-            for table in self.manifest.level(level):
-                if not table.key_in_range(encoded):
-                    continue
-                found = table.get(encoded)
+            for table in self.manifest.tables_for_key(level, encoded):
+                found = table.get(encoded, cache)
                 if found is not None:
                     return found
         return None
@@ -451,27 +478,51 @@ class LSMTree:
         self, lo: bytes | str | int | None = None, hi: bytes | str | int | None = None
     ) -> Iterator[tuple[bytes, bytes]]:
         """Yield (key, value) pairs with lo <= key < hi, newest versions,
-        tombstones elided."""
+        tombstones elided.
+
+        Fully streaming: one lazy cursor per L0 table plus one
+        :func:`~repro.lsm.iterators.level_scan` cursor per deeper level
+        feed a k-way merge, so an early-terminated scan costs
+        O(result + tables primed at the frontier), not O(level).  The
+        iterator reflects the tree as of its first element; interleaving
+        writes with iteration is undefined (finish or drop the iterator
+        before mutating).
+        """
         self._check_open()
         lo_b = encode_key(lo) if lo is not None else None
         hi_b = encode_key(hi) if hi is not None else None
-        from .iterators import dedup_newest, k_way_merge
+        from .iterators import dedup_newest, k_way_merge, level_scan
 
-        sources: list[list[Entry]] = [self._memtable.range(lo_b, hi_b)]
+        sources: list = [self._memtable.iter_range(lo_b, hi_b)]
         for table in reversed(self.manifest.level(0)):
-            sources.append(list(table.scan(lo_b, hi_b)))
+            if (hi_b is None or table.min_key < hi_b) and (
+                lo_b is None or table.max_key >= lo_b
+            ):
+                sources.append(table.scan(lo_b, hi_b))
         for level in range(1, self.manifest.num_levels):
-            level_entries: list[Entry] = []
-            for table in self.manifest.level(level):
-                level_entries.extend(table.scan(lo_b, hi_b))
-            sources.append(level_entries)
+            run = self.manifest.tables_for_range(level, lo_b, hi_b)
+            if run:
+                sources.append(level_scan(run, lo_b, hi_b))
         for entry in dedup_newest(k_way_merge(sources)):
             if not entry.tombstone:
                 yield entry.key, entry.value
 
     def __len__(self) -> int:
-        """Approximate number of live keys (counts newest versions only)."""
+        """Exact number of live keys, counted via the streaming dedup
+        iterator (O(total entries) time, O(levels) memory)."""
         return sum(1 for __ in self.scan())
+
+    def approximate_len(self) -> int:
+        """Upper bound on the key count from per-table entry counts
+        alone — O(tables), no entry is touched.  Counts duplicate
+        versions and tombstones, so it is exact only when every key is
+        live and held once."""
+        return len(self._memtable) + self.manifest.total_entries()
+
+    @property
+    def cache(self) -> ReadCache | None:
+        """The shared read cache (None when disabled)."""
+        return self._cache
 
     # ------------------------------------------------------------------
     # Persistence helpers

@@ -1,0 +1,124 @@
+"""The read-path benchmark: report shape, invariants, regression gate."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.read_path import (
+    build_tree,
+    check_regression,
+    legacy_get_entry,
+    legacy_scan,
+    main,
+    run_benchmark,
+)
+
+#: One tiny report per module run; the benchmark is deterministic for a
+#: fixed seed so every test can share it.
+_REPORT = None
+
+
+def tiny_report():
+    global _REPORT
+    if _REPORT is None:
+        _REPORT = run_benchmark(num_keys=3_000, num_ops=400, scan_limit=5)
+    return _REPORT
+
+
+class TestReportShape:
+    def test_top_level_sections(self):
+        report = tiny_report()
+        for section in ("config", "levels", "point_get", "early_scan",
+                        "full_scan", "ycsb_c"):
+            assert section in report
+
+    def test_report_is_json_serialisable(self):
+        json.dumps(tiny_report())
+
+    def test_cache_block_has_counters(self):
+        cache = tiny_report()["ycsb_c"]["cache"]
+        for key in ("hits", "misses", "hit_rate", "evictions",
+                    "bloom_probes", "bloom_negatives"):
+            assert key in cache
+
+    def test_tree_has_depth(self):
+        # The workload must actually exercise levels below L0.
+        assert sum(1 for n in tiny_report()["levels"][1:] if n) >= 2
+
+
+class TestInvariants:
+    def test_point_gets_bit_identical(self):
+        assert tiny_report()["point_get"]["identical"] is True
+
+    def test_full_scan_identical(self):
+        assert tiny_report()["full_scan"]["identical"] is True
+
+    def test_early_scan_speedup_meets_floor(self):
+        assert tiny_report()["early_scan"]["speedup"] >= 2.0
+
+    def test_legacy_helpers_agree_with_tree(self):
+        tree = build_tree(1_000)
+        assert legacy_get_entry(tree, 123) == tree.get_entry(123)
+        assert list(legacy_scan(tree, 10, 20)) == list(tree.scan(10, 20))
+
+
+class TestRegressionCheck:
+    def test_passes_against_itself(self):
+        report = tiny_report()
+        assert check_regression(report, report) == []
+
+    def test_passes_without_baseline(self):
+        assert check_regression(tiny_report(), None) == []
+
+    def test_fails_on_speedup_regression(self):
+        report = tiny_report()
+        baseline = copy.deepcopy(report)
+        baseline["early_scan"]["speedup"] = report["early_scan"]["speedup"] * 10
+        failures = check_regression(report, baseline, max_regression=2.0)
+        assert any("early_scan" in f for f in failures)
+
+    def test_tolerates_regression_within_factor(self):
+        report = tiny_report()
+        baseline = copy.deepcopy(report)
+        baseline["early_scan"]["speedup"] = report["early_scan"]["speedup"] * 1.5
+        assert check_regression(report, baseline, max_regression=2.0) == []
+
+    def test_fails_on_broken_identity(self):
+        report = copy.deepcopy(tiny_report())
+        report["point_get"]["identical"] = False
+        failures = check_regression(report, None)
+        assert any("identical" in f for f in failures)
+
+    def test_fails_on_low_hit_rate(self):
+        report = copy.deepcopy(tiny_report())
+        report["ycsb_c"]["cache"]["hit_rate"] = 0.1
+        failures = check_regression(report, None)
+        assert any("hit rate" in f for f in failures)
+
+    def test_mismatched_workload_shapes_skip_ratio_comparison(self):
+        report = tiny_report()
+        baseline = copy.deepcopy(report)
+        baseline["config"]["num_keys"] = 999_999
+        baseline["early_scan"]["speedup"] = report["early_scan"]["speedup"] * 100
+        assert check_regression(report, baseline) == []
+
+
+class TestMain:
+    def test_writes_report_and_checks(self, tmp_path):
+        out = tmp_path / "bench.json"
+        args = ["--keys", "3000", "--ops", "400", "--scan-limit", "5",
+                "--out", str(out)]
+        assert main(args) == 0
+        report = json.loads(out.read_text())
+        assert report["benchmark"] == "read_path"
+        # Checking a run against its own identically-shaped report passes.
+        assert main(args + ["--check", str(out)]) == 0
+
+    @pytest.mark.parametrize("policy", ["lru", "clock"])
+    def test_both_cache_policies_run(self, tmp_path, policy):
+        out = tmp_path / "bench.json"
+        assert main([
+            "--smoke", "--keys", "1500", "--ops", "200",
+            "--cache-policy", policy, "--out", str(out),
+        ]) == 0

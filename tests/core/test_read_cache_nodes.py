@@ -1,0 +1,183 @@
+"""Node-side read caches: correctness under caching, crash volatility,
+and the monitor's cache/bloom gauges."""
+
+import dataclasses
+
+from repro.core import ClusterMonitor
+
+from tests.core.conftest import TINY, fill, tiny_cluster
+
+
+def cluster_with_cache(capacity, **overrides):
+    config = dataclasses.replace(TINY, read_cache_capacity=capacity)
+    return tiny_cluster(config=config, **overrides)
+
+
+def read_all(cluster, client, oracle):
+    """Driver returning the number of mismatched reads."""
+    def driver():
+        misses = 0
+        for key, value in oracle.items():
+            got = yield from client.read(key)
+            misses += got != value
+        return misses
+
+    return cluster.run_process(driver())
+
+
+class TestCachedReadsCorrect:
+    def test_reads_identical_with_and_without_cache(self):
+        results = {}
+        for capacity in (0, 256):
+            cluster = cluster_with_cache(capacity, num_compactors=2)
+            client = cluster.add_client(colocate_with="ingestor-0")
+            oracle = cluster.run_process(fill(cluster, client, 1_500, key_range=300))
+
+            def driver():
+                values = []
+                for key in range(300):
+                    values.append((yield from client.read(key)))
+                # Re-read: the second pass is served (partly) from cache
+                # when enabled and must not change a single answer.
+                for key in range(300):
+                    values.append((yield from client.read(key)))
+                return values
+
+            results[capacity] = cluster.run_process(driver())
+            assert read_all(cluster, client, oracle) == 0
+        assert results[0] == results[256]
+
+    def test_repeated_reads_hit_the_cache(self):
+        cluster = cluster_with_cache(1_024, num_compactors=2)
+        client = cluster.add_client(colocate_with="ingestor-0")
+        cluster.run_process(fill(cluster, client, 1_500, key_range=300))
+
+        def driver():
+            for __ in range(3):
+                for key in range(0, 300, 10):
+                    yield from client.read(key)
+
+        cluster.run_process(driver())
+        hits = sum(
+            node.read_cache.stats.hits
+            for node in cluster.ingestors + cluster.compactors
+            if node.read_cache is not None
+        )
+        assert hits > 0
+
+    def test_zero_capacity_disables_cache(self):
+        cluster = cluster_with_cache(0)
+        for node in cluster.ingestors + cluster.compactors:
+            assert node.read_cache is None
+
+
+class TestCrashVolatility:
+    def fill_and_warm(self, cluster):
+        client = cluster.add_client(colocate_with="ingestor-0")
+        cluster.run_process(fill(cluster, client, 1_200, key_range=300))
+
+        def driver():
+            for key in range(0, 300, 5):
+                yield from client.read(key)
+
+        cluster.run_process(driver())
+        return client
+
+    def test_ingestor_crash_clears_cache(self):
+        cluster = cluster_with_cache(1_024, num_compactors=2)
+        self.fill_and_warm(cluster)
+        ingestor = cluster.ingestors[0]
+        assert len(ingestor.read_cache) > 0
+        ingestor.crash()
+        assert len(ingestor.read_cache) == 0
+
+    def test_compactor_crash_clears_cache(self):
+        cluster = cluster_with_cache(1_024, num_compactors=2)
+        self.fill_and_warm(cluster)
+        # Client reads stop at the Ingestor when it still holds the key,
+        # so warm the Compactor caches through their own search path.
+        warm = []
+        for compactor in cluster.compactors:
+            for table in compactor.level2 + compactor.level3:
+                compactor._search(table.min_key, None)
+            if len(compactor.read_cache) > 0:
+                warm.append(compactor)
+        assert warm, "no compactor cache was warmed"
+        for compactor in warm:
+            compactor.crash()
+            assert len(compactor.read_cache) == 0
+
+    def test_reader_crash_clears_cache(self):
+        cluster = cluster_with_cache(1_024, num_compactors=2, num_readers=1)
+        client = cluster.add_client(colocate_with="ingestor-0")
+        cluster.run_process(fill(cluster, client, 1_200, key_range=300))
+        reader = cluster.readers[0]
+
+        def driver():
+            for key in range(0, 300, 5):
+                yield from client.read_from_backup(key)
+
+        cluster.run_process(driver())
+        if len(reader.read_cache) == 0:  # nothing reached L2/L3 yet
+            return
+        reader.crash()
+        assert len(reader.read_cache) == 0
+
+
+class TestMonitorGauges:
+    def test_cache_gauges_sampled(self):
+        cluster = cluster_with_cache(1_024, num_compactors=2, num_readers=1)
+        client = cluster.add_client(colocate_with="ingestor-0")
+        cluster.run_process(fill(cluster, client, 1_200, key_range=300))
+
+        def driver():
+            for __ in range(2):
+                for key in range(0, 300, 10):
+                    yield from client.read(key)
+
+        cluster.run_process(driver())
+        monitor = ClusterMonitor(cluster)
+        monitor.sample_once()
+        gauges = monitor.timeline.gauges()
+        for gauge in ("cache_size", "cache_hits", "cache_misses",
+                      "cache_evictions", "cache_hit_rate",
+                      "bloom_probes", "bloom_negatives"):
+            assert gauge in gauges
+
+    def test_gauges_coherent(self):
+        """Soak-style invariants: hits + misses == lookups implies the
+        sampled hit rate is always within [0, 1] and hits never exceed
+        lookups."""
+        cluster = cluster_with_cache(256, num_compactors=2)
+        client = cluster.add_client(colocate_with="ingestor-0")
+        cluster.run_process(fill(cluster, client, 1_200, key_range=300))
+
+        def driver():
+            for __ in range(3):
+                for key in range(0, 300, 7):
+                    yield from client.read(key)
+
+        cluster.run_process(driver())
+        monitor = ClusterMonitor(cluster)
+        monitor.sample_once()
+        timeline = monitor.timeline
+        for node in timeline.nodes():
+            series = dict(
+                (gauge, timeline.series(node, gauge))
+                for gauge in ("cache_hits", "cache_misses", "cache_hit_rate")
+            )
+            if not series["cache_hits"]:
+                continue
+            hits = series["cache_hits"][-1][1]
+            misses = series["cache_misses"][-1][1]
+            rate = series["cache_hit_rate"][-1][1]
+            assert 0.0 <= rate <= 1.0
+            assert hits >= 0 and misses >= 0
+            if hits + misses:
+                assert abs(rate - hits / (hits + misses)) < 1e-9
+
+    def test_gauges_absent_when_cache_disabled(self):
+        cluster = cluster_with_cache(0)
+        monitor = ClusterMonitor(cluster)
+        monitor.sample_once()
+        assert "cache_hits" not in monitor.timeline.gauges()

@@ -117,6 +117,28 @@ class TestSoakScenario:
         # ...yet every acked write survives.
         assert read_back(cluster, client, acked) == []
 
+    def test_cache_stays_coherent_across_chaos(self):
+        """Crash/recovery must never serve stale cached rows: a second
+        read pass — served largely from the post-chaos caches — must
+        agree with the oracle exactly, and every node's cache counters
+        must stay internally consistent and within capacity."""
+        from repro.core import ClusterMonitor
+
+        cluster, client, __, acked = run_soak(seed=104)
+        assert read_back(cluster, client, acked) == []  # warms caches
+        assert read_back(cluster, client, acked) == []  # served from them
+        for node in (*cluster.ingestors, *cluster.compactors, *cluster.readers):
+            cache = node.read_cache
+            if cache is None:
+                continue
+            stats = cache.stats
+            assert stats.lookups == stats.hits + stats.misses
+            assert 0.0 <= stats.hit_rate <= 1.0
+            assert len(cache) <= cache.capacity
+        monitor = ClusterMonitor(cluster)
+        monitor.sample_once()
+        assert "cache_hits" in monitor.timeline.gauges()
+
     def test_table1_checkers_pass(self):
         cluster, client, __, acked = run_soak(seed=102)
         assert read_back(cluster, client, acked) == []

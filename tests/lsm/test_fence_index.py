@@ -1,0 +1,123 @@
+"""Level fence index: candidate selection at partition boundaries,
+overlapping levels, and invalidation on manifest edits."""
+
+from repro.lsm.entry import encode_key
+from repro.lsm.manifest import LevelEdit, LevelFenceIndex, Manifest
+from repro.lsm.sstable import SSTable
+
+from tests.conftest import entry
+
+
+def table(lo, hi):
+    """A table covering integer keys [lo, hi]."""
+    return SSTable([entry(k) for k in range(lo, hi + 1)])
+
+
+class TestCandidatesForKey:
+    def test_empty_level(self):
+        index = LevelFenceIndex([])
+        assert index.candidates_for_key(encode_key(5)) == []
+
+    def test_single_candidate_in_disjoint_run(self):
+        tables = [table(0, 9), table(10, 19), table(20, 29)]
+        index = LevelFenceIndex(tables)
+        assert index.candidates_for_key(encode_key(15)) == [tables[1]]
+
+    def test_boundary_keys_min_and_max(self):
+        tables = [table(0, 9), table(10, 19)]
+        index = LevelFenceIndex(tables)
+        # Exactly min_key and exactly max_key both belong to the table.
+        assert index.candidates_for_key(encode_key(10)) == [tables[1]]
+        assert index.candidates_for_key(encode_key(19)) == [tables[1]]
+        assert index.candidates_for_key(encode_key(9)) == [tables[0]]
+
+    def test_key_in_gap_between_tables(self):
+        tables = [table(0, 9), table(20, 29)]
+        index = LevelFenceIndex(tables)
+        assert index.candidates_for_key(encode_key(15)) == []
+
+    def test_key_outside_level_bounds(self):
+        tables = [table(10, 19)]
+        index = LevelFenceIndex(tables)
+        assert index.candidates_for_key(encode_key(5)) == []
+        assert index.candidates_for_key(encode_key(25)) == []
+
+    def test_overlapping_tables_all_returned_in_level_order(self):
+        # L0-style: ranges overlap; every covering table must come back,
+        # in the order the level list holds them (newest-first contracts
+        # at the caller depend on this).
+        a, b, c = table(0, 20), table(5, 15), table(18, 30)
+        index = LevelFenceIndex([a, b, c])
+        assert index.candidates_for_key(encode_key(10)) == [a, b]
+        assert index.candidates_for_key(encode_key(19)) == [a, c]
+        assert index.candidates_for_key(encode_key(2)) == [a]
+
+    def test_nested_ranges_found_by_prefix_max_walk(self):
+        # A wide early table swallows later ones: the leftward walk must
+        # not stop at the first non-covering neighbour.
+        wide, narrow = table(0, 100), table(40, 50)
+        index = LevelFenceIndex([wide, narrow])
+        assert set(index.candidates_for_key(encode_key(80))) == {wide}
+        assert set(index.candidates_for_key(encode_key(45))) == {wide, narrow}
+
+
+class TestCandidatesForRange:
+    def test_range_selects_intersecting_tables_by_min_key(self):
+        tables = [table(0, 9), table(10, 19), table(20, 29)]
+        index = LevelFenceIndex(tables)
+        got = index.candidates_for_range(encode_key(5), encode_key(25))
+        assert got == [tables[0], tables[1], tables[2]]
+
+    def test_hi_is_exclusive(self):
+        tables = [table(0, 9), table(10, 19)]
+        index = LevelFenceIndex(tables)
+        got = index.candidates_for_range(encode_key(0), encode_key(10))
+        assert got == [tables[0]]
+
+    def test_unbounded_ends(self):
+        tables = [table(0, 9), table(10, 19)]
+        index = LevelFenceIndex(tables)
+        assert index.candidates_for_range(None, None) == tables
+        assert index.candidates_for_range(None, encode_key(5)) == [tables[0]]
+        assert index.candidates_for_range(encode_key(12), None) == [tables[1]]
+
+    def test_range_in_gap(self):
+        tables = [table(0, 9), table(30, 39)]
+        index = LevelFenceIndex(tables)
+        assert index.candidates_for_range(encode_key(12), encode_key(25)) == []
+
+
+class TestManifestIntegration:
+    def make_manifest(self):
+        manifest = Manifest(2)
+        t0 = table(0, 9)
+        l1a, l1b = table(0, 49), table(50, 99)
+        manifest.apply(LevelEdit().add(0, [t0]).add(1, [l1a, l1b]))
+        return manifest, t0, l1a, l1b
+
+    def test_tables_for_key_uses_fresh_index_after_apply(self):
+        manifest, t0, l1a, l1b = self.make_manifest()
+        assert manifest.tables_for_key(1, encode_key(75)) == [l1b]
+        replacement = table(50, 120)
+        manifest.apply(LevelEdit().remove(1, [l1b]).add(1, [replacement]))
+        # The cached index must have been invalidated by the edit.
+        assert manifest.tables_for_key(1, encode_key(110)) == [replacement]
+        assert manifest.tables_for_key(1, encode_key(75)) == [replacement]
+
+    def test_index_cached_between_lookups(self):
+        manifest, *_ = self.make_manifest()
+        assert manifest.fence_index(1) is manifest.fence_index(1)
+
+    def test_tables_for_range_on_manifest(self):
+        manifest, t0, l1a, l1b = self.make_manifest()
+        got = manifest.tables_for_range(1, encode_key(40), encode_key(60))
+        assert got == [l1a, l1b]
+
+    def test_l0_order_preserved_for_point_lookup(self):
+        manifest = Manifest(1)
+        older, newer = table(0, 30), table(10, 40)
+        manifest.apply(LevelEdit().add(0, [older]))
+        manifest.apply(LevelEdit().add(0, [newer]))
+        # Level-list order (append order) is what callers iterate to
+        # honour newest-first; the index must not re-sort it.
+        assert manifest.tables_for_key(0, encode_key(20)) == [older, newer]

@@ -1,0 +1,143 @@
+"""Streaming-scan guarantees: early termination must not touch tables
+beyond the merge frontier, and the streaming path must return exactly
+what the old materialising path returned."""
+
+import random
+
+from repro.bench.read_path import legacy_get_entry, legacy_scan
+from repro.lsm.iterators import level_scan
+from repro.lsm.sstable import SSTable
+from repro.lsm.tree import LSMConfig, LSMTree
+
+from tests.conftest import entry
+
+
+def deep_tree(num_keys=3_000, seed=3) -> LSMTree:
+    """A tree whose data has cascaded into L1+ (cache off so probe and
+    open counters reflect actual table work)."""
+    config = LSMConfig(
+        memtable_entries=100, sstable_entries=50, cache_capacity=0
+    )
+    tree = LSMTree(config)
+    keys = list(range(num_keys))
+    random.Random(seed).shuffle(keys)
+    for key in keys:
+        tree.put(key, b"v-%d" % key)
+    return tree
+
+
+def run_of_tables(segments):
+    """Disjoint tables, one per (lo, hi) key segment."""
+    return [
+        SSTable([entry(k) for k in range(lo, hi)]) for lo, hi in segments
+    ]
+
+
+class TestLevelScan:
+    def test_chains_disjoint_tables_in_order(self):
+        tables = run_of_tables([(0, 3), (3, 6), (6, 9)])
+        keys = [e.key for e in level_scan(tables)]
+        assert keys == sorted(keys)
+        assert len(keys) == 9
+
+    def test_bounds_prune_tables_entirely(self):
+        tables = run_of_tables([(0, 10), (10, 20), (20, 30)])
+        got = list(level_scan(tables, tables[1].min_key, tables[1].max_key))
+        assert [e.key for e in got] == [e.key for e in tables[1].entries[:-1]]
+        # The table past hi was never opened; the one before lo was
+        # skipped by its max_key without opening a cursor.
+        assert tables[0].opens == 0
+        assert tables[2].opens == 0
+
+    def test_early_termination_opens_no_later_table(self):
+        tables = run_of_tables([(0, 5), (5, 10), (10, 15)])
+        stream = level_scan(tables)
+        for __ in range(3):  # consume only the first table's prefix
+            next(stream)
+        assert tables[0].opens == 1
+        assert tables[1].opens == 0
+        assert tables[2].opens == 0
+
+
+class TestTreeScanLaziness:
+    def test_early_terminated_scan_skips_far_tables(self):
+        tree = deep_tree()
+        for level in range(tree.manifest.num_levels):
+            for table in tree.manifest.level(level):
+                table.opens = 0
+        taken = []
+        for pair in tree.scan(0):
+            taken.append(pair)
+            if len(taken) >= 5:
+                break
+        # The merge primes exactly one cursor per level (the run's first
+        # table); every later table starting beyond the consumed prefix
+        # must never have been opened — the scan cost O(result), not
+        # O(tree).
+        frontier = taken[-1][0]
+        untouched = []
+        for level in range(1, tree.manifest.num_levels):
+            run = tree.manifest.tables_for_range(level, None, None)
+            untouched.extend(
+                t for t in run[1:] if t.min_key > frontier
+            )
+        assert untouched, "test tree too shallow to prove anything"
+        assert all(table.opens == 0 for table in untouched)
+
+    def test_bounded_scan_only_opens_overlapping_tables(self):
+        from repro.lsm.entry import encode_key
+
+        tree = deep_tree()
+        for level in range(tree.manifest.num_levels):
+            for table in tree.manifest.level(level):
+                table.opens = 0
+        list(tree.scan(100, 120))
+        lo, hi = encode_key(100), encode_key(120)
+        for level in range(1, tree.manifest.num_levels):
+            for table in tree.manifest.level(level):
+                if table.opens:
+                    assert table.overlaps(lo, hi)
+
+    def test_len_is_streaming_and_exact(self):
+        tree = deep_tree(num_keys=500)
+        assert len(tree) == 500
+        tree.delete(3)
+        assert len(tree) == 499
+
+    def test_approximate_len_upper_bounds_exact(self):
+        tree = deep_tree(num_keys=800)
+        assert tree.approximate_len() >= len(tree)
+
+
+class TestLegacyEquivalence:
+    def test_full_scan_matches_legacy(self):
+        tree = deep_tree(num_keys=1_200, seed=11)
+        tree.delete(17)
+        tree.delete(404)
+        assert list(tree.scan()) == list(legacy_scan(tree))
+
+    def test_bounded_scans_match_legacy(self):
+        tree = deep_tree(num_keys=1_200, seed=12)
+        rng = random.Random(0)
+        for __ in range(20):
+            lo = rng.randrange(1_200)
+            hi = lo + rng.randrange(1, 200)
+            assert list(tree.scan(lo, hi)) == list(legacy_scan(tree, lo, hi))
+
+    def test_point_gets_bit_identical_to_legacy(self):
+        tree = deep_tree(num_keys=1_500, seed=13)
+        tree.delete(99)
+        rng = random.Random(1)
+        probes = [rng.randrange(1_800) for __ in range(300)]  # includes misses
+        for key in probes:
+            assert tree.get_entry(key) == legacy_get_entry(tree, key)
+
+    def test_point_gets_identical_with_cache_warm_and_cold(self):
+        config = LSMConfig(memtable_entries=100, sstable_entries=50)
+        tree = LSMTree(config)
+        for key in range(1_000):
+            tree.put(key, b"x-%d" % key)
+        cold = [tree.get_entry(k) for k in range(0, 1_000, 7)]
+        warm = [tree.get_entry(k) for k in range(0, 1_000, 7)]
+        assert cold == warm
+        assert tree.stats.cache.hits > 0

@@ -116,3 +116,20 @@ class TestSplit:
         table = build_table([10, 11])
         pieces = table.split_at([encode_key(1), encode_key(5)])
         assert len(pieces) == 1
+
+    def test_split_inherits_bloom_fp_rate_and_block_size(self):
+        table = SSTable.from_entries(
+            [entry(k, k + 1) for k in range(40)],
+            block_entries=8,
+            bloom_fp_rate=0.001,
+        )
+        for piece in table.split_at([encode_key(15), encode_key(30)]):
+            assert piece.bloom_fp_rate == 0.001
+            assert piece._block_entries == 8
+
+    def test_split_pieces_answer_lookups(self):
+        table = build_table(list(range(30)))
+        pieces = table.split_at([encode_key(10), encode_key(20)])
+        for k in range(30):
+            piece = pieces[0 if k < 10 else 1 if k < 20 else 2]
+            assert piece.get(encode_key(k)) is not None
