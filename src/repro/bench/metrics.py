@@ -80,3 +80,32 @@ def cache_summary(stats) -> dict[str, float]:
         "bloom_probes": stats.bloom_probes,
         "bloom_negatives": stats.bloom_negatives,
     }
+
+
+@dataclass(slots=True)
+class ExplorationCounters:
+    """Work counters for the model-checking harness (repro.verify).
+
+    One instance accumulates across an exploration run: how many
+    schedules were executed, how much work they contained, and what the
+    checkers concluded.  Reports embed :meth:`as_dict`, so the counter
+    set is also the schema of the ``verify`` CLI report.
+    """
+
+    schedules: int = 0
+    operations: int = 0
+    faults: int = 0
+    reconfigs: int = 0
+    checker_calls: int = 0
+    violations: int = 0
+    model_mismatches: int = 0
+    failing_schedules: int = 0
+    shrink_runs: int = 0
+
+    def merge(self, other: "ExplorationCounters") -> None:
+        """Fold another run's counters into this one."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def as_dict(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}

@@ -8,9 +8,18 @@ Usage::
     python -m repro.cli run all              # everything
     python -m repro.cli run fig3 --ops 20000 # bigger run
     python -m repro.cli run fig3 --scale 1   # paper-sized configuration
+    python -m repro.cli verify --seed 42     # model-checking exploration
 
 Each experiment prints its series/tables in the paper's shape followed
 by paper-vs-measured checks (see EXPERIMENTS.md).
+
+``verify`` runs the deterministic model-checking harness
+(:mod:`repro.verify`): a seeded corpus of schedules over operation
+interleavings, nemesis faults, and cluster shapes, each checked with
+the matrix-appropriate Table I checker plus the sequential reference
+model.  Its report is byte-identical across runs of the same seed; a
+failing schedule is delta-debugged to a minimal counterexample when
+``--shrink`` is given.
 """
 
 from __future__ import annotations
@@ -132,6 +141,43 @@ def _cmd_run(names: list[str], ops: int | None, scale: int) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    # Imported lazily so `list`/`run` never pay for the harness.
+    from repro.verify import Explorer, inject_bug, render_timeline, shrink_schedule
+
+    explorer = Explorer(
+        seed=args.seed,
+        ops_per_schedule=args.ops or 40,
+        faults_per_schedule=args.faults,
+    )
+    chunks: list[str] = []
+    with inject_bug(args.inject):
+        report = explorer.explore(args.schedules)
+        chunks.append(report.render())
+        if not report.ok and args.shrink:
+            from repro.verify import generate_schedule
+
+            failing_seed = report.failing_seeds[0]
+            spec = generate_schedule(
+                failing_seed, ops=args.ops or 40, faults=args.faults
+            )
+            result = shrink_schedule(spec)
+            chunks.append(
+                f"\n# Shrink — seed {failing_seed}: "
+                f"{len(result.original.ops)} ops / {len(result.original.faults)} faults"
+                f" -> {len(result.shrunk.ops)} ops / {len(result.shrunk.faults)} faults"
+                f" in {result.runs} runs\n\n"
+            )
+            chunks.append(render_timeline(result.outcome))
+    text = "".join(chunks)
+    # No wall-clock anywhere: the report is byte-identical per seed.
+    sys.stdout.write(text)
+    if args.out:
+        with open(args.out, "w") as sink:
+            sink.write(text)
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -150,9 +196,38 @@ def main(argv: list[str] | None = None) -> int:
         default=10,
         help="configuration shrink factor (1 = paper-sized; default 10)",
     )
+    verify_parser = subparsers.add_parser(
+        "verify", help="run the deterministic model-checking harness"
+    )
+    verify_parser.add_argument("--seed", type=int, default=0, help="root seed")
+    verify_parser.add_argument(
+        "--schedules", type=int, default=20, help="schedules to explore"
+    )
+    verify_parser.add_argument(
+        "--ops", type=int, default=None, help="operations per schedule (default 40)"
+    )
+    verify_parser.add_argument(
+        "--faults", type=int, default=2, help="nemesis faults per schedule"
+    )
+    verify_parser.add_argument(
+        "--inject",
+        default=None,
+        help="inject a known protocol bug by name (harness self-validation); "
+        "see repro.verify.BUGS",
+    )
+    verify_parser.add_argument(
+        "--shrink",
+        action="store_true",
+        help="delta-debug the first failing schedule to a minimal counterexample",
+    )
+    verify_parser.add_argument(
+        "--out", default=None, help="also write the report to this file"
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "verify":
+        return _cmd_verify(args)
     return _cmd_run(args.names, args.ops, args.scale)
 
 

@@ -25,7 +25,7 @@ from .consistency import (
     check_snapshot_linearizable,
 )
 from .costs import DEFAULT_COSTS, CostModel
-from .history import History, Operation
+from .history import History, Mark, Operation
 from .ingestor import Ingestor, IngestorStats
 from .keyspace import Partition, Partitioning
 from .messages import (
@@ -74,6 +74,7 @@ __all__ = [
     "IngestorL1Update",
     "IngestorReadResult",
     "IngestorStats",
+    "Mark",
     "MonolithicNode",
     "Operation",
     "Partition",

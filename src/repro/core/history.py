@@ -17,7 +17,20 @@ import itertools
 from dataclasses import dataclass
 from typing import Iterator
 
-_op_ids = itertools.count(1)
+
+@dataclass(frozen=True, slots=True)
+class Mark:
+    """A timestamped annotation on a history (not an operation).
+
+    Reconfiguration phases (Expand / Migrate / Detach) and other
+    cluster-level transitions record marks so that verification
+    timelines can interleave them with client operations; the
+    consistency checkers ignore them.
+    """
+
+    time: float
+    label: str
+    detail: str = ""
 
 
 @dataclass(frozen=True, slots=True)
@@ -59,10 +72,18 @@ class Operation:
 
 
 class History:
-    """An append-only log of completed operations."""
+    """An append-only log of completed operations.
+
+    Op ids are assigned from a *per-History* counter (1, 2, 3, ...) so
+    that two replays of the same workload produce bit-identical
+    histories — a module-level counter would leak state across
+    replays (and across tests) and break replay-exactness.
+    """
 
     def __init__(self) -> None:
         self.operations: list[Operation] = []
+        self.marks: list[Mark] = []
+        self._op_ids = itertools.count(1)
 
     def __len__(self) -> int:
         return len(self.operations)
@@ -87,11 +108,17 @@ class History:
         if returned_at < invoked_at:
             raise ValueError("operation returned before it was invoked")
         op = Operation(
-            next(_op_ids), kind, key, value, invoked_at, returned_at, timestamp,
+            next(self._op_ids), kind, key, value, invoked_at, returned_at, timestamp,
             client, server,
         )
         self.operations.append(op)
         return op
+
+    def mark(self, time: float, label: str, detail: str = "") -> Mark:
+        """Append a timestamped annotation (ignored by checkers)."""
+        mark = Mark(time, label, detail)
+        self.marks.append(mark)
+        return mark
 
     def for_key(self, key: bytes) -> "History":
         """The sub-history touching one key."""

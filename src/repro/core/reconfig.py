@@ -25,10 +25,29 @@ from dataclasses import dataclass
 
 from repro.lsm.entry import encode_key
 from repro.lsm.sstable import SSTable
+from repro.sim.rpc import RemoteError, RpcTimeout
 
 from .compactor import Compactor
 from .keyspace import Partition
 from .messages import ForwardRequest
+
+#: Attempts per migration batch before the reconfiguration gives up.
+#: Retries reuse the batch id, so a duplicate delivery (timeout after
+#: the target already applied the merge) is deduplicated by the
+#: target's idempotency table rather than double-applied.
+MIGRATE_RETRY_BUDGET = 8
+
+
+def _record_phase(cluster, label: str, detail: str = "") -> None:
+    """Capture a reconfiguration phase boundary in the shared history.
+
+    Marks interleave with client operations in verification timelines,
+    so a shrunk counterexample shows *where* in Expand -> Migrate ->
+    Detach the workload sat when consistency broke.
+    """
+    history = getattr(cluster, "history", None)
+    if history is not None:
+        history.mark(cluster.kernel.now, label, detail)
 
 
 @dataclass(slots=True)
@@ -82,15 +101,34 @@ def _migrate_tables(
         high_ts = max(e.timestamp for t in batch for e in t.entries)
         entries = sum(len(t) for t in batch)
         batch_id += 1
-        yield source.call(
-            target_name,
-            "forward",
-            ForwardRequest(tuple(batch), high_ts, batch_id, ingestor=sender),
-            size_bytes=source.config.costs.tables_size_bytes(entries),
-            timeout=source.config.ack_timeout,
-        )
+        last_error: Exception | None = None
+        for attempt in range(MIGRATE_RETRY_BUDGET):
+            try:
+                yield source.call(
+                    target_name,
+                    "forward",
+                    ForwardRequest(tuple(batch), high_ts, batch_id, ingestor=sender),
+                    size_bytes=source.config.costs.tables_size_bytes(entries),
+                    timeout=source.config.ack_timeout,
+                )
+                last_error = None
+                break
+            except (RpcTimeout, RemoteError) as error:
+                # Dropped request or ack (e.g. a nemesis drop burst or a
+                # partition outlasting the ack timeout): resend the same
+                # batch; the target dedupes by (sender, batch_id).
+                last_error = error
+        if last_error is not None:
+            raise last_error
         stats.tables_migrated += len(batch)
         stats.entries_migrated += entries
+
+
+def _ingestors_quiescent(cluster) -> bool:
+    """True when no Ingestor has forwarded tables awaiting a Compactor
+    ack — i.e. nothing routed under the *current* partitioning is still
+    in flight toward a node the reconfiguration is about to retire."""
+    return all(i.inflight_tables == 0 for i in getattr(cluster, "ingestors", []))
 
 
 def replace_compactor(cluster, old_name: str, new_name: str):
@@ -99,33 +137,60 @@ def replace_compactor(cluster, old_name: str, new_name: str):
     Run inside the simulation, e.g.
     ``cluster.run_process(replace_compactor(cluster, "compactor-0", "compactor-0b"))``.
     Returns :class:`ReconfigStats`.
+
+    Detach is only taken once a drain round finds *nothing left to
+    move*: the old node stays an overlapping member (so reads keep
+    fanning out to it) while successive rounds forward whatever writes
+    landed on it mid-migration, and the final empty check, the
+    membership removal, and the crash happen without yielding — so no
+    operation can slip between "old is fully copied" and "old is gone".
+    An earlier version detached *before* the drain, which the
+    model-checking harness (repro.verify) caught as a linearizability
+    violation: reads issued during the drain window missed data only
+    the old node held, and a forward acked by the old node mid-drain
+    was lost when it was crashed.
     """
     stats = ReconfigStats()
     old = next(c for c in cluster.compactors if c.name == old_name)
     partition = next(
         p for p in cluster.partitioning.partitions if old_name in p.members
     )
-    new = add_compactor(cluster, new_name)
+    add_compactor(cluster, new_name)
 
     # 1. Expand: the new node overlaps the old one's range.  New writes
     #    are load-balanced across both; reads fan out to both.
     partition.members.append(new_name)
+    _record_phase(cluster, "reconfig.expand", f"{old_name} += {new_name}")
 
-    # 2. Migrate: push the old node's state to the new node.
-    tables = list(old.level2) + list(old.level3)
-    yield from _migrate_tables(old, new_name, tables, stats, phase="migrate")
+    # 2. Migrate: push the old node's state to the new node, in rounds,
+    #    until a round finds no table that has not already moved.
+    _record_phase(cluster, "reconfig.migrate", f"{old_name} -> {new_name}")
+    migrated: set = set()
+    round_index = 0
+    while True:
+        pending = [
+            t
+            for t in list(old.level2) + list(old.level3)
+            if t.table_id not in migrated
+        ]
+        if not pending:
+            if _ingestors_quiescent(cluster):
+                break  # nothing left anywhere: detach atomically below
+            yield cluster.kernel.timeout(max(cluster.config.delta, 1e-4))
+            continue
+        migrated.update(t.table_id for t in pending)
+        phase = "migrate" if round_index == 0 else f"drain{round_index}"
+        yield from _migrate_tables(old, new_name, pending, stats, phase=phase)
+        round_index += 1
 
-    # 3. Detach: retire the old node.  Any tables it accumulated while
-    #    migration ran (round-robin writes) are drained first.
+    # 3. Detach: retire the old node.  No yields between the empty drain
+    #    check above and the crash here, so an in-flight forward either
+    #    already landed (and was drained) or will fail over to the new
+    #    member after the crash.
     partition.members.remove(old_name)
-    straggler_tables = [
-        t
-        for t in list(old.level2) + list(old.level3)
-        if t.table_id not in {x.table_id for x in tables}
-    ]
-    yield from _migrate_tables(old, new_name, straggler_tables, stats, phase="drain")
     old.crash()  # retired: stops serving anything
     cluster.compactors.remove(old)
+    _record_phase(cluster, "reconfig.detach", f"{old_name} retired")
     return stats
 
 
@@ -156,22 +221,45 @@ def split_partition(cluster, compactor_name: str, new_name: str, boundary_key=No
         boundary = encode_key(boundary_key)
 
     add_compactor(cluster, new_name)
+    _record_phase(cluster, "reconfig.expand", f"{compactor_name} += {new_name}")
 
     # 1. Expand: the new node exists but the old node keeps serving the
     #    whole range (migration *copies* tables, so every key remains
     #    readable at the old node throughout).
     # 2. Migrate: copy tables (splitting any that straddle the boundary)
-    #    whose keys are >= boundary to the new node.
-    yield from _migrate_upper_half(old, new_name, boundary, stats, phase="copy")
+    #    whose keys are >= boundary to the new node, in rounds, until a
+    #    round finds no unprocessed source table and no Ingestor still
+    #    has a forward in flight (an unacked batch may carry upper-half
+    #    keys routed to the old node under the pre-split cut).
+    _record_phase(cluster, "reconfig.migrate", f"{compactor_name} -> {new_name}")
+    copied: set = set()
+    round_index = 0
+    while True:
+        pending = [
+            t
+            for t in list(old.level2) + list(old.level3)
+            if t.table_id not in copied and t.max_key >= boundary
+        ]
+        if not pending:
+            if _ingestors_quiescent(cluster):
+                break  # nothing in flight: re-cut atomically below
+            yield cluster.kernel.timeout(max(cluster.config.delta, 1e-4))
+            continue
+        copied.update(t.table_id for t in pending)
+        phase = "copy" if round_index == 0 else f"sweep{round_index}"
+        yield from _migrate_upper_half(old, new_name, boundary, stats, pending, phase)
+        round_index += 1
 
-    # 3. Detach: atomically re-cut the partitioning so each node owns
-    #    its half, sweep any stragglers that landed on the old node in
-    #    the meantime, then drop the migrated range from the old node.
+    # 3. Detach: re-cut the partitioning so each node owns its half and
+    #    drop the migrated range from the old node.  No yields between
+    #    the empty sweep check above, the re-cut, and the drop — so an
+    #    upper-half write is either already copied (and safely dropped
+    #    here) or routed to the new node under the new cut.
     new_partition = Partition(boundary, [new_name])
     parts.partitions.insert(index + 1, new_partition)
     parts._boundaries = [p.lower for p in parts.partitions[1:]]
-    yield from _migrate_upper_half(old, new_name, boundary, stats, phase="sweep")
     _drop_upper_half(old, boundary)
+    _record_phase(cluster, "reconfig.detach", f"split at {boundary!r}")
     return stats
 
 
@@ -180,17 +268,23 @@ def _migrate_upper_half(
     new_name: str,
     boundary: bytes,
     stats: ReconfigStats,
+    tables: list[SSTable] | None = None,
     phase: str = "migrate",
 ):
+    if tables is None:
+        tables = [
+            t
+            for t in list(old.level2) + list(old.level3)
+            if t.max_key >= boundary
+        ]
     to_move: list[SSTable] = []
-    for level_tables in (list(old.level2), list(old.level3)):
-        for table in level_tables:
-            if table.min_key >= boundary:
-                to_move.append(table)
-            elif table.max_key >= boundary:
-                for piece in table.split_at([boundary]):
-                    if piece.min_key >= boundary:
-                        to_move.append(piece)
+    for table in tables:
+        if table.min_key >= boundary:
+            to_move.append(table)
+        else:
+            for piece in table.split_at([boundary]):
+                if piece.min_key >= boundary:
+                    to_move.append(piece)
     yield from _migrate_tables(old, new_name, to_move, stats, phase=phase)
 
 

@@ -241,6 +241,14 @@ class Kernel:
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._sequence = 0
         self._processes_spawned = 0
+        self.events_dispatched = 0
+        # Schedule hooks: observers called with the dispatch time of
+        # every executed event.  The verification harness uses them to
+        # fingerprint a run's exact schedule (event count + times), so
+        # replay-exactness is asserted on the *executed* interleaving,
+        # not just on its observable outputs.  Empty (the default) costs
+        # one truthiness check per event.
+        self._schedule_hooks: list[Callable[[float], None]] = []
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -257,6 +265,22 @@ class Kernel:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
+    def add_schedule_hook(self, hook: Callable[[float], None]) -> None:
+        """Register an observer invoked with each executed event's time."""
+        self._schedule_hooks.append(hook)
+
+    def remove_schedule_hook(self, hook: Callable[[float], None]) -> None:
+        """Unregister a previously added schedule hook."""
+        self._schedule_hooks.remove(hook)
+
+    def _dispatch_one(self, time: float, callback: Callable[[], None]) -> None:
+        self.now = time
+        self.events_dispatched += 1
+        if self._schedule_hooks:
+            for hook in self._schedule_hooks:
+                hook(time)
+        callback()
+
     def event(self) -> Event:
         """A fresh untriggered event."""
         return Event(self)
@@ -287,8 +311,7 @@ class Kernel:
                 self.now = until
                 return self.now
             heapq.heappop(self._heap)
-            self.now = time
-            callback()
+            self._dispatch_one(time, callback)
         if until is not None:
             self.now = max(self.now, until)
         return self.now
@@ -304,8 +327,7 @@ class Kernel:
         process = self.spawn(generator, name)
         while not process.triggered and self._heap:
             time, __, callback = heapq.heappop(self._heap)
-            self.now = time
-            callback()
+            self._dispatch_one(time, callback)
         if not process.triggered:
             raise SimError(f"process {process.name!r} did not finish (deadlock?)")
         if not process.ok:

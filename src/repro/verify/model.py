@@ -1,0 +1,213 @@
+"""The sequential reference model: an independent oracle for reads.
+
+The checkers in :mod:`repro.core.consistency` decide whether a whole
+history admits a legal ordering.  This module attacks the same question
+from the other side: replay the recorded operations against a trivial
+in-memory keyed map and predict, *per read*, the set of values that
+ordering rules allow — then flag any read outside its set.  Because the
+two implementations share no code, a bug in either one surfaces as a
+disagreement (differential checking).
+
+Two ordering semantics are modelled, matching Table I's rows:
+
+:func:`check_history_realtime`
+    Real-time (single-Ingestor) semantics: a read may return a value
+    ``v`` written by ``w`` only if ``w`` began before the read ended
+    and no other write both started after ``w`` returned and returned
+    before the read started (which would overwrite ``v`` in every
+    linearisation).  ``None`` is legal only while no write has
+    completed before the read began.
+
+:func:`check_history_loose_ts`
+    Loose-timestamp (multi-Ingestor, Definition 1) semantics: the same
+    shape of rule, but intervals are replaced by the 2δ ordering
+    predicate on loose clock stamps — two operations are ordered only
+    when their stamps differ by at least 2δ, everything closer is
+    concurrent and either outcome is legal.
+
+Both are *necessary* conditions: a history that satisfies the paper's
+guarantee always passes, so any mismatch is a true violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.history import History, Operation
+
+
+@dataclass(frozen=True, slots=True)
+class ModelMismatch:
+    """One read whose observed value lies outside the model's legal set."""
+
+    rule: str
+    detail: str
+    op_id: int
+
+
+@dataclass(slots=True)
+class ModelReport:
+    """Outcome of cross-checking a history against the reference model."""
+
+    semantics: str
+    mismatches: list[ModelMismatch] = field(default_factory=list)
+    reads_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def add(self, rule: str, detail: str, op: Operation) -> None:
+        self.mismatches.append(ModelMismatch(rule, detail, op.op_id))
+
+
+# ----------------------------------------------------------------------
+# Real-time semantics (single Ingestor: linearizable reads)
+# ----------------------------------------------------------------------
+def check_history_realtime(history: History) -> ModelReport:
+    """Predict each read's legal value set under real-time ordering."""
+    report = ModelReport("realtime")
+    for key in sorted(history.keys()):
+        ops = history.for_key(key).operations
+        writes = [o for o in ops if o.is_write]
+        for read in ops:
+            if not read.is_read:
+                continue
+            report.reads_checked += 1
+            legal: set[bytes | None] = set()
+            if not any(w.returned_at < read.invoked_at for w in writes):
+                legal.add(None)
+            for w in writes:
+                if w.invoked_at > read.returned_at:
+                    continue  # the write began after the read ended
+                obscured = any(
+                    other.invoked_at > w.returned_at
+                    and other.returned_at < read.invoked_at
+                    for other in writes
+                    if other.op_id != w.op_id
+                )
+                if not obscured:
+                    legal.add(w.value)
+            if read.value not in legal:
+                report.add(
+                    "illegal-read",
+                    f"read of {key!r} returned {read.value!r}; "
+                    f"model allows {_render_set(legal)}",
+                    read,
+                )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Loose-timestamp semantics (multiple Ingestors: Definition 1)
+# ----------------------------------------------------------------------
+def check_history_loose_ts(history: History, delta: float) -> ModelReport:
+    """Predict each read's legal value set under the 2δ ordering rule.
+
+    With ts(x) the loose stamp of operation x, a write ``w`` is a legal
+    result for read ``r`` unless ``w`` is definitely after ``r``
+    (``ts(w) - ts(r) >= 2δ``) or some other write is definitely after
+    ``w`` and definitely before ``r``.  ``None`` is legal only while no
+    write is definitely before the read.
+    """
+    report = ModelReport("loose-ts")
+    two_delta = 2.0 * delta
+    for key in sorted(history.keys()):
+        ops = history.for_key(key).operations
+        writes = [o for o in ops if o.is_write]
+        for read in ops:
+            if not read.is_read:
+                continue
+            report.reads_checked += 1
+            legal: set[bytes | None] = set()
+            if not any(read.timestamp - w.timestamp >= two_delta for w in writes):
+                legal.add(None)
+            for w in writes:
+                if w.timestamp - read.timestamp >= two_delta:
+                    continue  # definitely after the read
+                obscured = any(
+                    other.timestamp - w.timestamp >= two_delta
+                    and read.timestamp - other.timestamp >= two_delta
+                    for other in writes
+                    if other.op_id != w.op_id
+                )
+                if not obscured:
+                    legal.add(w.value)
+            if read.value not in legal:
+                report.add(
+                    "illegal-read",
+                    f"read of {key!r} at ts {read.timestamp:.6f} returned "
+                    f"{read.value!r}; model allows {_render_set(legal)}",
+                    read,
+                )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Backup (Reader) semantics: no values from the future, none invented
+# ----------------------------------------------------------------------
+def check_backup_reads(history: History, backup_reads: History) -> ModelReport:
+    """Backup reads serve a lagging snapshot, so staleness is legal —
+    but a Reader must never invent a value or serve one whose write had
+    not even *started* when the read returned."""
+    report = ModelReport("backup")
+    writes_by_key: dict[bytes, dict[bytes | None, Operation]] = {}
+    for w in history.writes():
+        writes_by_key.setdefault(w.key, {})[w.value] = w
+    for read in backup_reads.reads():
+        report.reads_checked += 1
+        if read.value is None:
+            continue
+        writer = writes_by_key.get(read.key, {}).get(read.value)
+        if writer is None:
+            report.add(
+                "phantom-value",
+                f"backup served {read.value!r} for {read.key!r}, "
+                "which no write produced",
+                read,
+            )
+        elif writer.invoked_at > read.returned_at:
+            report.add(
+                "future-value",
+                f"backup served {read.value!r} for {read.key!r} before "
+                "its write was invoked",
+                read,
+            )
+    return report
+
+
+def _render_set(values: set[bytes | None]) -> str:
+    return "{" + ", ".join(repr(v) for v in sorted(values, key=lambda v: (v is not None, v))) + "}"
+
+
+# ----------------------------------------------------------------------
+# Sequential replay (for differential traces)
+# ----------------------------------------------------------------------
+class SequentialModel:
+    """A plain keyed map replayed one operation at a time.
+
+    On a strictly sequential trace (each operation awaited before the
+    next is issued) every read has exactly one legal result — the last
+    written value — so the model's prediction can be compared for
+    equality against both the CooLSM cluster and the monolithic
+    baseline running the identical trace.
+    """
+
+    def __init__(self) -> None:
+        self._state: dict[object, bytes | None] = {}
+        self.applied = 0
+
+    def write(self, key, value: bytes) -> None:
+        self._state[key] = value
+        self.applied += 1
+
+    def delete(self, key) -> None:
+        self._state[key] = None
+        self.applied += 1
+
+    def read(self, key) -> bytes | None:
+        return self._state.get(key)
+
+    def state(self) -> dict[object, bytes | None]:
+        """The full final keyed map (a copy)."""
+        return dict(self._state)

@@ -48,3 +48,25 @@ def test_op_ids_unique():
     ops = [history.record("write", b"k", b"v", 0.0, 1.0, 0.0) for __ in range(10)]
     ids = {op.op_id for op in ops}
     assert len(ids) == 10
+
+
+def test_op_ids_are_per_history():
+    """Regression: op ids used to come from a module-level counter, so
+    each History started numbering wherever the previous run left off —
+    breaking bit-identical replay (fingerprints hash op ids) and leaking
+    state between otherwise independent runs."""
+    first = History().record("write", b"k", b"v", 0.0, 1.0, 0.0)
+    second = History().record("write", b"k", b"v", 0.0, 1.0, 0.0)
+    assert first.op_id == second.op_id == 1
+    history = History()
+    ids = [history.record("read", b"k", None, 0.0, 1.0, 0.0).op_id for __ in range(3)]
+    assert ids == [1, 2, 3]
+
+
+def test_marks_record_and_preserve_order():
+    history = History()
+    history.mark(1.0, "reconfig.expand", "c0 += c1")
+    history.mark(2.0, "reconfig.detach")
+    assert [m.label for m in history.marks] == ["reconfig.expand", "reconfig.detach"]
+    assert history.marks[0].detail == "c0 += c1"
+    assert history.marks[1].detail == ""

@@ -1,8 +1,12 @@
 """Tests for Expand -> Migrate -> Detach reconfiguration (Section III-I)."""
 
-from repro.core import replace_compactor, split_partition
+from dataclasses import replace as dc_replace
 
-from tests.core.conftest import fill, tiny_cluster
+from repro.core import ClusterSpec, build_cluster, replace_compactor, split_partition
+from repro.sim import Nemesis, PartitionPair
+from repro.sim.rpc import RemoteError, RpcTimeout
+
+from tests.core.conftest import TINY, fill, tiny_cluster
 
 
 def loaded_cluster(num_compactors=1, ops=3_000):
@@ -117,3 +121,67 @@ class TestSplitPartition:
 
         assert cluster.partitioning.partitions[1].lower == encode_key(500)
         assert verify_all(cluster, client, oracle) == []
+
+
+class TestReconfigurationUnderFaults:
+    """Expand -> Migrate -> Detach with a network partition cutting the
+    Ingestor off from the migration source mid-Migrate, while a client
+    keeps writing: every acked write must remain readable afterwards
+    (zero acked-write loss), and the retired node must still be gone."""
+
+    CONFIG = dc_replace(TINY, ack_timeout=0.2, client_timeout=0.5, client_retry_budget=6)
+
+    def _run(self, reconfig_factory, seed=7, ops=500, pace=0.004):
+        cluster = build_cluster(
+            ClusterSpec(config=self.CONFIG, num_ingestors=1, num_compactors=1, seed=seed)
+        )
+        client = cluster.add_client(colocate_with="ingestor-0")
+        cluster.run_process(fill(cluster, client, 1_500))
+        nemesis = Nemesis.for_cluster(cluster)
+        acked: dict[int, bytes] = {}
+
+        def writer():
+            for i in range(ops):
+                key = i % 200
+                value = b"f-%d" % i
+                while True:
+                    try:
+                        yield from client.upsert(key, value)
+                        break
+                    except (RpcTimeout, RemoteError):
+                        continue
+                acked[key] = value
+                yield cluster.kernel.timeout(pace)
+
+        def scenario():
+            migration = cluster.kernel.spawn(reconfig_factory(cluster), "reconfig")
+            workload = cluster.kernel.spawn(writer(), "writer")
+            # Cut the Ingestor off from the migration source while both
+            # the migration and the workload are in flight.
+            nemesis.schedule(
+                [
+                    PartitionPair("m-ingestor-0", "m-compactor-0", at=0.3, duration=0.5),
+                    PartitionPair("m-ingestor-0", "m-compactor-0", at=1.1, duration=0.4),
+                ]
+            )
+            yield workload
+            yield migration
+
+        cluster.run_process(scenario())
+        cluster.run()
+        return cluster, client, acked
+
+    def test_replace_compactor_zero_acked_write_loss(self):
+        cluster, client, acked = self._run(
+            lambda c: replace_compactor(c, "compactor-0", "compactor-0b")
+        )
+        assert [c.name for c in cluster.compactors] == ["compactor-0b"]
+        assert verify_all(cluster, client, acked) == []
+
+    def test_split_partition_zero_acked_write_loss(self):
+        cluster, client, acked = self._run(
+            lambda c: split_partition(c, "compactor-0", "compactor-1b", boundary_key=100)
+        )
+        parts = cluster.partitioning.partitions
+        assert [p.members for p in parts] == [["compactor-0"], ["compactor-1b"]]
+        assert verify_all(cluster, client, acked) == []

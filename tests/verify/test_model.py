@@ -1,0 +1,125 @@
+"""Tests for the sequential reference model (the independent oracle)."""
+
+from repro.core.history import History
+from repro.verify.model import (
+    SequentialModel,
+    check_backup_reads,
+    check_history_loose_ts,
+    check_history_realtime,
+)
+
+
+def seq(history, kind, key, value, start, end, ts=None):
+    return history.record(kind, key, value, start, end, ts if ts is not None else start)
+
+
+class TestRealtimeModel:
+    def test_sequential_run_passes(self):
+        h = History()
+        seq(h, "write", b"k", b"v1", 0.0, 1.0)
+        seq(h, "read", b"k", b"v1", 2.0, 3.0)
+        seq(h, "write", b"k", b"v2", 4.0, 5.0)
+        seq(h, "read", b"k", b"v2", 6.0, 7.0)
+        report = check_history_realtime(h)
+        assert report.ok
+        assert report.reads_checked == 2
+
+    def test_none_legal_only_before_first_completed_write(self):
+        h = History()
+        seq(h, "read", b"k", None, 0.0, 0.5)  # fine: nothing written yet
+        seq(h, "write", b"k", b"v1", 1.0, 2.0)
+        seq(h, "read", b"k", None, 3.0, 4.0)  # illegal: v1 completed first
+        report = check_history_realtime(h)
+        assert not report.ok
+        assert report.mismatches[0].rule == "illegal-read"
+
+    def test_overwritten_value_illegal(self):
+        h = History()
+        seq(h, "write", b"k", b"old", 0.0, 1.0)
+        seq(h, "write", b"k", b"new", 2.0, 3.0)
+        seq(h, "read", b"k", b"old", 4.0, 5.0)
+        assert not check_history_realtime(h).ok
+
+    def test_concurrent_write_either_value_legal(self):
+        h = History()
+        seq(h, "write", b"k", b"old", 0.0, 1.0)
+        seq(h, "write", b"k", b"new", 2.0, 6.0)  # overlaps the read
+        seq(h, "read", b"k", b"old", 3.0, 4.0)
+        h2 = History()
+        seq(h2, "write", b"k", b"old", 0.0, 1.0)
+        seq(h2, "write", b"k", b"new", 2.0, 6.0)
+        seq(h2, "read", b"k", b"new", 3.0, 4.0)
+        assert check_history_realtime(h).ok
+        assert check_history_realtime(h2).ok
+
+    def test_value_from_the_future_illegal(self):
+        h = History()
+        seq(h, "read", b"k", b"v1", 0.0, 1.0)
+        seq(h, "write", b"k", b"v1", 2.0, 3.0)  # began after the read ended
+        assert not check_history_realtime(h).ok
+
+
+class TestLooseTsModel:
+    DELTA = 0.5
+
+    def test_within_two_delta_is_concurrent(self):
+        h = History()
+        seq(h, "write", b"k", b"old", 0.0, 0.1, ts=10.0)
+        seq(h, "write", b"k", b"new", 0.2, 0.3, ts=10.5)
+        # Read within 2δ of both writes: either value is legal.
+        seq(h, "read", b"k", b"old", 0.4, 0.5, ts=10.6)
+        assert check_history_loose_ts(h, self.DELTA).ok
+
+    def test_definitely_overwritten_value_illegal(self):
+        h = History()
+        seq(h, "write", b"k", b"old", 0.0, 0.1, ts=0.0)
+        seq(h, "write", b"k", b"new", 0.2, 0.3, ts=5.0)
+        seq(h, "read", b"k", b"old", 0.4, 0.5, ts=10.0)
+        report = check_history_loose_ts(h, self.DELTA)
+        assert not report.ok
+        assert "illegal-read" == report.mismatches[0].rule
+
+    def test_read_before_any_definite_write_may_see_none(self):
+        h = History()
+        seq(h, "write", b"k", b"v", 0.0, 0.1, ts=10.0)
+        seq(h, "read", b"k", None, 0.2, 0.3, ts=10.9)  # within 2δ: None ok
+        seq(h, "read", b"k", None, 0.4, 0.5, ts=11.1)  # beyond 2δ: must see v
+        report = check_history_loose_ts(h, self.DELTA)
+        assert len(report.mismatches) == 1
+
+
+class TestBackupModel:
+    def test_stale_is_legal_but_phantom_is_not(self):
+        main = History()
+        seq(main, "write", b"k", b"v1", 0.0, 1.0)
+        seq(main, "write", b"k", b"v2", 2.0, 3.0)
+        backup = History()
+        seq(backup, "read", b"k", b"v1", 10.0, 10.1)  # stale: fine
+        assert check_backup_reads(main, backup).ok
+        backup2 = History()
+        seq(backup2, "read", b"k", b"vX", 10.0, 10.1)  # invented
+        report = check_backup_reads(main, backup2)
+        assert not report.ok
+        assert report.mismatches[0].rule == "phantom-value"
+
+    def test_value_before_write_started_is_future(self):
+        main = History()
+        seq(main, "write", b"k", b"v1", 5.0, 6.0)
+        backup = History()
+        seq(backup, "read", b"k", b"v1", 0.0, 0.1)  # write not yet invoked
+        report = check_backup_reads(main, backup)
+        assert not report.ok
+        assert report.mismatches[0].rule == "future-value"
+
+
+class TestSequentialModel:
+    def test_read_your_writes_and_delete(self):
+        model = SequentialModel()
+        assert model.read("a") is None
+        model.write("a", b"1")
+        assert model.read("a") == b"1"
+        model.write("a", b"2")
+        model.delete("a")
+        assert model.read("a") is None
+        assert model.applied == 3
+        assert model.state() == {"a": None}

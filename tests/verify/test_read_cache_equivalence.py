@@ -1,0 +1,29 @@
+"""Read-cache coherence under the verification harness.
+
+The read cache must be invisible to correctness: the identical
+sequential trace, replayed with the cache disabled
+(``read_cache_capacity=0``) and with the default capacity, must return
+bit-identical point-get results — and both must match the sequential
+reference model.
+"""
+
+from repro.verify import differential_run
+
+
+def test_point_gets_bit_identical_with_and_without_cache():
+    seed = 11
+    cached = differential_run(seed, ops=80, read_cache_capacity=None)
+    uncached = differential_run(seed, ops=80, read_cache_capacity=0)
+    assert cached["mismatches"] == []
+    assert uncached["mismatches"] == []
+    assert cached["cluster"] == uncached["cluster"]
+    assert cached["monolith"] == uncached["monolith"]
+    assert cached["model"] == uncached["model"]
+
+
+def test_cache_equivalence_across_seeds():
+    for seed in (3, 21):
+        cached = differential_run(seed, ops=40, read_cache_capacity=None)
+        uncached = differential_run(seed, ops=40, read_cache_capacity=0)
+        assert cached["cluster"] == uncached["cluster"]
+        assert cached["mismatches"] == [] and uncached["mismatches"] == []

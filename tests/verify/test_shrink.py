@@ -1,0 +1,91 @@
+"""Tests for delta debugging and counterexample rendering."""
+
+import pytest
+
+from repro.verify import (
+    ddmin,
+    generate_schedule,
+    inject_bug,
+    render_timeline,
+    run_schedule,
+    shrink_schedule,
+)
+from repro.verify.shrink import ShrinkBudgetExceeded, _one_at_a_time
+
+
+class TestDdmin:
+    def test_finds_minimal_pair(self):
+        items = list(range(20))
+        result = ddmin(items, lambda sub: 3 in sub and 12 in sub)
+        assert result == [3, 12]
+
+    def test_single_culprit(self):
+        result = ddmin(list(range(50)), lambda sub: 37 in sub)
+        assert result == [37]
+
+    def test_preserves_order(self):
+        result = ddmin(list(range(10)), lambda sub: {2, 5, 8} <= set(sub))
+        assert result == [2, 5, 8]
+
+    def test_all_needed_stays_whole(self):
+        items = [1, 2, 3]
+        assert ddmin(items, lambda sub: sub == items) == items
+
+    def test_one_at_a_time_polish(self):
+        assert _one_at_a_time([1, 2, 3, 4], lambda sub: 3 in sub) == [3]
+
+
+class TestShrinkSchedule:
+    def test_rejects_passing_schedule(self):
+        spec = generate_schedule(5, ops=10, faults=0)
+        assert not run_schedule(spec).violations
+        with pytest.raises(ValueError):
+            shrink_schedule(spec)
+
+    def test_budget_enforced(self):
+        with inject_bug("trust-phase1"):
+            spec = generate_schedule(0, ops=40, faults=2)
+            with pytest.raises(ShrinkBudgetExceeded):
+                shrink_schedule(spec, budget=3)
+
+    def test_injected_bug_shrinks_to_small_counterexample(self):
+        """The acceptance bar: the trust-phase1 bug, caught by CI seed 0,
+        must delta-debug down to at most 12 operations."""
+        with inject_bug("trust-phase1"):
+            spec = generate_schedule(0, ops=40, faults=2)
+            assert run_schedule(spec).violations
+            result = shrink_schedule(spec)
+            assert len(result.shrunk.ops) <= 12
+            assert result.removed_ops >= 28
+            assert result.outcome.violations
+            # Local minimality: no single op can be removed.
+            for index in range(len(result.shrunk.ops)):
+                from dataclasses import replace
+
+                cand = replace(
+                    result.shrunk,
+                    ops=result.shrunk.ops[:index] + result.shrunk.ops[index + 1 :],
+                )
+                assert not run_schedule(cand).violations
+
+
+class TestTimeline:
+    def test_renders_steps_and_violations(self):
+        with inject_bug("trust-phase1"):
+            spec = generate_schedule(0, ops=40, faults=2)
+            outcome = run_schedule(spec)
+        text = render_timeline(outcome)
+        assert "# Counterexample timeline" in text
+        assert f"seed={spec.seed}" in text
+        assert "violations:" in text
+        assert "write k" in text
+        # Step lines are numbered and time-sorted.
+        lines = [line for line in text.splitlines() if line[:4].strip().isdigit()]
+        times = [float(line.split()[1]) for line in lines]
+        assert times == sorted(times)
+
+    def test_renders_clean_run_too(self):
+        spec = generate_schedule(5, ops=10, faults=1)
+        text = render_timeline(run_schedule(spec))
+        assert "violations=0" in text
+        assert "violations:" not in text
