@@ -1,0 +1,163 @@
+"""Benchmark a real localhost CooLSM cluster (``repro.cli live-bench``).
+
+Launches the standard smoke topology (1 Ingestor, 2 Compactors,
+1 Reader) as subprocesses, then drives it with increasing client
+counts, measuring wall-clock upsert and read latency through the real
+client stack — wire codec, TCP, asyncio interpreter — and throughput
+per client count.  Results land in ``BENCH_live.json``.
+
+These are *real seconds on whatever machine runs the bench*, not the
+simulator's modelled seconds: use them to track live-runtime overhead
+(serialisation, transport, event-loop scheduling) across changes, not
+to reproduce the paper's figures (that is the simulator's job).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import platform
+import sys
+import tempfile
+import time
+
+from repro.core.config import CooLSMConfig
+from repro.core.history import History
+
+from repro.live.harness import ClientPool, LocalCluster, localhost_spec
+from repro.live.node import LiveSpec
+
+from .metrics import LatencySummary, throughput
+
+#: Fraction of operations that are reads in the benchmark mix.
+READ_FRACTION = 0.2
+
+
+def _workload(client, rng, key_range: int, ops: int, samples: dict):
+    """One client's operation mix; appends wall-clock latencies."""
+    for _ in range(ops):
+        key = str(rng.randrange(key_range)).encode()
+        started = time.perf_counter()
+        if rng.random() < READ_FRACTION:
+            yield from client.read(key)
+            samples["read"].append(time.perf_counter() - started)
+        else:
+            yield from client.upsert(key, b"v" + key)
+            samples["upsert"].append(time.perf_counter() - started)
+    return ops
+
+
+async def _drive(spec: LiveSpec, num_clients: int, ops_per_client: int, seed: int):
+    import random
+
+    samples: dict[str, list[float]] = {"upsert": [], "read": []}
+    history = History()
+    async with ClientPool(spec, num_clients=num_clients, history=history) as pool:
+        started = time.perf_counter()
+        await asyncio.gather(
+            *(
+                pool.run(
+                    _workload(
+                        client,
+                        random.Random(seed + index),
+                        spec.config.key_range,
+                        ops_per_client,
+                        samples,
+                    ),
+                    f"bench-{index}",
+                )
+                for index, client in enumerate(pool.clients)
+            )
+        )
+        elapsed = time.perf_counter() - started
+    return samples, elapsed, len(history)
+
+
+def run(
+    client_counts: list[int],
+    ops_per_client: int = 400,
+    seed: int = 0,
+) -> dict:
+    """Run the live benchmark; returns the BENCH_live.json document."""
+    config = CooLSMConfig().scaled_down(10)
+    points = []
+    for num_clients in client_counts:
+        spec = localhost_spec(
+            1, 2, 1, num_clients=max(num_clients, 1), config=config, seed=seed
+        )
+        with tempfile.TemporaryDirectory(prefix="coolsm-live-bench-") as work:
+            with LocalCluster(spec, work) as cluster:
+                cluster.wait_ready()
+                samples, elapsed, recorded = asyncio.run(
+                    _drive(spec, num_clients, ops_per_client, seed)
+                )
+                exit_codes = cluster.stop()
+        total_ops = num_clients * ops_per_client
+        upsert = LatencySummary.from_samples(samples["upsert"])
+        read = LatencySummary.from_samples(samples["read"])
+        points.append(
+            {
+                "clients": num_clients,
+                "ops": total_ops,
+                "recorded_ops": recorded,
+                "elapsed_s": round(elapsed, 4),
+                "throughput_ops_s": round(throughput(total_ops, elapsed), 1),
+                "upsert_ms": {
+                    "p50": round(upsert.ms("p50"), 3),
+                    "p99": round(upsert.ms("p99"), 3),
+                    "mean": round(upsert.ms("mean"), 3),
+                    "count": upsert.count,
+                },
+                "read_ms": {
+                    "p50": round(read.ms("p50"), 3),
+                    "p99": round(read.ms("p99"), 3),
+                    "mean": round(read.ms("mean"), 3),
+                    "count": read.count,
+                },
+                "drained_exit_codes": exit_codes,
+            }
+        )
+    return {
+        "bench": "live",
+        "topology": {"ingestors": 1, "compactors": 2, "readers": 1},
+        "ops_per_client": ops_per_client,
+        "read_fraction": READ_FRACTION,
+        "seed": seed,
+        "python": platform.python_version(),
+        "points": points,
+    }
+
+
+def run_and_report(
+    out: str = "BENCH_live.json",
+    client_counts: list[int] | None = None,
+    ops_per_client: int = 400,
+    seed: int = 0,
+) -> int:
+    """CLI entrypoint: run, print a table, write the JSON document."""
+    document = run(client_counts or [1, 2, 4], ops_per_client, seed)
+    print(f"live bench — {document['topology']} — {ops_per_client} ops/client")
+    header = (
+        f"{'clients':>8} {'thru ops/s':>11} {'upsert p50':>11} "
+        f"{'upsert p99':>11} {'read p50':>9} {'read p99':>9}"
+    )
+    print(header)
+    failed = False
+    for point in document["points"]:
+        print(
+            f"{point['clients']:>8} {point['throughput_ops_s']:>11} "
+            f"{point['upsert_ms']['p50']:>10.2f}ms {point['upsert_ms']['p99']:>10.2f}ms "
+            f"{point['read_ms']['p50']:>8.2f}ms {point['read_ms']['p99']:>8.2f}ms"
+        )
+        if any(code != 0 for code in point["drained_exit_codes"].values()):
+            failed = True
+            print(f"  !! non-zero drain exits: {point['drained_exit_codes']}")
+    with open(out, "w") as sink:
+        json.dump(document, sink, indent=2)
+        sink.write("\n")
+    print(f"wrote {out}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(run_and_report())

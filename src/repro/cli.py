@@ -9,6 +9,8 @@ Usage::
     python -m repro.cli run fig3 --ops 20000 # bigger run
     python -m repro.cli run fig3 --scale 1   # paper-sized configuration
     python -m repro.cli verify --seed 42     # model-checking exploration
+    python -m repro.cli serve --spec cluster.toml --node ingestor-0
+    python -m repro.cli live-bench --out BENCH_live.json
 
 Each experiment prints its series/tables in the paper's shape followed
 by paper-vs-measured checks (see EXPERIMENTS.md).
@@ -178,6 +180,30 @@ def _cmd_verify(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args) -> int:
+    # Imported lazily so list/run never pay for the live runtime.
+    import logging
+
+    from repro.live.node import serve_main
+
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    return serve_main(args.spec, args.node)
+
+
+def _cmd_live_bench(args) -> int:
+    from repro.bench.live_bench import run_and_report
+
+    return run_and_report(
+        out=args.out,
+        client_counts=[int(c) for c in args.clients.split(",")],
+        ops_per_client=args.ops,
+        seed=args.seed,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -223,11 +249,40 @@ def main(argv: list[str] | None = None) -> int:
     verify_parser.add_argument(
         "--out", default=None, help="also write the report to this file"
     )
+    serve_parser = subparsers.add_parser(
+        "serve", help="run one live node over real TCP until SIGTERM"
+    )
+    serve_parser.add_argument(
+        "--spec", required=True, help="cluster spec file (.toml or .json)"
+    )
+    serve_parser.add_argument(
+        "--node", required=True, help="node name from the spec (e.g. ingestor-0)"
+    )
+    serve_parser.add_argument(
+        "--log-level", default="info", help="logging level (default info)"
+    )
+    live_bench_parser = subparsers.add_parser(
+        "live-bench", help="benchmark a real localhost cluster"
+    )
+    live_bench_parser.add_argument(
+        "--out", default="BENCH_live.json", help="output JSON path"
+    )
+    live_bench_parser.add_argument(
+        "--clients", default="1,2,4", help="comma-separated client counts"
+    )
+    live_bench_parser.add_argument(
+        "--ops", type=int, default=400, help="operations per client"
+    )
+    live_bench_parser.add_argument("--seed", type=int, default=0, help="workload seed")
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
     if args.command == "verify":
         return _cmd_verify(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "live-bench":
+        return _cmd_live_bench(args)
     return _cmd_run(args.names, args.ops, args.scale)
 
 

@@ -23,11 +23,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.effects import ComputeHost, EffectKernel, Fabric
 from repro.lsm.entry import Entry, encode_key, encode_value
 from repro.sim.clock import definitely_after
-from repro.sim.kernel import Kernel
-from repro.sim.machine import Machine
-from repro.sim.network import Network
 from repro.sim.rpc import RemoteError, RpcNode, RpcTimeout
 
 from .config import CooLSMConfig
@@ -81,9 +79,9 @@ class Client(RpcNode):
 
     def __init__(
         self,
-        kernel: Kernel,
-        network: Network,
-        machine: Machine,
+        kernel: EffectKernel,
+        network: Fabric,
+        machine: ComputeHost,
         name: str,
         config: CooLSMConfig,
         partitioning: Partitioning,

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.effects import ComputeHost, EffectKernel, Fabric
 from repro.lsm.cache import ReadCache
 from repro.lsm.compaction import (
     KeepPolicy,
@@ -36,9 +37,6 @@ from repro.lsm.iterators import level_scan
 from repro.lsm.manifest import LevelEdit, Manifest
 from repro.lsm.sstable import SSTable
 from repro.sim.clock import LooseClock
-from repro.sim.kernel import Kernel
-from repro.sim.machine import Machine
-from repro.sim.network import Network
 from repro.sim.resources import Resource
 from repro.sim.rpc import RpcNode
 
@@ -96,9 +94,9 @@ class Compactor(RpcNode):
 
     def __init__(
         self,
-        kernel: Kernel,
-        network: Network,
-        machine: Machine,
+        kernel: EffectKernel,
+        network: Fabric,
+        machine: ComputeHost,
         name: str,
         config: CooLSMConfig,
         clock: LooseClock,

@@ -26,6 +26,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.effects import ComputeHost, EffectKernel, Fabric
 from repro.lsm.cache import ReadCache
 from repro.lsm.compaction import (
     KeepPolicy,
@@ -38,9 +39,6 @@ from repro.lsm.manifest import LevelEdit, Manifest
 from repro.lsm.memtable import Memtable
 from repro.lsm.sstable import SSTable
 from repro.sim.clock import LooseClock
-from repro.sim.kernel import Kernel
-from repro.sim.machine import Machine
-from repro.sim.network import Network
 from repro.sim.resources import Resource
 from repro.sim.rpc import RemoteError, RpcNode, RpcTimeout
 
@@ -99,9 +97,9 @@ class Ingestor(RpcNode):
 
     def __init__(
         self,
-        kernel: Kernel,
-        network: Network,
-        machine: Machine,
+        kernel: EffectKernel,
+        network: Fabric,
+        machine: ComputeHost,
         name: str,
         config: CooLSMConfig,
         clock: LooseClock,

@@ -16,12 +16,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.effects import ComputeHost, EffectKernel, Fabric
 from repro.lsm.entry import Entry
 from repro.lsm.tree import LSMConfig, LSMTree
 from repro.sim.clock import LooseClock
-from repro.sim.kernel import Kernel
-from repro.sim.machine import Machine
-from repro.sim.network import Network
 from repro.sim.rpc import RpcNode
 
 from .config import CooLSMConfig
@@ -48,9 +46,9 @@ class MonolithicNode(RpcNode):
 
     def __init__(
         self,
-        kernel: Kernel,
-        network: Network,
-        machine: Machine,
+        kernel: EffectKernel,
+        network: Fabric,
+        machine: ComputeHost,
         name: str,
         config: CooLSMConfig,
         clock: LooseClock,

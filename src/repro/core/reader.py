@@ -27,14 +27,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro.effects import ComputeHost, EffectKernel, Fabric
 from repro.lsm.cache import ReadCache
 from repro.lsm.entry import Entry
 from repro.lsm.iterators import dedup_newest, k_way_merge
 from repro.lsm.manifest import LevelEdit, Manifest
 from repro.lsm.sstable import SSTable
-from repro.sim.kernel import Kernel
-from repro.sim.machine import Machine
-from repro.sim.network import Network
 from repro.sim.rpc import RemoteError, RpcNode, RpcTimeout
 
 from .config import CooLSMConfig
@@ -97,9 +95,9 @@ class Reader(RpcNode):
 
     def __init__(
         self,
-        kernel: Kernel,
-        network: Network,
-        machine: Machine,
+        kernel: EffectKernel,
+        network: Fabric,
+        machine: ComputeHost,
         name: str,
         config: CooLSMConfig,
     ) -> None:

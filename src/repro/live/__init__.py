@@ -1,0 +1,37 @@
+"""The live runtime: CooLSM nodes on asyncio over real TCP sockets.
+
+The simulator (:mod:`repro.sim`) and this package are two interpreters
+for the *same* node code.  Every Ingestor/Compactor/Reader/Client is a
+set of generator coroutines written against the effect protocol
+(:mod:`repro.effects`); the simulator drives them on a virtual-time
+event heap, this package drives them on the asyncio event loop with
+messages serialised by :mod:`repro.live.wire` and moved by
+:mod:`repro.live.transport`.
+
+Modules:
+
+``wire``
+    Self-contained binary codec: tagged values, a registry covering
+    every message dataclass (including nested Entry/SSTable payloads),
+    CRC32-protected length-prefixed frames.
+
+``transport``
+    Framed TCP client/server: per-peer pooled connections with
+    reconnect-and-exponential-backoff, FIFO per channel, frame ids.
+
+``runtime``
+    The asyncio effect interpreter: :class:`AsyncioKernel` (events,
+    processes, timeouts, barriers — same semantics as the sim kernel,
+    scheduled on the loop), :class:`LiveMachine`, :class:`LiveNetwork`.
+
+``node``
+    Process entrypoints: build one node from a cluster spec + address
+    map, serve it with graceful SIGTERM drain (``repro.cli serve``).
+
+``harness``
+    Drive a real localhost cluster from tests and benchmarks: subprocess
+    lifecycle, readiness probes, client sessions with history recording.
+"""
+
+from .node import LiveSpec, load_spec  # noqa: F401
+from .runtime import AsyncioKernel, LiveMachine, LiveNetwork  # noqa: F401

@@ -1,0 +1,219 @@
+"""Drive a real localhost cluster from tests and benchmarks.
+
+Two halves:
+
+* :class:`LocalCluster` — subprocess lifecycle.  Writes the spec to a
+  JSON file, launches one ``repro.cli serve`` process per node, probes
+  readiness by connecting to each node's port, and shuts the fleet
+  down with SIGTERM so every node runs its drain path (exit status 0
+  == drained cleanly).
+* :class:`ClientPool` — the driver side.  One :class:`AsyncioKernel` +
+  :class:`LiveNetwork` listening on the driver's port, with any number
+  of :class:`~repro.core.client.Client` instances registered on it (all
+  client names share the one address).  Clients record into a shared
+  :class:`~repro.core.history.History`, so the simulator's consistency
+  checkers run unchanged over real-socket histories.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import repro
+from repro.core.history import History
+
+from .node import LiveSpec, build_driver_client, spec_to_dict
+from .runtime import AsyncioKernel, LiveMachine, LiveNetwork
+
+#: Default number of driver-side client names a localhost spec reserves.
+DRIVER_CLIENTS = 8
+
+
+def free_port() -> int:
+    """An OS-assigned free TCP port (best-effort; raceable but fine for
+    localhost tests)."""
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def localhost_spec(
+    num_ingestors: int = 1,
+    num_compactors: int = 1,
+    num_readers: int = 0,
+    num_clients: int = DRIVER_CLIENTS,
+    **spec_kwargs,
+) -> LiveSpec:
+    """A spec with every node on 127.0.0.1 at a fresh free port.
+
+    All ``client-1 .. client-N`` names map to one driver port — replies
+    addressed to any client route back to the single driver process.
+    """
+    spec = LiveSpec(
+        num_ingestors=num_ingestors,
+        num_compactors=num_compactors,
+        num_readers=num_readers,
+        **spec_kwargs,
+    )
+    addresses = {name: ("127.0.0.1", free_port()) for name in spec.node_names}
+    driver = ("127.0.0.1", free_port())
+    for index in range(1, num_clients + 1):
+        addresses[f"client-{index}"] = driver
+    spec.addresses = addresses
+    return spec
+
+
+class LocalCluster:
+    """Run every node of a spec as a local ``repro.cli serve`` process."""
+
+    def __init__(self, spec: LiveSpec, work_dir: str | Path) -> None:
+        self.spec = spec
+        self.work_dir = Path(work_dir)
+        self.spec_path = self.work_dir / "cluster.json"
+        self.processes: dict[str, subprocess.Popen] = {}
+        self.exit_codes: dict[str, int] = {}
+
+    def log_path(self, name: str) -> Path:
+        return self.work_dir / f"{name}.log"
+
+    def start(self) -> None:
+        self.work_dir.mkdir(parents=True, exist_ok=True)
+        self.spec_path.write_text(json.dumps(spec_to_dict(self.spec), indent=2))
+        env = dict(os.environ)
+        src_root = str(Path(repro.__file__).resolve().parent.parent)
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        for name in self.spec.node_names:
+            log = open(self.log_path(name), "w")
+            self.processes[name] = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.cli",
+                    "serve",
+                    "--spec",
+                    str(self.spec_path),
+                    "--node",
+                    name,
+                ],
+                stdout=log,
+                stderr=subprocess.STDOUT,
+                env=env,
+            )
+            log.close()
+
+    def wait_ready(self, timeout: float = 30.0) -> None:
+        """Block until every node's port accepts connections."""
+        deadline = time.monotonic() + timeout
+        for name in self.spec.node_names:
+            host, port = self.spec.address(name)
+            while True:
+                process = self.processes[name]
+                code = process.poll()
+                if code is not None:
+                    raise RuntimeError(
+                        f"{name} exited with {code} before becoming ready; "
+                        f"log: {self.log_path(name)}"
+                    )
+                try:
+                    with socket.create_connection((host, port), timeout=0.25):
+                        break
+                except OSError:
+                    if time.monotonic() > deadline:
+                        raise TimeoutError(f"{name} not ready within {timeout}s")
+                    time.sleep(0.05)
+
+    def stop(self, timeout: float = 30.0) -> dict[str, int]:
+        """SIGTERM every node (drain path) and collect exit codes."""
+        for process in self.processes.values():
+            if process.poll() is None:
+                process.send_signal(signal.SIGTERM)
+        for name, process in self.processes.items():
+            try:
+                self.exit_codes[name] = process.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                self.exit_codes[name] = process.wait()
+        return dict(self.exit_codes)
+
+    def kill(self) -> None:
+        for process in self.processes.values():
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+
+    def __enter__(self) -> "LocalCluster":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if any(process.poll() is None for process in self.processes.values()):
+            self.stop(timeout=10.0)
+        self.kill()
+
+
+class ClientPool:
+    """Real clients in the driver process, sharing one live network."""
+
+    def __init__(
+        self,
+        spec: LiveSpec,
+        num_clients: int = 1,
+        history: History | None = None,
+    ) -> None:
+        self.spec = spec
+        self.num_clients = num_clients
+        self.history = history if history is not None else History()
+        self.kernel: AsyncioKernel | None = None
+        self.network: LiveNetwork | None = None
+        self.clients: list = []
+
+    async def start(self) -> None:
+        self.kernel = AsyncioKernel()
+        self.network = LiveNetwork(
+            self.kernel, self.spec.addresses, policy=self.spec.retry_policy()
+        )
+        machine = LiveMachine(self.kernel, "m-driver")
+        for index in range(1, self.num_clients + 1):
+            name = f"client-{index}"
+            self.clients.append(
+                build_driver_client(
+                    self.spec, self.kernel, self.network, machine, name,
+                    history=self.history,
+                )
+            )
+        host, port = self.spec.address("client-1")
+        await self.network.listen(host, port)
+
+    def backup_client(self, name: str):
+        """An extra history-less client (for backup reads, whose lag
+        would falsely trip the linearizability checker)."""
+        assert self.kernel is not None and self.network is not None
+        machine = self.network.machine_of("client-1")
+        client = build_driver_client(
+            self.spec, self.kernel, self.network, machine, name, history=None
+        )
+        self.clients.append(client)
+        return client
+
+    async def run(self, generator, name: str = "driver"):
+        """Drive a generator workload (e.g. a YCSB mix) to completion."""
+        assert self.kernel is not None
+        return await self.kernel.run(generator, name)
+
+    async def close(self) -> None:
+        if self.network is not None:
+            await self.network.close()
+
+    async def __aenter__(self) -> "ClientPool":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

@@ -44,10 +44,29 @@ DEFAULT_BLOCK_ENTRIES = 64
 
 _table_id_counter = itertools.count(1)
 
+#: Bits reserved for the per-process counter under :func:`seed_table_ids`.
+_TABLE_ID_NAMESPACE_SHIFT = 40
+
 
 def next_table_id() -> int:
     """Process-wide unique id for newly built sstables."""
     return next(_table_id_counter)
+
+
+def seed_table_ids(namespace: int) -> None:
+    """Re-base the table-id counter into a private per-process range.
+
+    Table ids must be unique across every node of a deployment (they key
+    read caches and the Reader's seen-removals set).  In the simulator
+    all nodes share one process so the plain counter suffices; in the
+    live runtime each node is its own process, so each calls this once
+    at startup with its distinct node index and draws ids from
+    ``(namespace << 40) + 1`` upward — disjoint ranges, no coordination.
+    """
+    if not 0 <= namespace < (1 << 20):
+        raise InvalidConfigError(f"table-id namespace out of range: {namespace}")
+    global _table_id_counter
+    _table_id_counter = itertools.count((namespace << _TABLE_ID_NAMESPACE_SHIFT) + 1)
 
 
 def sort_run(entries: Sequence[Entry]) -> list[Entry]:

@@ -17,19 +17,20 @@ from __future__ import annotations
 import math
 import random
 
-from .kernel import Kernel
+from repro.effects import EffectKernel
 
 
 class LooseClock:
     """A node-local clock with error bounded by ``delta``.
 
     Args:
-        kernel: Simulation kernel (source of true time).
+        kernel: Effect kernel (source of true time — virtual under
+            the simulator, wall-clock under the live runtime).
         delta: Synchronisation error bound δ, seconds.
         rng: Stream used to draw this node's offset and drift phase.
     """
 
-    def __init__(self, kernel: Kernel, delta: float, rng: random.Random) -> None:
+    def __init__(self, kernel: EffectKernel, delta: float, rng: random.Random) -> None:
         if delta < 0:
             raise ValueError("delta must be non-negative")
         self.kernel = kernel

@@ -1,9 +1,14 @@
-"""Shared resources for simulation processes: FIFO resources and stores.
+"""Shared resources for processes: FIFO resources and stores.
 
 :class:`Resource` models a pool of identical servers (e.g. the cores of
-a machine): processes request a unit, hold it for some simulated time,
-and release it; excess requests queue FIFO.  :class:`Store` is an
-unbounded FIFO queue of items used as node inboxes.
+a machine): processes request a unit, hold it for some time, and release
+it; excess requests queue FIFO.  :class:`Store` is an unbounded FIFO
+queue of items used as node inboxes.
+
+Both classes are written against the effect protocol
+(:mod:`repro.effects`) — they only ever call ``kernel.event()`` and
+``kernel.timeout()`` — so the same implementations back the simulator
+and the live asyncio runtime.
 """
 
 from __future__ import annotations
@@ -11,26 +16,28 @@ from __future__ import annotations
 from collections import deque
 from typing import Any
 
-from .kernel import Event, Kernel, SimError
+from repro.effects import EffectKernel, Waitable
+
+from .kernel import SimError
 
 
 class Resource:
     """A FIFO pool of ``capacity`` interchangeable units."""
 
-    def __init__(self, kernel: Kernel, capacity: int) -> None:
+    def __init__(self, kernel: EffectKernel, capacity: int) -> None:
         if capacity <= 0:
             raise SimError("capacity must be positive")
         self.kernel = kernel
         self.capacity = capacity
         self.in_use = 0
-        self._waiters: deque[Event] = deque()
+        self._waiters: deque[Waitable] = deque()
 
     @property
     def queue_length(self) -> int:
         """Number of requests waiting for a unit."""
         return len(self._waiters)
 
-    def request(self) -> Event:
+    def request(self) -> Waitable:
         """An event that fires when a unit is granted to the caller."""
         grant = self.kernel.event()
         if self.in_use < self.capacity:
@@ -64,10 +71,10 @@ class Resource:
 class Store:
     """An unbounded FIFO queue connecting producer and consumer processes."""
 
-    def __init__(self, kernel: Kernel) -> None:
+    def __init__(self, kernel: EffectKernel) -> None:
         self.kernel = kernel
         self._items: deque[Any] = deque()
-        self._getters: deque[Event] = deque()
+        self._getters: deque[Waitable] = deque()
 
     def __len__(self) -> int:
         return len(self._items)
@@ -79,7 +86,7 @@ class Store:
         else:
             self._items.append(item)
 
-    def get(self) -> Event:
+    def get(self) -> Waitable:
         """An event that fires with the next item (immediately if any)."""
         event = self.kernel.event()
         if self._items:

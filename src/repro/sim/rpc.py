@@ -1,8 +1,12 @@
-"""RPC layer: request/response and one-way casts between simulated nodes.
+"""RPC layer: request/response and one-way casts between CooLSM nodes.
 
 :class:`RpcNode` is the base class of every CooLSM component (Ingestor,
-Compactor, Reader, client).  It owns an inbox on the network, dispatches
-incoming requests to registered handler coroutines, and offers:
+Compactor, Reader, client).  It is written purely against the effect
+protocol (:mod:`repro.effects`), so the same class serves both backends:
+under the simulation kernel its messages ride the modelled WAN, under
+the live runtime (:mod:`repro.live`) they ride real TCP sockets.  It
+owns an inbox on the network fabric, dispatches incoming requests to
+registered handler coroutines, and offers:
 
 ``yield self.call(dst, method, payload)``
     Request/response with optional timeout and retries; the yield
@@ -24,9 +28,9 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Generator
 
-from .kernel import Event, Kernel, SimError
-from .machine import Machine
-from .network import Network
+from repro.effects import ComputeHost, EffectKernel, Fabric, Waitable
+
+from .kernel import SimError
 
 _rpc_ids = itertools.count(1)
 
@@ -60,7 +64,7 @@ class RemoteError(SimError):
     """The remote handler raised; the message carries its description."""
 
 
-Handler = Callable[[str, Any], Generator[Event, Any, Any]]
+Handler = Callable[[str, Any], Generator[Waitable, Any, Any]]
 
 
 class RpcNode:
@@ -71,14 +75,16 @@ class RpcNode:
     :meth:`on`, usually in ``__init__``.
     """
 
-    def __init__(self, kernel: Kernel, network: Network, machine: Machine, name: str) -> None:
+    def __init__(
+        self, kernel: EffectKernel, network: Fabric, machine: ComputeHost, name: str
+    ) -> None:
         self.kernel = kernel
         self.network = network
         self.machine = machine
         self.name = name
         self.crashed = False
         self._handlers: dict[str, Handler] = {}
-        self._pending: dict[int, Event] = {}
+        self._pending: dict[int, Waitable] = {}
         self._inbox = network.register(name, machine)
         self._receiver = kernel.spawn(self._receive_loop(), f"{name}.recv")
 
@@ -97,7 +103,7 @@ class RpcNode:
         size_bytes: int = 256,
         timeout: float | None = None,
         retries: int = 0,
-    ) -> Event:
+    ) -> Waitable:
         """Start a request; the returned event fires with the reply.
 
         Usage: ``reply = yield self.call(dst, "read", req)``.
