@@ -1,0 +1,208 @@
+"""Benchmark crash recovery of a durable node (``repro.cli recovery-bench``).
+
+Launches a 1 Ingestor + 1 Compactor cluster with ``--data-dir``,
+drives ``ops`` acknowledged upserts, SIGKILLs the Ingestor mid-flight
+state and times the restart: process launch, manifest load, sstable
+reads, WAL replay, forward respawn — everything up to the node
+accepting connections again.  A post-recovery readback of every acked
+key is the absolute gate (zero acked-write loss); wall-clock numbers
+land in ``BENCH_recovery.json``.
+
+Like :mod:`repro.bench.read_path`, regression checking is ratio-based
+so heterogeneous CI machines do not flake: the gated quantity is
+*this* machine's recovery-seconds-per-ingest-second, compared against
+the same ratio in the baseline document.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import platform
+import re
+import sys
+import tempfile
+import time
+from dataclasses import replace
+
+from repro.core.config import CooLSMConfig
+from repro.core.history import History
+from repro.sim.rpc import RemoteError, RpcTimeout
+
+from repro.live.harness import ClientPool, LocalCluster, localhost_spec
+
+_RECOVERED = re.compile(
+    r"RECOVERED \S+ version=(\d+) tables=(\d+) wal_entries=(\d+)"
+)
+
+
+def _dir_bytes(root) -> int:
+    total = 0
+    for base, __, names in os.walk(root):
+        for name in names:
+            total += os.path.getsize(os.path.join(base, name))
+    return total
+
+
+def _writer(client, ops: int, key_range: int, acked: dict):
+    for index in range(ops):
+        key = str(index % key_range).encode()
+        value = b"rb-%d" % index
+        yield from client.upsert(key, value)
+        acked[key] = value
+    return len(acked)
+
+
+def _reader(client, acked: dict):
+    lost = 0
+    for key, expected in sorted(acked.items()):
+        attempts = 0
+        while True:
+            try:
+                got = yield from client.read(key)
+            except (RpcTimeout, RemoteError):
+                attempts += 1
+                if attempts >= 10:
+                    raise
+                continue
+            break
+        lost += got != expected
+    return lost
+
+
+def run(ops: int = 600, seed: int = 0) -> dict:
+    """Run the recovery benchmark; returns the BENCH_recovery.json doc."""
+    config = replace(
+        CooLSMConfig().scaled_down(10), ack_timeout=2.0, client_timeout=2.0
+    )
+    spec = localhost_spec(1, 1, 0, num_clients=2, config=config, seed=seed)
+    key_range = max(ops // 4, 20)
+    acked: dict[bytes, bytes] = {}
+    with tempfile.TemporaryDirectory(prefix="coolsm-recovery-bench-") as work:
+        data_dir = os.path.join(work, "data")
+        with LocalCluster(spec, work, data_dir=data_dir) as cluster:
+            cluster.wait_ready()
+
+            async def ingest():
+                async with ClientPool(spec, 1, history=History()) as pool:
+                    return await pool.run(
+                        _writer(pool.clients[0], ops, key_range, acked), "ingest"
+                    )
+
+            ingest_started = time.perf_counter()
+            asyncio.run(ingest())
+            ingest_s = time.perf_counter() - ingest_started
+
+            data_bytes = _dir_bytes(os.path.join(data_dir, "ingestor-0"))
+            cluster.kill9("ingestor-0")
+            recovery_started = time.perf_counter()
+            cluster.restart("ingestor-0")
+            recovery_s = time.perf_counter() - recovery_started
+
+            async def readback():
+                async with ClientPool(spec, 1, history=History()) as pool:
+                    return await pool.run(
+                        _reader(pool.clients[0], acked), "readback"
+                    )
+
+            lost = asyncio.run(readback())
+            exit_codes = cluster.stop()
+        log = cluster.log_path("ingestor-0").read_text()
+    match = _RECOVERED.search(log)
+    return {
+        "bench": "recovery",
+        "config": {
+            "topology": {"ingestors": 1, "compactors": 1, "readers": 0},
+            "ops": ops,
+            "key_range": key_range,
+            "seed": seed,
+        },
+        "python": platform.python_version(),
+        "acked_writes": len(acked),
+        "lost_writes": lost,
+        "recovered": {
+            "manifest_version": int(match.group(1)) if match else None,
+            "tables": int(match.group(2)) if match else None,
+            "wal_entries": int(match.group(3)) if match else None,
+        },
+        "ingest_s": round(ingest_s, 4),
+        "recovery_s": round(recovery_s, 4),
+        "recovery_per_ingest": round(recovery_s / ingest_s, 4),
+        "data_bytes": data_bytes,
+        "recovery_mb_s": round(
+            data_bytes / recovery_s / 1e6 if recovery_s else 0.0, 3
+        ),
+        "drained_exit_codes": exit_codes,
+    }
+
+
+def check_regression(
+    current: dict, baseline: dict | None, max_regression: float = 2.0
+) -> list[str]:
+    """Failures (empty when healthy).  Correctness is absolute; speed
+    is the machine-relative recovery/ingest ratio vs the baseline's."""
+    failures: list[str] = []
+    if current["lost_writes"]:
+        failures.append(f"{current['lost_writes']} acked writes lost across SIGKILL")
+    if current["recovered"]["manifest_version"] is None:
+        failures.append("restarted Ingestor never logged a RECOVERED line")
+    if any(code != 0 for code in current["drained_exit_codes"].values()):
+        failures.append(f"non-zero drain exits: {current['drained_exit_codes']}")
+    if baseline is not None and _comparable(current, baseline):
+        base = baseline.get("recovery_per_ingest", 0.0)
+        cur = current["recovery_per_ingest"]
+        if base > 0 and cur > base * max_regression:
+            failures.append(
+                f"recovery_per_ingest regressed {base:.3f} -> {cur:.3f} "
+                f"(allowed factor {max_regression}x)"
+            )
+    return failures
+
+
+def _comparable(current: dict, baseline: dict) -> bool:
+    """Ratios only compare between runs of the same workload shape."""
+    return current.get("config") == baseline.get("config")
+
+
+def run_and_report(
+    out: str = "BENCH_recovery.json",
+    ops: int = 600,
+    seed: int = 0,
+    check: str | None = None,
+    max_regression: float = 2.0,
+) -> int:
+    """CLI entrypoint: run, print, write JSON, gate against a baseline."""
+    document = run(ops=ops, seed=seed)
+    recovered = document["recovered"]
+    print(
+        f"recovery bench — {document['acked_writes']} acked writes, "
+        f"{document['data_bytes']} durable bytes"
+    )
+    print(
+        f"  ingest {document['ingest_s']:.2f}s  "
+        f"recovery {document['recovery_s']:.2f}s  "
+        f"(ratio {document['recovery_per_ingest']:.3f}, "
+        f"{document['recovery_mb_s']:.2f} MB/s)"
+    )
+    print(
+        f"  recovered manifest v{recovered['manifest_version']} "
+        f"tables={recovered['tables']} wal_entries={recovered['wal_entries']} "
+        f"lost={document['lost_writes']}"
+    )
+    with open(out, "w") as sink:
+        json.dump(document, sink, indent=2)
+        sink.write("\n")
+    print(f"wrote {out}")
+    baseline = None
+    if check is not None:
+        with open(check) as source:
+            baseline = json.load(source)
+    failures = check_regression(document, baseline, max_regression)
+    for failure in failures:
+        print(f"  !! {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(run_and_report())

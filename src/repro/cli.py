@@ -190,7 +190,7 @@ def _cmd_serve(args) -> int:
         level=getattr(logging, args.log_level.upper()),
         format="%(asctime)s %(name)s %(levelname)s %(message)s",
     )
-    return serve_main(args.spec, args.node)
+    return serve_main(args.spec, args.node, data_dir=args.data_dir)
 
 
 def _cmd_live_bench(args) -> int:
@@ -201,6 +201,18 @@ def _cmd_live_bench(args) -> int:
         client_counts=[int(c) for c in args.clients.split(",")],
         ops_per_client=args.ops,
         seed=args.seed,
+    )
+
+
+def _cmd_recovery_bench(args) -> int:
+    from repro.bench.recovery_bench import run_and_report
+
+    return run_and_report(
+        out=args.out,
+        ops=args.ops,
+        seed=args.seed,
+        check=args.check,
+        max_regression=args.max_regression,
     )
 
 
@@ -261,6 +273,12 @@ def main(argv: list[str] | None = None) -> int:
     serve_parser.add_argument(
         "--log-level", default="info", help="logging level (default info)"
     )
+    serve_parser.add_argument(
+        "--data-dir",
+        default=None,
+        help="durable storage root; the node persists to <data-dir>/<node> "
+        "and recovers from it on restart (default: in-memory only)",
+    )
     live_bench_parser = subparsers.add_parser(
         "live-bench", help="benchmark a real localhost cluster"
     )
@@ -274,6 +292,29 @@ def main(argv: list[str] | None = None) -> int:
         "--ops", type=int, default=400, help="operations per client"
     )
     live_bench_parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    recovery_parser = subparsers.add_parser(
+        "recovery-bench",
+        help="benchmark crash recovery of a real durable cluster",
+    )
+    recovery_parser.add_argument(
+        "--out", default="BENCH_recovery.json", help="output JSON path"
+    )
+    recovery_parser.add_argument(
+        "--ops", type=int, default=600, help="acked upserts before the crash"
+    )
+    recovery_parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    recovery_parser.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE",
+        help="compare against a baseline BENCH_recovery.json and fail on regression",
+    )
+    recovery_parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="allowed ratio-of-ratios slowdown vs baseline (default 2.0)",
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -283,6 +324,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "live-bench":
         return _cmd_live_bench(args)
+    if args.command == "recovery-bench":
+        return _cmd_recovery_bench(args)
     return _cmd_run(args.names, args.ops, args.scale)
 
 

@@ -128,6 +128,9 @@ class Compactor(RpcNode):
         # Monotone per-source sequence stamped on every Reader update
         # broadcast; Readers use it for gap detection (catch-up protocol).
         self._backup_seq = 0
+        # Optional durable storage (live runtime); None under the
+        # simulator, where persistence stays modelled.
+        self._store = None
         self.on("forward", self._handle_forward)
         self.on("read", self._handle_read)
         self.on("range_query", self._handle_range_query)
@@ -189,6 +192,12 @@ class Compactor(RpcNode):
             raise
         self._pending_batches.pop(key, None)
         self._completed_batches[key] = reply
+        if self._store is not None:
+            # The dedup entry must be durable before the ack leaves:
+            # the Ingestor drops its retained copies on receipt, so a
+            # crashed-and-restarted Compactor must still recognise the
+            # batch if a lost ack makes the Ingestor re-send it.
+            self._persist()
         done.succeed(reply)
         return reply
 
@@ -280,6 +289,12 @@ class Compactor(RpcNode):
         if not tables and not removed_l2_ids:
             return
         self._backup_seq += 1
+        if self._store is not None:
+            # Persist the incremented sequence (and the freshly merged
+            # level contents) *before* casting: a restart must never
+            # reuse a sequence number some Reader already applied with
+            # different contents — gap detection relies on it.
+            self._persist()
         entries = sum(len(t) for t in tables)
         update = BackupUpdate(
             paper_level, tuple(tables), self.name, removed_l2_ids, seq=self._backup_seq
@@ -302,6 +317,56 @@ class Compactor(RpcNode):
         return AreaSnapshot(
             self._backup_seq, tuple(self.level2), tuple(self.level3), self.name
         )
+
+    # ------------------------------------------------------------------
+    # Durable storage (live runtime)
+    # ------------------------------------------------------------------
+    def _persist(self) -> None:
+        """Commit L2/L3, the dedup table, and the backup sequence to
+        the attached store.  Synchronous — never yields."""
+        state = {
+            "backup_seq": self._backup_seq,
+            "levels": [
+                [t.table_id for t in self.level2],
+                [t.table_id for t in self.level3],
+            ],
+            "completed": [
+                [ingestor, batch_id, reply.merged_entries]
+                for (ingestor, batch_id), reply in self._completed_batches.items()
+            ],
+        }
+        self._store.commit(list(self.level2) + list(self.level3), state)
+
+    def attach_store(self, store) -> None:
+        """Attach a :class:`~repro.store.node_store.NodeStore`,
+        restoring L2/L3, the completed-batch dedup table, and the
+        Reader broadcast sequence from a previous incarnation.
+
+        A forward the pre-crash process merged but whose ack was lost
+        is answered from the recovered dedup table, so the retrying
+        Ingestor is never double-merged; a forward that never reached
+        the merge is simply processed fresh.  Readers that applied
+        updates the crash cut off re-fetch the whole area via the
+        catch-up protocol, which this node serves from the recovered
+        levels.
+        """
+        self._store = store
+        recovered = store.recovered
+        if recovered is None:
+            self._persist()
+            return
+        state = recovered.state
+        tables = recovered.tables
+        self._backup_seq = int(state.get("backup_seq", 0))
+        edit = LevelEdit()
+        for level, ids in enumerate(state.get("levels", ())):
+            if ids:
+                edit.add(level, [tables[tid] for tid in ids])
+        self.manifest.apply(edit)
+        for ingestor, batch_id, merged in state.get("completed", ()):
+            self._completed_batches[(str(ingestor), int(batch_id))] = ForwardReply(
+                int(batch_id), int(merged)
+            )
 
     # ------------------------------------------------------------------
     # Failure model

@@ -138,14 +138,24 @@ class Ingestor(RpcNode):
         # this Ingestor contributed nothing to the Compactors.
         self.ts_c = float("-inf")
         self._in_flight: dict[int, list[SSTable]] = {}
+        self._inflight_high_ts: dict[int, float] = {}
         self._inflight_tables = 0
         self._forward_pointer: bytes | None = None
-        # Write-ahead log of the current batch (Section III-H recovery:
-        # "recovering a consistent, recent state ... includes both the
-        # data structure and the meta-information").  Durable state in
-        # the simulation = everything except the memtable; the WAL
-        # rebuilds the memtable after a crash.
-        self._wal: list[Entry] = []
+        # The current batch's not-yet-flushed entries (Section III-H
+        # recovery: "recovering a consistent, recent state ... includes
+        # both the data structure and the meta-information").  In the
+        # simulation this in-memory list *models* the WAL — durable
+        # state is everything except the memtable, and recovery replays
+        # it.  With a NodeStore attached the same entries are also in a
+        # real fsynced write-ahead log before every ack.
+        self._unflushed: list[Entry] = []
+        # Optional durable storage (live runtime); None under the
+        # simulator, where all persistence stays modelled.
+        self._store = None
+        # Highest timestamp this node ever stamped: persisted so a
+        # restarted process (whose kernel clock restarts at zero) keeps
+        # issuing strictly newer timestamps.
+        self._max_entry_ts = float("-inf")
         self._drain_waiters: list = []
         self._compact_lock = Resource(kernel, 1)
         self.on("upsert", self._handle_upsert)
@@ -193,8 +203,13 @@ class Ingestor(RpcNode):
         entry = Entry(
             request.key, self._next_seqno(), timestamp, request.value, request.tombstone
         )
-        self._wal.append(entry)
+        self._unflushed.append(entry)
         self._memtable.put(entry)
+        self._max_entry_ts = timestamp
+        if self._store is not None:
+            # Log-then-ack: the reply below is only sent once the entry
+            # is fsynced, so "acked" means "survives SIGKILL".
+            self._store.log_entries([entry])
         self.stats.upserts += 1
         if self._memtable.is_full():
             # The batch is full: this request pays for the flush (and any
@@ -212,9 +227,14 @@ class Ingestor(RpcNode):
             # same tick, so reads never miss buffered entries.
             entries = self._memtable.entries()
             self._memtable = self._new_memtable()
-            self._wal = []  # batch is durable in L0 now
+            self._unflushed = []  # batch is durable in L0 now
             table = SSTable(entries)
             self.manifest.apply(LevelEdit().add(0, [table]))
+            if self._store is not None:
+                # Synchronous (no yields since the swap): the L0 table
+                # is durable before the WAL floor advances, and entries
+                # logged for the *new* memtable carry higher seqnos.
+                self._persist(wal_floor=self._seqno)
             self.stats.flushes += 1
             yield from self.compute(self.config.costs.flush_cost(len(entries)))
             if len(self.level0) > self.config.l0_threshold:
@@ -251,6 +271,8 @@ class Ingestor(RpcNode):
         self.manifest.apply(edit)
         self.stats.minor_compactions += 1
         self.stats.minor_compaction_times.append(self.kernel.now - started)
+        if self._store is not None:
+            self._persist()
         self._push_l1_to_backups()
         self._maybe_forward()
 
@@ -296,14 +318,24 @@ class Ingestor(RpcNode):
                 pid = id(partition)
                 partition_by_id[pid] = partition
                 per_partition.setdefault(pid, []).append(piece)
+        launches = []
         for pid, pieces in per_partition.items():
             self._batch_seq += 1
             batch_id = self._batch_seq
             self._in_flight[batch_id] = pieces
+            self._inflight_high_ts[batch_id] = high_ts
             self._inflight_tables += len(pieces)
             self.stats.forwarded_tables += len(pieces)
+            launches.append((partition_by_id[pid], pieces, batch_id))
+        if self._store is not None:
+            # The in-flight registration must hit disk before the first
+            # forward can leave the node, or a crash after a Compactor
+            # merge but before our ack-processing would lose track of
+            # what we owe (and what we may re-send).
+            self._persist()
+        for partition, pieces, batch_id in launches:
             self.kernel.spawn(
-                self._forward_batch(partition_by_id[pid], pieces, batch_id, high_ts),
+                self._forward_batch(partition, pieces, batch_id, high_ts),
                 f"{self.name}.forward.{batch_id}",
             )
 
@@ -358,7 +390,10 @@ class Ingestor(RpcNode):
         # Ack received: the Compactor has merged the tables; drop our
         # retained copies and wake any stalled compaction.
         self._in_flight.pop(batch_id, None)
+        self._inflight_high_ts.pop(batch_id, None)
         self._inflight_tables -= len(pieces)
+        if self._store is not None:
+            self._persist()
         if self._inflight_tables <= self.config.max_inflight_tables:
             waiters, self._drain_waiters = self._drain_waiters, []
             for waiter in waiters:
@@ -387,12 +422,99 @@ class Ingestor(RpcNode):
         """Restart: replay the WAL into a fresh memtable, restoring the
         pre-crash batch exactly, then resume serving (which also
         releases any forward-retry loops parked during the outage)."""
-        for entry in self._wal:
+        for entry in self._unflushed:
             self._memtable.put(entry)
         super().recover()
         event, self._recovered = self._recovered, None
         if event is not None:
             event.succeed()
+
+    # ------------------------------------------------------------------
+    # Durable storage (live runtime)
+    # ------------------------------------------------------------------
+    def _persist(self, wal_floor: int | None = None) -> None:
+        """Commit the recovery-critical state to the attached store:
+        L0/L1 contents, the in-flight forward set, counters, ts_c, and
+        the clock watermark.  Synchronous — never yields, so attaching
+        a store cannot change the simulator's schedule."""
+        tables = (
+            list(self.level0)
+            + list(self.level1)
+            + [t for batch in self._in_flight.values() for t in batch]
+        )
+        state = {
+            "seqno": self._seqno,
+            "batch_seq": self._batch_seq,
+            "ts_c": self.ts_c,
+            "clock_watermark": self._max_entry_ts,
+            "levels": [
+                [t.table_id for t in self.level0],
+                [t.table_id for t in self.level1],
+            ],
+            "in_flight": {
+                str(batch_id): {
+                    "tables": [t.table_id for t in pieces],
+                    "high_ts": self._inflight_high_ts.get(batch_id, self.ts_c),
+                }
+                for batch_id, pieces in self._in_flight.items()
+            },
+        }
+        self._store.commit(tables, state, wal_floor=wal_floor)
+
+    def attach_store(self, store) -> None:
+        """Attach a :class:`~repro.store.node_store.NodeStore`,
+        restoring any state a previous incarnation persisted.
+
+        Recovery rebuilds L0/L1 and the in-flight set from the stored
+        sstables, replays the durable WAL (entries above the flushed
+        floor) into the memtable, restores the seqno/batch counters and
+        ``ts_c``, raises the loose clock past the persisted timestamp
+        watermark (the live kernel's clock restarts at zero, which
+        would otherwise stamp new writes older than pre-crash ones),
+        and respawns the forward-retry loop for every unacked batch —
+        the Compactors' durable dedup tables make redelivery harmless.
+        Must be called before the node serves traffic.
+        """
+        self._store = store
+        recovered = store.recovered
+        if recovered is None:
+            self._persist()
+            return
+        state = recovered.state
+        tables = recovered.tables
+        self._seqno = int(state.get("seqno", 0))
+        self._batch_seq = int(state.get("batch_seq", 0))
+        self.ts_c = float(state.get("ts_c", float("-inf")))
+        edit = LevelEdit()
+        for level, ids in enumerate(state.get("levels", ())):
+            if ids:
+                edit.add(level, [tables[tid] for tid in ids])
+        self.manifest.apply(edit)
+        relaunch = []
+        for batch_str, meta in state.get("in_flight", {}).items():
+            batch_id = int(batch_str)
+            pieces = [tables[tid] for tid in meta["tables"]]
+            self._in_flight[batch_id] = pieces
+            self._inflight_high_ts[batch_id] = float(meta["high_ts"])
+            self._inflight_tables += len(pieces)
+            relaunch.append((batch_id, pieces, float(meta["high_ts"])))
+        watermark = float(state.get("clock_watermark", float("-inf")))
+        for entry in recovered.wal_entries:
+            self._unflushed.append(entry)
+            self._memtable.put(entry)
+            self._seqno = max(self._seqno, entry.seqno)
+            watermark = max(watermark, entry.timestamp)
+        self._max_entry_ts = watermark
+        self.clock.advance_past(watermark)
+        for batch_id, pieces, high_ts in sorted(relaunch):
+            # Pieces never straddle partitions (they were split at
+            # boundaries before the first send), so any key identifies
+            # the owning partition.
+            partition = self.partitioning.partition_for(pieces[0].min_key)
+            self.kernel.spawn(
+                self._forward_batch(partition, pieces, batch_id, high_ts),
+                f"{self.name}.forward.{batch_id}",
+            )
 
     # ------------------------------------------------------------------
     # Read path

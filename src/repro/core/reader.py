@@ -124,6 +124,15 @@ class Reader(RpcNode):
         self._next_seq: dict[str, int] = {}
         self._syncing: set[str] = set()
         self._sources: list[str] = []
+        # Last sequence actually *applied* per source.  ``_next_seq`` is
+        # advanced before an update's install completes (that ordering
+        # is part of the gap-detection protocol and must not change),
+        # so persistence snapshots this post-install counter instead —
+        # the durable (area, seq) pair is always consistent.
+        self._applied_seq: dict[str, int] = {}
+        # Optional durable storage (live runtime); None under the
+        # simulator, where persistence stays modelled.
+        self._store = None
         self.on("backup_update", self._handle_backup_update)
         self.on("ingestor_update", self._handle_ingestor_update)
         self.on("read", self._handle_read)
@@ -202,6 +211,10 @@ class Reader(RpcNode):
             ]
             edit.remove(_L2, moved_down)
         area.apply(edit)
+        if update.seq is not None:
+            self._applied_seq[update.compactor] = update.seq
+        if self._store is not None:
+            self._persist()
         self.stats.tables_installed += len(tables)
         return None
 
@@ -246,6 +259,9 @@ class Reader(RpcNode):
             area.apply(edit)
             self._areas[source] = area
             self._next_seq[source] = snapshot.seq + 1
+            self._applied_seq[source] = snapshot.seq
+            if self._store is not None:
+                self._persist()
             self.stats.catchups += 1
             self.stats.tables_installed += len(snapshot.l2) + len(snapshot.l3)
         finally:
@@ -260,6 +276,67 @@ class Reader(RpcNode):
             self.kernel.spawn(
                 self._catch_up(source), f"{self.name}.catchup.{source}"
             )
+
+    # ------------------------------------------------------------------
+    # Durable storage (live runtime)
+    # ------------------------------------------------------------------
+    def _persist(self) -> None:
+        """Commit the per-source areas, fresh areas, and applied
+        sequence numbers to the attached store.  Synchronous — never
+        yields."""
+        tables: dict[int, SSTable] = {}
+        areas_state: dict[str, list[list[int]]] = {}
+        for source, area in self._areas.items():
+            level_ids: list[list[int]] = []
+            for level in (_L2, _L3):
+                run = area.level(level)
+                level_ids.append([t.table_id for t in run])
+                for table in run:
+                    tables[table.table_id] = table
+            areas_state[source] = level_ids
+        fresh_state: dict[str, list[int]] = {}
+        for ingestor, run in self.fresh_area.items():
+            fresh_state[ingestor] = [t.table_id for t in run]
+            for table in run:
+                tables[table.table_id] = table
+        state = {
+            "areas": areas_state,
+            "fresh": fresh_state,
+            "applied_seq": dict(self._applied_seq),
+        }
+        self._store.commit(tables.values(), state)
+
+    def attach_store(self, store) -> None:
+        """Attach a :class:`~repro.store.node_store.NodeStore`,
+        restoring the per-source areas and applied BackupUpdate
+        sequence numbers of a previous incarnation, then spawning a
+        catch-up per source: updates cast while the process was down
+        are gone, and re-fetching each area wholesale (the PR 1 gap
+        protocol) restores snapshot progression from the recovered
+        baseline instead of from empty.
+        """
+        self._store = store
+        recovered = store.recovered
+        if recovered is None:
+            self._persist()
+            return
+        state = recovered.state
+        tables = recovered.tables
+        for source, level_ids in state.get("areas", {}).items():
+            edit = LevelEdit()
+            for level, ids in enumerate(level_ids):
+                if ids:
+                    edit.add(level, [tables[tid] for tid in ids])
+            self._area(source).apply(edit)
+        for ingestor, ids in state.get("fresh", {}).items():
+            self.fresh_area[ingestor] = tuple(tables[tid] for tid in ids)
+        self._applied_seq = {
+            source: int(seq) for source, seq in state.get("applied_seq", {}).items()
+        }
+        self._next_seq = {
+            source: seq + 1 for source, seq in self._applied_seq.items()
+        }
+        self.resync()
 
     def crash(self) -> None:
         """Fail-stop.  The read cache models volatile memory and is
@@ -286,6 +363,8 @@ class Reader(RpcNode):
         entries = sum(len(t) for t in update.tables)
         yield from self.compute(entries * self.config.costs.install_per_entry)
         self.fresh_area[update.ingestor] = update.tables
+        if self._store is not None:
+            self._persist()
         self.stats.tables_installed += len(update.tables)
         return None
 

@@ -71,11 +71,23 @@ def localhost_spec(
 
 
 class LocalCluster:
-    """Run every node of a spec as a local ``repro.cli serve`` process."""
+    """Run every node of a spec as a local ``repro.cli serve`` process.
 
-    def __init__(self, spec: LiveSpec, work_dir: str | Path) -> None:
+    With ``data_dir`` set, every node gets durable storage under
+    ``<data_dir>/<node>`` and the nemesis vocabulary grows real-process
+    teeth: :meth:`kill9` SIGKILLs a node (no drain, no goodbye) and
+    :meth:`restart` brings it back from its data dir.
+    """
+
+    def __init__(
+        self,
+        spec: LiveSpec,
+        work_dir: str | Path,
+        data_dir: str | Path | None = None,
+    ) -> None:
         self.spec = spec
         self.work_dir = Path(work_dir)
+        self.data_dir = Path(data_dir) if data_dir is not None else None
         self.spec_path = self.work_dir / "cluster.json"
         self.processes: dict[str, subprocess.Popen] = {}
         self.exit_codes: dict[str, int] = {}
@@ -83,51 +95,81 @@ class LocalCluster:
     def log_path(self, name: str) -> Path:
         return self.work_dir / f"{name}.log"
 
-    def start(self) -> None:
-        self.work_dir.mkdir(parents=True, exist_ok=True)
-        self.spec_path.write_text(json.dumps(spec_to_dict(self.spec), indent=2))
+    def _launch(self, name: str) -> None:
         env = dict(os.environ)
         src_root = str(Path(repro.__file__).resolve().parent.parent)
         env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        command = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--spec",
+            str(self.spec_path),
+            "--node",
+            name,
+        ]
+        if self.data_dir is not None:
+            command += ["--data-dir", str(self.data_dir)]
+        # Append mode: a restarted node's log keeps its first life's
+        # READY/RECOVERED lines, which the crash tests assert on.
+        log = open(self.log_path(name), "a")
+        self.processes[name] = subprocess.Popen(
+            command, stdout=log, stderr=subprocess.STDOUT, env=env
+        )
+        log.close()
+
+    def start(self) -> None:
+        self.work_dir.mkdir(parents=True, exist_ok=True)
+        if self.data_dir is not None:
+            self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.spec_path.write_text(json.dumps(spec_to_dict(self.spec), indent=2))
         for name in self.spec.node_names:
-            log = open(self.log_path(name), "w")
-            self.processes[name] = subprocess.Popen(
-                [
-                    sys.executable,
-                    "-m",
-                    "repro.cli",
-                    "serve",
-                    "--spec",
-                    str(self.spec_path),
-                    "--node",
-                    name,
-                ],
-                stdout=log,
-                stderr=subprocess.STDOUT,
-                env=env,
-            )
-            log.close()
+            self._launch(name)
+
+    def _wait_node_ready(self, name: str, deadline: float) -> None:
+        host, port = self.spec.address(name)
+        while True:
+            process = self.processes[name]
+            code = process.poll()
+            if code is not None:
+                raise RuntimeError(
+                    f"{name} exited with {code} before becoming ready; "
+                    f"log: {self.log_path(name)}"
+                )
+            try:
+                with socket.create_connection((host, port), timeout=0.25):
+                    return
+            except OSError:
+                if time.monotonic() > deadline:
+                    raise TimeoutError(f"{name} not ready by deadline")
+                time.sleep(0.05)
 
     def wait_ready(self, timeout: float = 30.0) -> None:
         """Block until every node's port accepts connections."""
         deadline = time.monotonic() + timeout
         for name in self.spec.node_names:
-            host, port = self.spec.address(name)
-            while True:
-                process = self.processes[name]
-                code = process.poll()
-                if code is not None:
-                    raise RuntimeError(
-                        f"{name} exited with {code} before becoming ready; "
-                        f"log: {self.log_path(name)}"
-                    )
-                try:
-                    with socket.create_connection((host, port), timeout=0.25):
-                        break
-                except OSError:
-                    if time.monotonic() > deadline:
-                        raise TimeoutError(f"{name} not ready within {timeout}s")
-                    time.sleep(0.05)
+            self._wait_node_ready(name, deadline)
+
+    # ------------------------------------------------------------------
+    # Crash nemesis (real processes)
+    # ------------------------------------------------------------------
+    def kill9(self, name: str) -> None:
+        """SIGKILL one node: no drain, no flush, no signal handler —
+        the hard-crash the durability layer exists for."""
+        process = self.processes[name]
+        if process.poll() is None:
+            process.send_signal(signal.SIGKILL)
+        process.wait()
+
+    def restart(self, name: str, timeout: float = 30.0) -> None:
+        """Relaunch a dead node (recovering from its data dir when the
+        cluster has one) and wait until it accepts connections."""
+        process = self.processes.get(name)
+        if process is not None and process.poll() is None:
+            raise RuntimeError(f"{name} is still running; kill it first")
+        self._launch(name)
+        self._wait_node_ready(name, time.monotonic() + timeout)
 
     def stop(self, timeout: float = 30.0) -> dict[str, int]:
         """SIGTERM every node (drain path) and collect exit codes."""

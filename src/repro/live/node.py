@@ -40,7 +40,8 @@ from repro.core.ingestor import Ingestor
 from repro.core.keyspace import Partitioning
 from repro.core.reader import Reader
 from repro.lsm.errors import InvalidConfigError
-from repro.lsm.sstable import seed_table_ids
+from repro.lsm.sstable import advance_table_ids, seed_table_ids
+from repro.store.node_store import NodeStore
 from repro.sim.clock import LooseClock
 from repro.sim.rng import RngRegistry
 
@@ -71,6 +72,9 @@ class LiveSpec:
             (0 = cooperative yield only; the real CPU work is the cost).
         drain_timeout: Seconds a node waits at shutdown for in-flight
             work to drain before giving up with exit code 3.
+        data_dir: Base directory for durable node storage; each node
+            opens (or recovers) ``<data_dir>/<name>``.  None keeps
+            every node purely in memory (the pre-durability behavior).
     """
 
     config: CooLSMConfig = field(default_factory=CooLSMConfig)
@@ -83,6 +87,14 @@ class LiveSpec:
     seed: int = 0
     compute_scale: float = 0.0
     drain_timeout: float = 30.0
+    data_dir: str | None = None
+
+    def role_of(self, name: str) -> str:
+        if name in self.ingestor_names:
+            return "ingestor"
+        if name in self.compactor_names:
+            return "compactor"
+        return "reader"
 
     def __post_init__(self) -> None:
         if self.num_ingestors < 1 or self.num_compactors < 1:
@@ -188,6 +200,7 @@ def spec_to_dict(spec: LiveSpec) -> dict[str, Any]:
         "seed": spec.seed,
         "compute_scale": spec.compute_scale,
         "drain_timeout": spec.drain_timeout,
+        "data_dir": spec.data_dir,
         "addresses": {
             name: f"{host}:{port}" for name, (host, port) in spec.addresses.items()
         },
@@ -210,7 +223,9 @@ class LiveNode:
     address; the node then serves until :meth:`shutdown`.
     """
 
-    def __init__(self, spec: LiveSpec, name: str) -> None:
+    def __init__(
+        self, spec: LiveSpec, name: str, data_dir: str | Path | None = None
+    ) -> None:
         if name not in spec.node_names:
             raise InvalidConfigError(f"unknown node name: {name}")
         self.spec = spec
@@ -226,6 +241,22 @@ class LiveNode:
             self.kernel, f"m-{name}", compute_scale=spec.compute_scale
         )
         self.node = _build_node(spec, name, self.kernel, self.network, self.machine)
+        # Durable storage: open-or-recover this node's slice of the
+        # data dir (CLI flag wins over the spec's), then hand the store
+        # to the node, which restores any recovered state.
+        self.store: NodeStore | None = None
+        self.recovered = False
+        base = data_dir if data_dir is not None else spec.data_dir
+        if base is not None:
+            store = NodeStore.open(
+                str(Path(base) / name), node_name=name, role=spec.role_of(name)
+            )
+            if store.recovered is not None:
+                self.recovered = True
+                # Never re-issue an id a persisted sstable already holds.
+                advance_table_ids(store.recovered.max_table_id + 1)
+            self.node.attach_store(store)
+            self.store = store
 
     async def listen(self) -> None:
         host, port = self.spec.address(self.name)
@@ -233,6 +264,8 @@ class LiveNode:
 
     async def close(self) -> None:
         await self.network.close()
+        if self.store is not None:
+            self.store.close()
 
     # ------------------------------------------------------------------
     # Drain
@@ -321,12 +354,15 @@ def build_driver_client(
     )
 
 
-async def serve(spec: LiveSpec, name: str) -> int:
+async def serve(
+    spec: LiveSpec, name: str, data_dir: str | Path | None = None
+) -> int:
     """Run one node until SIGTERM/SIGINT, drain, and return exit status.
 
-    Prints ``READY <name> <host>:<port>`` once the node is accepting
-    connections (the harness's readiness probe) and ``DRAINED`` /
-    ``DRAIN-TIMEOUT inflight=N`` on the way out.
+    Prints ``RECOVERED <name> ...`` when durable state was restored
+    from the data dir, then ``READY <name> <host>:<port>`` once the
+    node is accepting connections (the harness's readiness probe), and
+    ``DRAINED`` / ``DRAIN-TIMEOUT inflight=N`` on the way out.
     """
     # One node per process: give its sstables a disjoint id range so
     # table ids stay unique across the whole deployment (they key read
@@ -334,9 +370,17 @@ async def serve(spec: LiveSpec, name: str) -> int:
     # several LiveNodes into one process must NOT re-seed per node —
     # the shared in-process counter is already unique there.
     seed_table_ids(spec.node_index(name))
-    live = LiveNode(spec, name)
+    live = LiveNode(spec, name, data_dir=data_dir)
     await live.listen()
     host, port = spec.address(name)
+    if live.recovered:
+        recovered = live.store.recovered
+        print(
+            f"RECOVERED {name} version={recovered.version} "
+            f"tables={len(recovered.tables)} "
+            f"wal_entries={len(recovered.wal_entries)}",
+            flush=True,
+        )
     print(f"READY {name} {host}:{port}", flush=True)
     logger.info("%s serving on %s:%d", name, host, port)
 
@@ -359,6 +403,8 @@ async def serve(spec: LiveSpec, name: str) -> int:
     return EXIT_DRAIN_TIMEOUT
 
 
-def serve_main(spec_path: str | Path, name: str) -> int:
+def serve_main(
+    spec_path: str | Path, name: str, data_dir: str | Path | None = None
+) -> int:
     """Synchronous entrypoint for ``repro.cli serve``."""
-    return asyncio.run(serve(load_spec(spec_path), name))
+    return asyncio.run(serve(load_spec(spec_path), name, data_dir=data_dir))

@@ -42,7 +42,7 @@ from .errors import InvalidConfigError
 #: Number of entries per data block (fence-pointer granularity).
 DEFAULT_BLOCK_ENTRIES = 64
 
-_table_id_counter = itertools.count(1)
+_next_table_id = 1
 
 #: Bits reserved for the per-process counter under :func:`seed_table_ids`.
 _TABLE_ID_NAMESPACE_SHIFT = 40
@@ -50,7 +50,10 @@ _TABLE_ID_NAMESPACE_SHIFT = 40
 
 def next_table_id() -> int:
     """Process-wide unique id for newly built sstables."""
-    return next(_table_id_counter)
+    global _next_table_id
+    table_id = _next_table_id
+    _next_table_id += 1
+    return table_id
 
 
 def seed_table_ids(namespace: int) -> None:
@@ -65,8 +68,20 @@ def seed_table_ids(namespace: int) -> None:
     """
     if not 0 <= namespace < (1 << 20):
         raise InvalidConfigError(f"table-id namespace out of range: {namespace}")
-    global _table_id_counter
-    _table_id_counter = itertools.count((namespace << _TABLE_ID_NAMESPACE_SHIFT) + 1)
+    global _next_table_id
+    _next_table_id = (namespace << _TABLE_ID_NAMESPACE_SHIFT) + 1
+
+
+def advance_table_ids(minimum: int) -> None:
+    """Ensure future ids are ``>= minimum`` (never rewinds).
+
+    A restarted live node re-seeds its namespace from scratch, which
+    would re-issue ids its recovered on-disk sstables already hold;
+    recovery calls this with ``max recovered id + 1`` so fresh tables
+    never collide with persisted ones.
+    """
+    global _next_table_id
+    _next_table_id = max(_next_table_id, minimum)
 
 
 def sort_run(entries: Sequence[Entry]) -> list[Entry]:

@@ -26,6 +26,8 @@ import struct
 import zlib
 from typing import Iterator
 
+from repro.store.fsutil import fsync_dir
+
 from .block import decode_entries, decode_varint, encode_entries, encode_varint
 from .bloom import BloomFilter
 from .cache import MISS, ReadCache
@@ -67,6 +69,9 @@ def write_sstable(
         f.flush()
         os.fsync(f.fileno())
     os.replace(tmp_path, path)
+    # The rename lives in the directory's metadata: without this fsync a
+    # power loss can forget the file ever appeared.
+    fsync_dir(os.path.dirname(os.path.abspath(path)))
 
 
 def _encode_index(fences: list[tuple[bytes, int, int]]) -> bytes:

@@ -24,6 +24,8 @@ import os
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
+from repro.store.fsutil import fsync_dir
+
 from .cache import CacheStats, ReadCache
 from .compaction import (
     CompactionStats,
@@ -34,7 +36,7 @@ from .compaction import (
     select_overflow_rotating,
 )
 from .entry import Entry, encode_key, make_tombstone, make_upsert
-from .errors import ClosedError, InvalidConfigError
+from .errors import ClosedError, CorruptionError, InvalidConfigError
 from .manifest import LevelEdit, Manifest
 from .memtable import Memtable
 from .sstable import SSTable
@@ -230,14 +232,37 @@ class LSMTree:
         manifest_path = os.path.join(directory, "MANIFEST.json")
         tables_by_level: dict[int, list[SSTable]] = {}
         max_seqno = 0
+        referenced: set[str] = set()
         if os.path.exists(manifest_path):
             with open(manifest_path, "r", encoding="utf-8") as f:
                 listing = json.load(f)
             for level_str, filenames in listing["levels"].items():
                 level = int(level_str)
-                tables_by_level[level] = [
-                    read_sstable(os.path.join(directory, name)) for name in filenames
-                ]
+                loaded = []
+                for name in filenames:
+                    path = os.path.join(directory, name)
+                    if not os.path.exists(path):
+                        raise CorruptionError(
+                            f"{manifest_path}: references missing sstable {name}"
+                        )
+                    loaded.append(read_sstable(path))
+                    referenced.add(name)
+                tables_by_level[level] = loaded
+        # Orphans: a crash between sstable write and manifest install
+        # leaves files no manifest references (plus .tmp leftovers) —
+        # delete them so disk usage cannot grow without bound.
+        removed = False
+        for name in os.listdir(directory):
+            orphan_table = (
+                name.startswith("sst-")
+                and name.endswith(".sst")
+                and name not in referenced
+            )
+            if orphan_table or name.endswith(".tmp"):
+                os.remove(os.path.join(directory, name))
+                removed = True
+        if removed:
+            fsync_dir(directory)
         tree = cls(config, directory=None)  # WAL opened after replay
         tree.directory = directory
         edit = LevelEdit()
@@ -546,9 +571,13 @@ class LSMTree:
                 if not os.path.exists(path):
                     write_sstable(table, path)
         self._write_manifest_file()
+        removed = False
         for name in os.listdir(self.directory):
             if name.startswith("sst-") and name not in live:
                 os.remove(os.path.join(self.directory, name))
+                removed = True
+        if removed:
+            fsync_dir(self.directory)
 
     def _write_manifest_file(self) -> None:
         assert self.directory is not None
@@ -566,3 +595,5 @@ class LSMTree:
             f.flush()
             os.fsync(f.fileno())
         os.replace(tmp, os.path.join(self.directory, "MANIFEST.json"))
+        # Durability of the rename itself requires syncing the directory.
+        fsync_dir(self.directory)

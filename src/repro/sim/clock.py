@@ -61,6 +61,18 @@ class LooseClock:
         )
         return self._base + drift + self._injected
 
+    def advance_past(self, watermark: float) -> None:
+        """Force future readings strictly above ``watermark``.
+
+        Crash recovery uses this: the live kernel's clock restarts at
+        zero with the process, so without restoring the persisted
+        timestamp watermark a recovered node would stamp new writes
+        *older* than its pre-crash ones, breaking newest-wins ordering.
+        The monotone slewing in :meth:`now` does the rest.
+        """
+        if watermark > self._last:
+            self._last = watermark
+
     def now(self) -> float:
         """This node's current timestamp (monotone per node)."""
         reading = self.kernel.now + self.offset()

@@ -31,7 +31,7 @@ def test_crash_loses_memtable_recovery_restores_it():
     assert cluster.run_process(read_after_recovery()) == b"buffered-3"
 
 
-def test_wal_cleared_on_flush():
+def test_unflushed_cleared_on_flush():
     cluster = tiny_cluster()
     client = cluster.add_client(colocate_with="ingestor-0")
     ingestor = cluster.ingestors[0]
@@ -41,8 +41,8 @@ def test_wal_cleared_on_flush():
             yield from client.upsert(i, b"x")
 
     cluster.run_process(fill_batches())
-    # The WAL only holds the current (unflushed) batch.
-    assert len(ingestor._wal) < cluster.config.memtable_entries
+    # The WAL model only holds the current (unflushed) batch.
+    assert len(ingestor._unflushed) < cluster.config.memtable_entries
 
 
 def test_no_acked_write_lost_across_crash():

@@ -1,0 +1,127 @@
+"""NodeStore: versioned manifest, WAL floor, crash-debris handling."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.lsm.entry import make_upsert
+from repro.lsm.errors import CorruptionError
+from repro.lsm.sstable import SSTable
+from repro.lsm.wal import WriteAheadLog
+from repro.store import MANIFEST_NAME, WAL_NAME, NodeStore
+
+
+def table(table_id: int, count: int = 8, base: int = 0) -> SSTable:
+    entries = [
+        make_upsert(base + i, b"v-%d" % (base + i), seqno=base + i + 1, timestamp=1.0)
+        for i in range(count)
+    ]
+    return SSTable(entries, table_id=table_id)
+
+
+def open_store(path, **overrides) -> NodeStore:
+    params = dict(node_name="ingestor-0", role="ingestor")
+    params.update(overrides)
+    return NodeStore.open(str(path), **params)
+
+
+def test_fresh_directory_has_no_recovered_state(tmp_path):
+    with open_store(tmp_path / "n") as store:
+        assert store.recovered is None
+        assert store.version == 0
+        assert store.data_bytes() == 0
+
+
+def test_commit_reopen_roundtrip(tmp_path):
+    with open_store(tmp_path / "n") as store:
+        t1, t2 = table(1), table(2, base=100)
+        version = store.commit([t1, t2], {"seqno": 7, "note": "x"})
+        assert version == 1
+        assert store.data_bytes() > 0
+    with open_store(tmp_path / "n") as store:
+        recovered = store.recovered
+        assert recovered is not None
+        assert recovered.version == 1
+        assert recovered.state == {"seqno": 7, "note": "x"}
+        assert sorted(recovered.tables) == [1, 2]
+        assert recovered.max_table_id == 2
+        got = list(recovered.tables[1].scan())
+        assert [e.value for e in got] == [b"v-%d" % i for i in range(8)]
+        # Version numbering continues from the recovered manifest.
+        assert store.commit([table(3)], {}) == 2
+
+
+def test_commit_drops_unreferenced_sstables(tmp_path):
+    with open_store(tmp_path / "n") as store:
+        store.commit([table(1), table(2, base=100)], {})
+        store.commit([table(2, base=100)], {})
+    names = sorted(os.listdir(tmp_path / "n"))
+    assert sum(name.endswith(".sst") for name in names) == 1
+
+
+def test_wal_replay_respects_floor(tmp_path):
+    with open_store(tmp_path / "n") as store:
+        store.log_entries([make_upsert(i, b"w", seqno=i, timestamp=2.0) for i in (1, 2, 3)])
+        store.commit([], {}, wal_floor=3)  # flushed: truncates the log
+        store.log_entries([make_upsert(i, b"w", seqno=i, timestamp=2.0) for i in (4, 5)])
+    with open_store(tmp_path / "n") as store:
+        assert [e.seqno for e in store.recovered.wal_entries] == [4, 5]
+        assert store.recovered.wal_floor == 3
+
+
+def test_crash_between_manifest_and_truncate_filters_flushed_entries(
+    tmp_path, monkeypatch
+):
+    # The floor exists for exactly this window: manifest installed,
+    # process dies before the WAL truncate.  Replay must not
+    # resurrect entries the manifest already covers.
+    monkeypatch.setattr(WriteAheadLog, "truncate", lambda self: None)
+    with open_store(tmp_path / "n") as store:
+        store.log_entries([make_upsert(i, b"w", seqno=i, timestamp=2.0) for i in (1, 2, 3)])
+        store.commit([], {}, wal_floor=2)
+    with open_store(tmp_path / "n") as store:
+        assert [e.seqno for e in store.recovered.wal_entries] == [3]
+
+
+def test_open_cleans_orphan_tables_and_tmp_files(tmp_path):
+    with open_store(tmp_path / "n") as store:
+        store.commit([table(1)], {})
+    # Crash debris: an sstable no manifest references, a torn temp file.
+    (tmp_path / "n" / "sst-00000000000000ff.sst").write_bytes(b"orphan")
+    (tmp_path / "n" / "NODE_MANIFEST.json.tmp").write_bytes(b"torn")
+    with open_store(tmp_path / "n") as store:
+        assert sorted(store.recovered.tables) == [1]
+    names = sorted(os.listdir(tmp_path / "n"))
+    assert "sst-00000000000000ff.sst" not in names
+    assert not any(name.endswith(".tmp") for name in names)
+
+
+def test_missing_referenced_sstable_raises(tmp_path):
+    with open_store(tmp_path / "n") as store:
+        store.commit([table(1)], {})
+    sst = next(p for p in (tmp_path / "n").iterdir() if p.suffix == ".sst")
+    sst.unlink()
+    with pytest.raises(CorruptionError, match="missing sstable"):
+        open_store(tmp_path / "n")
+
+
+def test_manifest_for_wrong_node_or_role_raises(tmp_path):
+    with open_store(tmp_path / "n") as store:
+        store.commit([], {})
+    with pytest.raises(CorruptionError, match="belongs to"):
+        open_store(tmp_path / "n", node_name="ingestor-1")
+    with pytest.raises(CorruptionError, match="belongs to"):
+        open_store(tmp_path / "n", role="compactor")
+
+
+def test_layout_and_sizes(tmp_path):
+    with open_store(tmp_path / "n") as store:
+        store.log_entries([make_upsert(1, b"w", seqno=1, timestamp=2.0)])
+        store.commit([table(1)], {"k": 1})
+        assert store.wal_bytes() > 0
+        assert store.data_bytes() > 0
+    names = set(os.listdir(tmp_path / "n"))
+    assert MANIFEST_NAME in names and WAL_NAME in names
+    assert any(name.startswith("sst-") and name.endswith(".sst") for name in names)
