@@ -216,6 +216,30 @@ def _cmd_recovery_bench(args) -> int:
     )
 
 
+def _cmd_chaos_proxy(args) -> int:
+    import logging
+
+    from repro.live.chaos import proxy_main
+
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    return proxy_main(args.links)
+
+
+def _cmd_chaos_bench(args) -> int:
+    from repro.bench.chaos_bench import run_and_report
+
+    return run_and_report(
+        out=args.out,
+        ops=args.ops,
+        seed=args.seed,
+        check=args.check,
+        max_regression=args.max_regression,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -315,6 +339,39 @@ def main(argv: list[str] | None = None) -> int:
         default=2.0,
         help="allowed ratio-of-ratios slowdown vs baseline (default 2.0)",
     )
+    chaos_proxy_parser = subparsers.add_parser(
+        "chaos-proxy",
+        help="run the per-link TCP fault proxy until SIGTERM",
+    )
+    chaos_proxy_parser.add_argument(
+        "--links", required=True, help="links JSON file (see repro.live.chaos)"
+    )
+    chaos_proxy_parser.add_argument(
+        "--log-level", default="info", help="logging level (default info)"
+    )
+    chaos_bench_parser = subparsers.add_parser(
+        "chaos-bench",
+        help="benchmark a real cluster under a seeded fault schedule",
+    )
+    chaos_bench_parser.add_argument(
+        "--out", default="BENCH_chaos.json", help="output JSON path"
+    )
+    chaos_bench_parser.add_argument(
+        "--ops", type=int, default=400, help="workload size per phase"
+    )
+    chaos_bench_parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    chaos_bench_parser.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE",
+        help="compare against a baseline BENCH_chaos.json and fail on regression",
+    )
+    chaos_bench_parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.5,
+        help="allowed ratio-of-ratios degradation vs baseline (default 2.5)",
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -326,6 +383,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_live_bench(args)
     if args.command == "recovery-bench":
         return _cmd_recovery_bench(args)
+    if args.command == "chaos-proxy":
+        return _cmd_chaos_proxy(args)
+    if args.command == "chaos-bench":
+        return _cmd_chaos_bench(args)
     return _cmd_run(args.names, args.ops, args.scale)
 
 

@@ -147,6 +147,14 @@ class Compactor(RpcNode):
     def level3(self) -> list[SSTable]:
         return self.manifest.level(L3)
 
+    def health_gauges(self) -> dict:
+        return {
+            "inflight": len(self._pending_batches),
+            "l2_tables": len(self.level2),
+            "l3_tables": len(self.level3),
+            "duplicate_forwards": self.stats.duplicate_forwards,
+        }
+
     def _keep_policy(self, bottom: bool) -> KeepPolicy:
         if self.multi_ingestor:
             horizon = self.clock.now() - self.config.gc_slack

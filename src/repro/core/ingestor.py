@@ -194,6 +194,15 @@ class Ingestor(RpcNode):
     def inflight_tables(self) -> int:
         return self._inflight_tables
 
+    def health_gauges(self) -> dict:
+        return {
+            "inflight": self._inflight_tables,
+            "l0_tables": len(self.level0),
+            "l1_tables": len(self.level1),
+            "forward_retries": self.stats.forward_retries,
+            "forward_failovers": self.stats.forward_failovers,
+        }
+
     # ------------------------------------------------------------------
     # Write path
     # ------------------------------------------------------------------

@@ -173,3 +173,24 @@ class NodeStats:
     level_sizes: tuple[int, ...]
     total_entries: int
     extra: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True, slots=True)
+class HealthPing:
+    """Any node -> any node: liveness probe.  ``nonce`` is echoed so a
+    prober can match replies to probes across retries."""
+
+    nonce: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class HealthReply:
+    """Health answer: the node is alive, serving, and reports its key
+    load/fault gauges (the live runtime includes the transport counters,
+    so a prober sees reconnects and shed frames per node)."""
+
+    name: str
+    nonce: int
+    uptime: float
+    inflight: int = 0
+    gauges: dict = field(default_factory=dict)

@@ -114,6 +114,12 @@ class ClusterMonitor:
         for reader in self.cluster.readers:
             timeline.add(now, reader.name, "entries", reader.manifest.total_entries())
             self._sample_cache(now, reader)
+        for node in (
+            *self.cluster.ingestors,
+            *self.cluster.compactors,
+            *self.cluster.readers,
+        ):
+            self._sample_transport(now, node)
 
     def _sample_cache(self, now: float, node) -> None:
         """Read-cache and bloom gauges for any node carrying a
@@ -132,3 +138,14 @@ class ClusterMonitor:
         timeline.add(now, node.name, "cache_hit_rate", stats.hit_rate)
         timeline.add(now, node.name, "bloom_probes", stats.bloom_probes)
         timeline.add(now, node.name, "bloom_negatives", stats.bloom_negatives)
+
+    def _sample_transport(self, now: float, node) -> None:
+        """TCP transport gauges (live runtime only — the sim fabric has
+        no transport attribute).  Surfaces backpressure: queue high
+        water, frames dropped by overflow policy, reconnect counts."""
+        transport = getattr(node.network, "transport", None)
+        if transport is None:
+            return
+        timeline = self.timeline
+        for gauge, value in transport.stats.as_gauges().items():
+            timeline.add(now, node.name, gauge, value)

@@ -158,6 +158,14 @@ class Reader(RpcNode):
     def level3(self) -> list[SSTable]:
         return self.manifest.level(_L3)
 
+    def health_gauges(self) -> dict:
+        return {
+            "areas": len(self._areas),
+            "gaps_detected": self.stats.gaps_detected,
+            "catchups": self.stats.catchups,
+            "updates_received": self.stats.updates_received,
+        }
+
     # ------------------------------------------------------------------
     # Update path
     # ------------------------------------------------------------------

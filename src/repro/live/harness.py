@@ -29,6 +29,7 @@ from pathlib import Path
 import repro
 from repro.core.history import History
 
+from .chaos import DRIVER_MACHINE, links_to_dict, machine_of, plan_links, proxied_spec
 from .node import LiveSpec, build_driver_client, spec_to_dict
 from .runtime import AsyncioKernel, LiveMachine, LiveNetwork
 
@@ -77,6 +78,13 @@ class LocalCluster:
     ``<data_dir>/<node>`` and the nemesis vocabulary grows real-process
     teeth: :meth:`kill9` SIGKILLs a node (no drain, no goodbye) and
     :meth:`restart` brings it back from its data dir.
+
+    With ``chaos`` set, a :class:`~repro.live.chaos.ChaosProxy` process
+    is interposed on every inter-machine link: each node launches from
+    its own spec file whose address map dials peers through that node's
+    outbound proxy links, and :attr:`driver_spec` is the equivalent
+    view for the driver process (hand it to :class:`ClientPool`).  The
+    proxy's control socket is at :attr:`control_address`.
     """
 
     def __init__(
@@ -84,48 +92,143 @@ class LocalCluster:
         spec: LiveSpec,
         work_dir: str | Path,
         data_dir: str | Path | None = None,
+        chaos: bool = False,
+        chaos_seed: int = 0,
     ) -> None:
         self.spec = spec
         self.work_dir = Path(work_dir)
         self.data_dir = Path(data_dir) if data_dir is not None else None
+        self.chaos = chaos
+        self.chaos_seed = chaos_seed
         self.spec_path = self.work_dir / "cluster.json"
         self.processes: dict[str, subprocess.Popen] = {}
         self.exit_codes: dict[str, int] = {}
+        self.links = None
+        self.control_address: tuple[str, int] | None = None
+        self.proxy_process: subprocess.Popen | None = None
+        #: The address map the driver should use (proxied under chaos).
+        self.driver_spec: LiveSpec = spec
+        self._log_offsets: dict[str, int] = {}
 
     def log_path(self, name: str) -> Path:
         return self.work_dir / f"{name}.log"
 
-    def _launch(self, name: str) -> None:
+    def _spec_path_for(self, name: str) -> Path:
+        if self.chaos:
+            return self.work_dir / f"cluster-{name}.json"
+        return self.spec_path
+
+    def _env(self) -> dict[str, str]:
         env = dict(os.environ)
         src_root = str(Path(repro.__file__).resolve().parent.parent)
         env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        return env
+
+    def _launch(self, name: str) -> None:
         command = [
             sys.executable,
             "-m",
             "repro.cli",
             "serve",
             "--spec",
-            str(self.spec_path),
+            str(self._spec_path_for(name)),
             "--node",
             name,
         ]
         if self.data_dir is not None:
             command += ["--data-dir", str(self.data_dir)]
         # Append mode: a restarted node's log keeps its first life's
-        # READY/RECOVERED lines, which the crash tests assert on.
-        log = open(self.log_path(name), "a")
+        # READY/RECOVERED lines, which the crash tests assert on.  The
+        # readiness probe therefore remembers where this life's output
+        # starts, so a stale READY line can never satisfy it.
+        log_path = self.log_path(name)
+        self._log_offsets[name] = (
+            log_path.stat().st_size if log_path.exists() else 0
+        )
+        log = open(log_path, "a")
         self.processes[name] = subprocess.Popen(
-            command, stdout=log, stderr=subprocess.STDOUT, env=env
+            command, stdout=log, stderr=subprocess.STDOUT, env=self._env()
         )
         log.close()
+
+    def _start_proxy(self, timeout: float = 30.0) -> None:
+        self.links = plan_links(self.spec)
+        self.control_address = ("127.0.0.1", free_port())
+        links_path = self.work_dir / "links.json"
+        links_path.write_text(
+            json.dumps(
+                links_to_dict(self.links, self.control_address, self.chaos_seed),
+                indent=2,
+            )
+        )
+        command = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "chaos-proxy",
+            "--links",
+            str(links_path),
+        ]
+        log = open(self.log_path("chaos-proxy"), "a")
+        self.proxy_process = subprocess.Popen(
+            command, stdout=log, stderr=subprocess.STDOUT, env=self._env()
+        )
+        log.close()
+        deadline = time.monotonic() + timeout
+        while True:
+            code = self.proxy_process.poll()
+            if code is not None:
+                raise RuntimeError(
+                    f"chaos proxy exited with {code} before becoming ready; "
+                    f"log: {self.log_path('chaos-proxy')}"
+                )
+            try:
+                with socket.create_connection(self.control_address, timeout=0.25):
+                    return
+            except OSError:
+                if time.monotonic() > deadline:
+                    raise TimeoutError("chaos proxy not ready by deadline")
+                time.sleep(0.05)
+
+    def _stop_proxy(self) -> None:
+        process, self.proxy_process = self.proxy_process, None
+        if process is None:
+            return
+        if process.poll() is None:
+            process.send_signal(signal.SIGTERM)
+            try:
+                process.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
 
     def start(self) -> None:
         self.work_dir.mkdir(parents=True, exist_ok=True)
         if self.data_dir is not None:
             self.data_dir.mkdir(parents=True, exist_ok=True)
         self.spec_path.write_text(json.dumps(spec_to_dict(self.spec), indent=2))
+        if self.chaos:
+            self._start_proxy()
+            for name in self.spec.node_names:
+                view = proxied_spec(self.spec, self.links, machine_of(name))
+                self._spec_path_for(name).write_text(
+                    json.dumps(spec_to_dict(view), indent=2)
+                )
+            self.driver_spec = proxied_spec(self.spec, self.links, DRIVER_MACHINE)
         for name in self.spec.node_names:
             self._launch(name)
+
+    def _ready_logged(self, name: str) -> bool:
+        """Did *this* life of the node print its READY line?  Reads
+        only past the offset recorded at launch, so the previous life's
+        READY (kept by append-mode logs) cannot race a restart."""
+        path = self.log_path(name)
+        if not path.exists():
+            return False
+        with open(path, "rb") as log:
+            log.seek(self._log_offsets.get(name, 0))
+            tail = log.read().decode(errors="replace")
+        return any(line.startswith("READY ") for line in tail.splitlines())
 
     def _wait_node_ready(self, name: str, deadline: float) -> None:
         host, port = self.spec.address(name)
@@ -137,13 +240,15 @@ class LocalCluster:
                     f"{name} exited with {code} before becoming ready; "
                     f"log: {self.log_path(name)}"
                 )
-            try:
-                with socket.create_connection((host, port), timeout=0.25):
-                    return
-            except OSError:
-                if time.monotonic() > deadline:
-                    raise TimeoutError(f"{name} not ready by deadline")
-                time.sleep(0.05)
+            if self._ready_logged(name):
+                try:
+                    with socket.create_connection((host, port), timeout=0.25):
+                        return
+                except OSError:
+                    pass
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"{name} not ready by deadline")
+            time.sleep(0.05)
 
     def wait_ready(self, timeout: float = 30.0) -> None:
         """Block until every node's port accepts connections."""
@@ -171,17 +276,47 @@ class LocalCluster:
         self._launch(name)
         self._wait_node_ready(name, time.monotonic() + timeout)
 
+    #: SIGTERM waves for :meth:`stop`, in dependency order.  An
+    #: Ingestor's drain holds every forwarded sstable until the owning
+    #: Compactor acks it, and a Compactor's drain may still push backup
+    #: updates to Readers — so each wave must finish draining before
+    #: its downstream dependencies are told to exit.  A simultaneous
+    #: SIGTERM deadlocks under fault schedules: a Compactor with no
+    #: pending work exits immediately while the Ingestor still retries
+    #: an unacked forward against it forever.
+    STOP_WAVES = ("ingestor-", "compactor-", "reader-")
+
+    @classmethod
+    def _stop_waves(cls, names: list[str]) -> list[list[str]]:
+        waves = [
+            [n for n in names if n.startswith(prefix)]
+            for prefix in cls.STOP_WAVES
+        ]
+        waves.append([n for n in names if not n.startswith(cls.STOP_WAVES)])
+        return [wave for wave in waves if wave]
+
     def stop(self, timeout: float = 30.0) -> dict[str, int]:
-        """SIGTERM every node (drain path) and collect exit codes."""
-        for process in self.processes.values():
-            if process.poll() is None:
-                process.send_signal(signal.SIGTERM)
-        for name, process in self.processes.items():
-            try:
-                self.exit_codes[name] = process.wait(timeout=timeout)
-            except subprocess.TimeoutExpired:
-                process.kill()
-                self.exit_codes[name] = process.wait()
+        """Drain and stop every node, in dependency order.
+
+        Nodes are SIGTERMed in waves (ingestors, then compactors, then
+        readers, then anything else); each wave's drain completes
+        before the next wave is signalled, so upstream nodes can flush
+        in-flight work to still-running downstream peers.  A node that
+        fails to drain within ``timeout`` is SIGKILLed (exit -9).
+        """
+        for wave in self._stop_waves(list(self.processes)):
+            for name in wave:
+                process = self.processes[name]
+                if process.poll() is None:
+                    process.send_signal(signal.SIGTERM)
+            for name in wave:
+                process = self.processes[name]
+                try:
+                    self.exit_codes[name] = process.wait(timeout=timeout)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+                    self.exit_codes[name] = process.wait()
+        self._stop_proxy()
         return dict(self.exit_codes)
 
     def kill(self) -> None:
@@ -189,6 +324,7 @@ class LocalCluster:
             if process.poll() is None:
                 process.kill()
                 process.wait()
+        self._stop_proxy()
 
     def __enter__(self) -> "LocalCluster":
         self.start()
@@ -219,7 +355,11 @@ class ClientPool:
     async def start(self) -> None:
         self.kernel = AsyncioKernel()
         self.network = LiveNetwork(
-            self.kernel, self.spec.addresses, policy=self.spec.retry_policy()
+            self.kernel,
+            self.spec.addresses,
+            policy=self.spec.retry_policy(),
+            max_queued=self.spec.transport_max_queued,
+            overflow=self.spec.transport_overflow,
         )
         machine = LiveMachine(self.kernel, "m-driver")
         for index in range(1, self.num_clients + 1):

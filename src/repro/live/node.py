@@ -46,7 +46,7 @@ from repro.sim.clock import LooseClock
 from repro.sim.rng import RngRegistry
 
 from .runtime import AsyncioKernel, LiveMachine, LiveNetwork
-from .transport import RetryPolicy
+from .transport import OVERFLOW_POLICIES, RetryPolicy
 
 logger = logging.getLogger("repro.live.node")
 
@@ -75,6 +75,10 @@ class LiveSpec:
         data_dir: Base directory for durable node storage; each node
             opens (or recovers) ``<data_dir>/<name>``.  None keeps
             every node purely in memory (the pre-durability behavior).
+        transport_max_queued: Per-peer outbound frame queue bound.
+        transport_overflow: What a full queue does to the sender:
+            ``"drop"`` (count + shed) or ``"raise"``
+            (:class:`~repro.live.transport.BackpressureError`).
     """
 
     config: CooLSMConfig = field(default_factory=CooLSMConfig)
@@ -88,6 +92,8 @@ class LiveSpec:
     compute_scale: float = 0.0
     drain_timeout: float = 30.0
     data_dir: str | None = None
+    transport_max_queued: int = 10_000
+    transport_overflow: str = "drop"
 
     def role_of(self, name: str) -> str:
         if name in self.ingestor_names:
@@ -102,6 +108,11 @@ class LiveSpec:
         if self.num_compactors % self.compactor_replicas != 0:
             raise InvalidConfigError(
                 "num_compactors must be a multiple of compactor_replicas"
+            )
+        if self.transport_overflow not in OVERFLOW_POLICIES:
+            raise InvalidConfigError(
+                f"transport_overflow must be one of {OVERFLOW_POLICIES}, "
+                f"got {self.transport_overflow!r}"
             )
 
     # ------------------------------------------------------------------
@@ -201,6 +212,8 @@ def spec_to_dict(spec: LiveSpec) -> dict[str, Any]:
         "compute_scale": spec.compute_scale,
         "drain_timeout": spec.drain_timeout,
         "data_dir": spec.data_dir,
+        "transport_max_queued": spec.transport_max_queued,
+        "transport_overflow": spec.transport_overflow,
         "addresses": {
             name: f"{host}:{port}" for name, (host, port) in spec.addresses.items()
         },
@@ -236,6 +249,8 @@ class LiveNode:
             spec.addresses,
             policy=spec.retry_policy(),
             rng=RngRegistry(spec.seed).stream(f"transport.{name}"),
+            max_queued=spec.transport_max_queued,
+            overflow=spec.transport_overflow,
         )
         self.machine = LiveMachine(
             self.kernel, f"m-{name}", compute_scale=spec.compute_scale

@@ -380,11 +380,18 @@ class LiveNetwork:
         addresses: dict[str, tuple[str, int]],
         policy: RetryPolicy | None = None,
         rng: random.Random | None = None,
+        max_queued: int = 10_000,
+        overflow: str = "drop",
     ) -> None:
         self.kernel = kernel
         self.addresses = dict(addresses)
         self.transport = Transport(
-            self.addresses, self._on_payload, policy=policy, rng=rng
+            self.addresses,
+            self._on_payload,
+            policy=policy,
+            rng=rng,
+            max_queued=max_queued,
+            overflow=overflow,
         )
         self._inboxes: dict[str, Store] = {}
         self._machines: dict[str, LiveMachine] = {}

@@ -1,0 +1,233 @@
+"""Supervision for live clusters: restart-on-crash and health probing.
+
+Two independent tools:
+
+**:class:`Supervisor`** watches a
+:class:`~repro.live.harness.LocalCluster`'s processes and relaunches
+any that exit *unexpectedly* — the process-level half of fault
+tolerance the paper assumes of its deployment substrate.  Two
+refinements matter in practice:
+
+* **Expected-down coordination.**  A nemesis that SIGKILLs a node on a
+  schedule owns that node's downtime; :meth:`Supervisor.expect_down`
+  parks the name so the supervisor does not race the scheduled
+  recovery, and :meth:`expect_up` hands it back.  A node crashed with
+  no scheduled recovery stays parked — "leave it dead" is a valid
+  experiment.
+* **Crash-loop backoff.**  A node that dies again within
+  ``stable_after`` seconds of its last relaunch is crash-looping (bad
+  data dir, port clash, poisoned state); each successive relaunch waits
+  ``base * 2^k`` capped at ``cap``, so a hopeless node costs bounded
+  CPU instead of a fork storm.  Surviving ``stable_after`` seconds
+  resets the backoff.
+
+**:class:`HealthMonitor`** drives the ``health`` RPC every node answers
+(:meth:`repro.sim.rpc.RpcNode._handle_health`) from a driver-side
+client, recording the latest :class:`~repro.core.messages.HealthReply`
+per node.  Because it is written against the effect protocol, the same
+monitor runs over the sim kernel and over TCP; a node that is down (or
+partitioned from the driver) simply stops refreshing, which is exactly
+the failure-detector signal :meth:`alive` exposes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import time
+from dataclasses import dataclass
+
+from repro.core.messages import HealthPing
+from repro.sim.kernel import SimError
+
+logger = logging.getLogger("repro.live.supervisor")
+
+__all__ = ["RestartPolicy", "SupervisorStats", "Supervisor", "HealthMonitor"]
+
+
+@dataclass(frozen=True, slots=True)
+class RestartPolicy:
+    """Crash-loop backoff parameters."""
+
+    base: float = 0.25
+    cap: float = 8.0
+    #: A node alive this long after a relaunch is considered stable and
+    #: its backoff resets.
+    stable_after: float = 10.0
+
+    def next_backoff(self, backoff: float) -> float:
+        return self.base if backoff <= 0.0 else min(backoff * 2.0, self.cap)
+
+
+@dataclass(slots=True)
+class SupervisorStats:
+    restarts: int = 0
+    #: Restarts that had to wait out a crash-loop backoff.
+    crash_loops: int = 0
+    #: Relaunch attempts that raised (e.g. lost a race with the nemesis).
+    failures: int = 0
+
+
+class Supervisor:
+    """Poll a cluster's processes; relaunch unexpected deaths.
+
+    Runs as one asyncio task in the driver process::
+
+        supervisor = Supervisor(cluster)
+        supervisor.start()
+        ...
+        await supervisor.stop()
+    """
+
+    def __init__(
+        self,
+        cluster,
+        policy: RestartPolicy | None = None,
+        poll_interval: float = 0.2,
+    ) -> None:
+        self.cluster = cluster
+        self.policy = policy or RestartPolicy()
+        self.poll_interval = poll_interval
+        self.stats = SupervisorStats()
+        self.expected_down: set[str] = set()
+        #: (wall time, node) for every successful relaunch, in order.
+        self.restarts: list[tuple[float, str]] = []
+        self._backoff: dict[str, float] = {}
+        self._last_restart: dict[str, float] = {}
+        self._task: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+    # Nemesis coordination
+    # ------------------------------------------------------------------
+    def expect_down(self, name: str) -> None:
+        """Mark a node as intentionally down: hands-off until
+        :meth:`expect_up`."""
+        self.expected_down.add(name)
+
+    def expect_up(self, name: str) -> None:
+        self.expected_down.discard(name)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._task is not None:
+            return
+        self._task = asyncio.get_running_loop().create_task(
+            self._run(), name="supervisor"
+        )
+
+    async def stop(self) -> None:
+        task, self._task = self._task, None
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+
+    async def _run(self) -> None:
+        while True:
+            await asyncio.sleep(self.poll_interval)
+            for name, process in list(self.cluster.processes.items()):
+                if name in self.expected_down:
+                    continue
+                if process.poll() is None:
+                    continue
+                await self._restart(name)
+
+    async def _restart(self, name: str) -> None:
+        now = time.monotonic()
+        last = self._last_restart.get(name)
+        if last is None or now - last >= self.policy.stable_after:
+            backoff = 0.0
+        else:
+            backoff = self.policy.next_backoff(self._backoff.get(name, 0.0))
+            self.stats.crash_loops += 1
+            logger.warning(
+                "%s crash-looping; backing off %.2fs before relaunch",
+                name,
+                backoff,
+            )
+        self._backoff[name] = backoff
+        if backoff > 0.0:
+            await asyncio.sleep(backoff)
+        if name in self.expected_down:
+            return  # the nemesis claimed it while we were backing off
+        try:
+            await asyncio.to_thread(self.cluster.restart, name)
+        except Exception as error:  # noqa: BLE001 - supervision must survive
+            self.stats.failures += 1
+            logger.warning("relaunch of %s failed: %r", name, error)
+            return
+        self._last_restart[name] = time.monotonic()
+        self.stats.restarts += 1
+        self.restarts.append((time.monotonic(), name))
+        logger.info("relaunched %s", name)
+
+
+class HealthMonitor:
+    """Probe every target with the ``health`` RPC on a fixed cadence.
+
+    ``client`` is any :class:`~repro.sim.rpc.RpcNode` (typically a
+    driver-side :class:`~repro.core.client.Client`); the monitor runs
+    as a process on that node's kernel, so it works identically under
+    the sim kernel and the live runtime.
+    """
+
+    def __init__(
+        self,
+        client,
+        targets,
+        interval: float = 0.5,
+        timeout: float = 1.0,
+    ) -> None:
+        self.client = client
+        self.targets = list(targets)
+        self.interval = interval
+        self.timeout = timeout
+        #: node -> most recent reply (survives later probe failures).
+        self.latest: dict[str, object] = {}
+        #: node -> kernel time of the most recent successful probe.
+        self.last_seen: dict[str, float] = {}
+        self.probe_failures: dict[str, int] = {}
+        self._running = False
+        self._nonce = 0
+        self._process = None
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._process = self.client.kernel.spawn(self._loop(), "health-monitor")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def alive(self, target: str, within: float) -> bool:
+        """Answered a probe within the last ``within`` kernel seconds?"""
+        last = self.last_seen.get(target)
+        return last is not None and self.client.kernel.now - last <= within
+
+    def probe_once(self, target: str):
+        """One probe as a process generator (``yield from``-able)."""
+        self._nonce += 1
+        reply = yield self.client.call(
+            target, "health", HealthPing(self._nonce), timeout=self.timeout
+        )
+        self.latest[target] = reply
+        self.last_seen[target] = self.client.kernel.now
+        return reply
+
+    def _loop(self):
+        while self._running:
+            for target in self.targets:
+                if not self._running:
+                    break
+                try:
+                    yield from self.probe_once(target)
+                except SimError:  # RpcTimeout / RemoteError: node is sick
+                    self.probe_failures[target] = (
+                        self.probe_failures.get(target, 0) + 1
+                    )
+            yield self.client.kernel.timeout(self.interval)

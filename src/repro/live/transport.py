@@ -18,9 +18,15 @@ Delivery semantics match what the node layer already assumes of TCP
   writer reconnects (with backoff) and resumes from the unsent queue.
   Frames already handed to a dead socket may be lost — exactly the
   window the node layer's RPC timeouts + idempotent retries cover.
-* **Bounded queues** — a peer that stays down cannot OOM the process:
-  beyond ``max_queued`` frames per peer, new frames are counted and
-  dropped (the upper layer's retry produces a fresh frame later).
+* **Bounded queues with an explicit overflow policy** — a peer that
+  stays down cannot OOM the process.  Beyond ``max_queued`` frames per
+  peer the transport applies its configured policy: ``"drop"`` (the
+  default) counts the frame in ``TransportStats.frames_dropped`` and
+  discards it (the upper layer's retry produces a fresh frame later);
+  ``"raise"`` raises :class:`BackpressureError` to the sender, turning
+  a cut link into an immediate, visible signal instead of silent
+  buffering.  Either way the high-water mark of every queue is tracked
+  in ``TransportStats.queue_high_water``.
 
 The server side reads CRC-checked frames and hands each payload to the
 ``on_payload`` callback on the event loop; a malformed frame closes
@@ -37,6 +43,20 @@ from dataclasses import dataclass, field
 from . import wire
 
 logger = logging.getLogger("repro.live.transport")
+
+#: Valid values for the transport's queue-overflow policy.
+OVERFLOW_POLICIES = ("drop", "raise")
+
+
+class BackpressureError(Exception):
+    """A peer's outbound queue is full and the transport was configured
+    with ``overflow="raise"``: the caller must slow down (or shed) —
+    the frame was NOT enqueued."""
+
+    def __init__(self, peer: str, queued: int) -> None:
+        super().__init__(f"outbound queue to {peer} full ({queued} frames)")
+        self.peer = peer
+        self.queued = queued
 
 
 @dataclass(frozen=True, slots=True)
@@ -56,7 +76,15 @@ class RetryPolicy:
 
 @dataclass(slots=True)
 class TransportStats:
-    """Counters for the live fabric."""
+    """Counters for the live fabric.
+
+    ``send_drops`` counts every frame the transport gave up on at the
+    send side, whatever the reason (unknown destination, closed peer,
+    queue overflow under the drop policy); ``frames_dropped`` is the
+    queue-overflow subset — the number a cut or stalled link silently
+    cost, which the monitor gauges surface so "the link was down and we
+    shed N frames" is a measurement, not a guess.
+    """
 
     frames_sent: int = 0
     frames_received: int = 0
@@ -64,8 +92,26 @@ class TransportStats:
     bytes_received: int = 0
     reconnects: int = 0
     send_drops: int = 0
+    frames_dropped: int = 0
+    backpressure_raised: int = 0
+    queue_high_water: int = 0
     decode_errors: int = 0
     peers: set = field(default_factory=set)
+
+    def as_gauges(self) -> dict[str, float]:
+        """Numeric counters, keyed for monitor timelines."""
+        return {
+            "transport_frames_sent": self.frames_sent,
+            "transport_frames_received": self.frames_received,
+            "transport_bytes_sent": self.bytes_sent,
+            "transport_bytes_received": self.bytes_received,
+            "transport_reconnects": self.reconnects,
+            "transport_send_drops": self.send_drops,
+            "transport_frames_dropped": self.frames_dropped,
+            "transport_backpressure_raised": self.backpressure_raised,
+            "transport_queue_high_water": self.queue_high_water,
+            "transport_decode_errors": self.decode_errors,
+        }
 
 
 class _Peer:
@@ -79,6 +125,7 @@ class _Peer:
         rng: random.Random,
         stats: TransportStats,
         max_queued: int,
+        overflow: str = "drop",
     ) -> None:
         self.name = name
         self.address = address
@@ -86,21 +133,33 @@ class _Peer:
         self.rng = rng
         self.stats = stats
         self.max_queued = max_queued
+        self.overflow = overflow
         self.queue: asyncio.Queue[bytes] = asyncio.Queue()
         self.writer: asyncio.StreamWriter | None = None
         self.task: asyncio.Task | None = None
         self.closed = False
 
     def post(self, frame: bytes) -> None:
-        """Enqueue a frame for delivery; drops (and counts) on overflow."""
+        """Enqueue a frame for delivery, applying the overflow policy.
+
+        Raises :class:`BackpressureError` when the queue is full and the
+        transport was configured with ``overflow="raise"``.
+        """
         if self.closed:
             self.stats.send_drops += 1
             return
-        if self.queue.qsize() >= self.max_queued:
+        queued = self.queue.qsize()
+        if queued >= self.max_queued:
+            if self.overflow == "raise":
+                self.stats.backpressure_raised += 1
+                raise BackpressureError(self.name, queued)
             self.stats.send_drops += 1
+            self.stats.frames_dropped += 1
             logger.warning("outbound queue to %s full; dropping frame", self.name)
             return
         self.queue.put_nowait(frame)
+        if queued + 1 > self.stats.queue_high_water:
+            self.stats.queue_high_water = queued + 1
         if self.task is None:
             self.task = asyncio.get_running_loop().create_task(
                 self._run(), name=f"transport.send.{self.name}"
@@ -169,9 +228,11 @@ class Transport:
     Args:
         addresses: Node name -> (host, port) for every reachable peer.
         on_payload: Called with each received, CRC-verified payload.
-        policy: Reconnect backoff policy.
+        policy: Reconnect backoff policy (``cap`` bounds the backoff, so
+            a long outage retries at a steady, finite cadence).
         rng: Jitter stream (seed it for reproducible backoff schedules).
         max_queued: Per-peer outbound queue bound.
+        overflow: Queue-overflow policy: ``"drop"`` or ``"raise"``.
     """
 
     def __init__(
@@ -181,12 +242,18 @@ class Transport:
         policy: RetryPolicy | None = None,
         rng: random.Random | None = None,
         max_queued: int = 10_000,
+        overflow: str = "drop",
     ) -> None:
+        if overflow not in OVERFLOW_POLICIES:
+            raise ValueError(
+                f"overflow must be one of {OVERFLOW_POLICIES}, got {overflow!r}"
+            )
         self.addresses = dict(addresses)
         self.on_payload = on_payload
         self.policy = policy or RetryPolicy()
         self.rng = rng or random.Random(0x7C9)
         self.max_queued = max_queued
+        self.overflow = overflow
         self.stats = TransportStats()
         self._peers: dict[str, _Peer] = {}
         self._server: asyncio.base_events.Server | None = None
@@ -210,7 +277,13 @@ class Transport:
         peer = self._peers.get(dst)
         if peer is None:
             peer = _Peer(
-                dst, address, self.policy, self.rng, self.stats, self.max_queued
+                dst,
+                address,
+                self.policy,
+                self.rng,
+                self.stats,
+                self.max_queued,
+                overflow=self.overflow,
             )
             self._peers[dst] = peer
             self.stats.peers.add(dst)

@@ -367,6 +367,8 @@ def _register_all() -> None:
         (13, messages.RangeQuery),
         (14, messages.RangeQueryReply),
         (15, messages.NodeStats),
+        (16, messages.HealthPing),
+        (17, messages.HealthReply),
         # RPC envelopes (the request/response/cast framing the RpcNode
         # layer wraps around every payload).
         (64, rpc._Request),

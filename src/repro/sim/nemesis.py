@@ -3,22 +3,24 @@
 The fault-tolerance claims of Section III-H (and the guarantees of
 Table I) are only credible if they survive *composed* faults — a crash
 in the middle of a forward, a partition during an election, a machine
-that is slow but not dead.  Before this module, faults were injected ad
-hoc per test: a static ``drop_probability`` here, a manual
-``FaultPlan.partition()`` there.  The nemesis makes fault schedules
-first-class data:
+that is slow but not dead.  The nemesis makes fault schedules
+first-class data; the **event vocabulary, schedule generator, and
+applied-action log live in** :mod:`repro.chaos_events`, shared with the
+live runtime's :class:`repro.live.chaos.LiveNemesis`, so one seeded
+scenario runs under the simulation kernel *and* against real processes
+and produces the same :class:`~repro.chaos_events.NemesisLog`
+fingerprint (the schedule-portability guarantee).
 
-* a **scenario** is a list of fault events (:class:`CrashNode`,
-  :class:`PartitionPair`, :class:`DropBurst`, :class:`SlowMachine`,
-  :class:`SkewClock`), each with an absolute simulation time;
-* :meth:`Nemesis.schedule` turns the scenario into kernel processes
-  that apply each fault at its time and revert it after its duration;
-* every applied action is appended to :class:`NemesisLog`, whose
-  :meth:`~NemesisLog.fingerprint` lets tests assert that two runs of
-  the same seed executed the *identical* fault sequence;
+This module is the **sim interpreter** of that vocabulary:
+
+* :meth:`Nemesis.schedule` turns a scenario into kernel processes that
+  apply each fault at its time and revert it after its duration;
+* every applied action is appended to the log with its *scheduled*
+  time (the virtual clock lands on it exactly), so
+  :meth:`~repro.chaos_events.NemesisLog.fingerprint` is identical
+  across replays of a seed;
 * :meth:`Nemesis.random_schedule` draws a scenario from a named,
-  seeded RNG stream, so chaotic runs replay bit-identically — a
-  failing seed is a reproducible bug report.
+  seeded RNG stream — a failing seed is a reproducible bug report.
 
 The module deliberately knows nothing about CooLSM node types: targets
 are any objects with ``crash()``/``recover()`` (fault-stop),
@@ -31,154 +33,41 @@ by duck typing, keeping ``sim`` free of ``core`` imports.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
+
+from repro import chaos_events
+from repro.chaos_events import (
+    CrashNode,
+    DropBurst,
+    NemesisEvent,
+    NemesisLog,
+    NemesisRecord,
+    NemesisStats,
+    PartitionPair,
+    SkewClock,
+    SlowMachine,
+    flapping_partition,
+    rolling_partitions,
+)
 
 from .kernel import Kernel, Process
 from .machine import Machine
 from .network import Network
 
-
-# ----------------------------------------------------------------------
-# Scenario events (pure data; times are absolute simulation seconds)
-# ----------------------------------------------------------------------
-@dataclass(frozen=True, slots=True)
-class CrashNode:
-    """Fail-stop ``target`` at ``at``; restart after ``downtime``
-    (``None`` = stays down for the rest of the run)."""
-
-    target: str
-    at: float
-    downtime: float | None = None
-
-
-@dataclass(frozen=True, slots=True)
-class PartitionPair:
-    """Partition the two *machines* at ``at``; heal after ``duration``.
-
-    Traffic between the machines is held (TCP model: retransmitted, not
-    lost) and flushed at heal time.
-    """
-
-    machine_a: str
-    machine_b: str
-    at: float
-    duration: float
-
-
-@dataclass(frozen=True, slots=True)
-class DropBurst:
-    """Raise the network drop probability to ``probability`` during
-    [at, at + duration), then restore the previous value."""
-
-    probability: float
-    at: float
-    duration: float
-
-
-@dataclass(frozen=True, slots=True)
-class SlowMachine:
-    """Gray failure: divide ``machine``'s speed by ``factor`` during the
-    window — the node answers, just slowly (no failure detector fires
-    cleanly on it)."""
-
-    machine: str
-    at: float
-    duration: float
-    factor: float = 4.0
-
-
-@dataclass(frozen=True, slots=True)
-class SkewClock:
-    """Clock-skew spike: add ``skew`` seconds to ``target``'s loose
-    clock during the window (deliberately violating the δ bound, to
-    probe the 2δ ordering machinery)."""
-
-    target: str
-    at: float
-    duration: float
-    skew: float
-
-
-NemesisEvent = CrashNode | PartitionPair | DropBurst | SlowMachine | SkewClock
-
-
-def flapping_partition(
-    machine_a: str,
-    machine_b: str,
-    at: float,
-    up: float,
-    down: float,
-    flaps: int,
-) -> list[PartitionPair]:
-    """A link that flaps: ``flaps`` partition windows of length ``down``
-    separated by ``up`` seconds of connectivity, starting at ``at``."""
-    if flaps < 1:
-        raise ValueError("flaps must be >= 1")
-    events = []
-    start = at
-    for __ in range(flaps):
-        events.append(PartitionPair(machine_a, machine_b, start, down))
-        start += down + up
-    return events
-
-
-def rolling_partitions(
-    machines: Sequence[str], peer: str, at: float, duration: float, gap: float = 0.0
-) -> list[PartitionPair]:
-    """Partition each machine in ``machines`` from ``peer`` in turn —
-    a rolling isolation sweep."""
-    events = []
-    start = at
-    for machine in machines:
-        events.append(PartitionPair(machine, peer, start, duration))
-        start += duration + gap
-    return events
-
-
-# ----------------------------------------------------------------------
-# Applied-action log (for replay assertions)
-# ----------------------------------------------------------------------
-@dataclass(frozen=True, slots=True)
-class NemesisRecord:
-    """One applied or reverted fault action."""
-
-    time: float
-    action: str
-    target: str
-
-
-class NemesisLog:
-    """Append-only record of what the nemesis actually did and when."""
-
-    def __init__(self) -> None:
-        self.records: list[NemesisRecord] = []
-
-    def add(self, time: float, action: str, target: str) -> None:
-        self.records.append(NemesisRecord(time, action, target))
-
-    def __len__(self) -> int:
-        return len(self.records)
-
-    def __iter__(self):
-        return iter(self.records)
-
-    def fingerprint(self) -> tuple:
-        """Hashable summary; equal across replays of the same seed."""
-        return tuple((r.time, r.action, r.target) for r in self.records)
-
-
-@dataclass(slots=True)
-class NemesisStats:
-    """Counters, split by fault family."""
-
-    crashes: int = 0
-    restarts: int = 0
-    partitions: int = 0
-    heals: int = 0
-    drop_bursts: int = 0
-    slowdowns: int = 0
-    skews: int = 0
+__all__ = [
+    "CrashNode",
+    "DropBurst",
+    "Nemesis",
+    "NemesisEvent",
+    "NemesisLog",
+    "NemesisRecord",
+    "NemesisStats",
+    "PartitionPair",
+    "SkewClock",
+    "SlowMachine",
+    "flapping_partition",
+    "rolling_partitions",
+]
 
 
 class Nemesis:
@@ -299,39 +188,45 @@ class Nemesis:
     def _sleep_until(self, at: float):
         yield self.kernel.timeout(max(0.0, at - self.kernel.now))
 
+    def _log(self, time: float, action: str, target: str) -> None:
+        # Scheduled time goes in the fingerprinted field; the virtual
+        # clock (equal unless an event was scheduled in the past) in
+        # ``wall`` — mirroring what the live nemesis records.
+        self.log.add(time, action, target, wall=self.kernel.now)
+
     def _run_crash(self, event: CrashNode):
         node = self.nodes[event.target]
         yield from self._sleep_until(event.at)
         node.crash()
         self.stats.crashes += 1
-        self.log.add(self.kernel.now, "crash", event.target)
+        self._log(event.at, "crash", event.target)
         if event.downtime is None:
             return
         yield self.kernel.timeout(event.downtime)
         node.recover()
         self.stats.restarts += 1
-        self.log.add(self.kernel.now, "recover", event.target)
+        self._log(event.at + event.downtime, "recover", event.target)
 
     def _run_partition(self, event: PartitionPair):
         yield from self._sleep_until(event.at)
         self.network.faults.partition(event.machine_a, event.machine_b)
         self.stats.partitions += 1
         key = f"{event.machine_a}|{event.machine_b}"
-        self.log.add(self.kernel.now, "partition", key)
+        self._log(event.at, "partition", key)
         yield self.kernel.timeout(event.duration)
         self.network.heal_partition(event.machine_a, event.machine_b)
         self.stats.heals += 1
-        self.log.add(self.kernel.now, "heal", key)
+        self._log(event.at + event.duration, "heal", key)
 
     def _run_drop_burst(self, event: DropBurst):
         yield from self._sleep_until(event.at)
         previous = self.network.faults.drop_probability
         self.network.faults.drop_probability = event.probability
         self.stats.drop_bursts += 1
-        self.log.add(self.kernel.now, "drop_burst", f"p={event.probability}")
+        self._log(event.at, "drop_burst", f"p={event.probability}")
         yield self.kernel.timeout(event.duration)
         self.network.faults.drop_probability = previous
-        self.log.add(self.kernel.now, "drop_restore", f"p={previous}")
+        self._log(event.at + event.duration, "drop_restore", f"p={previous}")
 
     def _run_slowdown(self, event: SlowMachine):
         machine = self.machines[event.machine]
@@ -339,20 +234,20 @@ class Nemesis:
         previous = machine.speed
         machine.speed = previous / event.factor
         self.stats.slowdowns += 1
-        self.log.add(self.kernel.now, "slow", event.machine)
+        self._log(event.at, "slow", event.machine)
         yield self.kernel.timeout(event.duration)
         machine.speed = previous
-        self.log.add(self.kernel.now, "restore_speed", event.machine)
+        self._log(event.at + event.duration, "restore_speed", event.machine)
 
     def _run_skew(self, event: SkewClock):
         clock = self.clocks[event.target]
         yield from self._sleep_until(event.at)
         clock.inject_skew(event.skew)
         self.stats.skews += 1
-        self.log.add(self.kernel.now, "skew", event.target)
+        self._log(event.at, "skew", event.target)
         yield self.kernel.timeout(event.duration)
         clock.inject_skew(0.0)
-        self.log.add(self.kernel.now, "unskew", event.target)
+        self._log(event.at + event.duration, "unskew", event.target)
 
     # ------------------------------------------------------------------
     # Random scenario generation (seeded, hence replayable)
@@ -369,62 +264,20 @@ class Nemesis:
         max_skew: float = 0.05,
         crash_targets: Sequence[str] | None = None,
     ) -> list[NemesisEvent]:
-        """Draw a scenario from this nemesis's seeded RNG stream.
-
-        Target choices iterate sorted name lists, so the draw depends
-        only on the seed and the deployment shape — the same seed
-        always yields the same scenario.
-        """
-        rng = self.rng
-        events: list[NemesisEvent] = []
-        node_names = sorted(crash_targets or self.nodes)
-        machine_names = sorted(self.machines)
-        clock_names = sorted(self.clocks)
-        for __ in range(crashes):
-            if not node_names:
-                break
-            events.append(
-                CrashNode(
-                    rng.choice(node_names),
-                    rng.uniform(0.0, horizon),
-                    rng.uniform(0.5, 1.5) * mean_downtime,
-                )
-            )
-        for __ in range(partitions):
-            if len(machine_names) < 2:
-                break
-            a, b = rng.sample(machine_names, 2)
-            events.append(
-                PartitionPair(a, b, rng.uniform(0.0, horizon), rng.uniform(0.5, 1.5) * mean_downtime)
-            )
-        for __ in range(drop_bursts):
-            events.append(
-                DropBurst(
-                    rng.uniform(0.1, 0.4),
-                    rng.uniform(0.0, horizon),
-                    rng.uniform(0.5, 1.5) * mean_downtime,
-                )
-            )
-        for __ in range(slowdowns):
-            if not machine_names:
-                break
-            events.append(
-                SlowMachine(
-                    rng.choice(machine_names),
-                    rng.uniform(0.0, horizon),
-                    rng.uniform(0.5, 1.5) * mean_downtime,
-                    factor=rng.uniform(2.0, 8.0),
-                )
-            )
-        for __ in range(skews):
-            if not clock_names:
-                break
-            events.append(
-                SkewClock(
-                    rng.choice(clock_names),
-                    rng.uniform(0.0, horizon),
-                    rng.uniform(0.5, 1.5) * mean_downtime,
-                    skew=rng.uniform(-max_skew, max_skew),
-                )
-            )
-        return sorted(events, key=lambda e: e.at)
+        """Draw a scenario from this nemesis's seeded RNG stream (the
+        shared :func:`repro.chaos_events.random_schedule` draw, so sim
+        and live nemeses generate identical scenarios per seed)."""
+        return chaos_events.random_schedule(
+            self.rng,
+            horizon,
+            node_names=list(crash_targets or self.nodes),
+            machine_names=list(self.machines),
+            clock_names=list(self.clocks),
+            crashes=crashes,
+            partitions=partitions,
+            drop_bursts=drop_bursts,
+            slowdowns=slowdowns,
+            skews=skews,
+            mean_downtime=mean_downtime,
+            max_skew=max_skew,
+        )

@@ -87,6 +87,7 @@ class RpcNode:
         self._pending: dict[int, Waitable] = {}
         self._inbox = network.register(name, machine)
         self._receiver = kernel.spawn(self._receive_loop(), f"{name}.recv")
+        self.on("health", self._handle_health)
 
     # ------------------------------------------------------------------
     # Registration and messaging API
@@ -153,6 +154,35 @@ class RpcNode:
         Usage: ``yield from self.compute(cost)``.
         """
         yield from self.machine.execute(cost_seconds)
+
+    # ------------------------------------------------------------------
+    # Health probe (supervision / failure detection)
+    # ------------------------------------------------------------------
+    def health_gauges(self) -> dict:
+        """Role-specific load gauges for the "health" RPC; subclasses
+        override.  An ``"inflight"`` key, when present, becomes the
+        reply's headline in-flight count."""
+        return {}
+
+    def _handle_health(self, src: str, payload: Any):
+        """Answer a liveness probe.  A crashed node never reaches this
+        handler (the receive loop drops its traffic), so a health reply
+        really does mean "alive and serving" — the supervisor's and the
+        chaos soak's failure-detection signal."""
+        from repro.core.messages import HealthReply
+
+        gauges = dict(self.health_gauges())
+        transport = getattr(self.network, "transport", None)
+        if transport is not None:
+            gauges.update(transport.stats.as_gauges())
+        yield from ()
+        return HealthReply(
+            name=self.name,
+            nonce=getattr(payload, "nonce", 0),
+            uptime=self.kernel.now,
+            inflight=int(gauges.get("inflight", 0)),
+            gauges=gauges,
+        )
 
     # ------------------------------------------------------------------
     # Crash / recover (fault-tolerance experiments)

@@ -1,0 +1,179 @@
+"""Unit tests for the shared chaos vocabulary (:mod:`repro.chaos_events`).
+
+The vocabulary is the contract between the two nemesis interpreters:
+these tests pin the oracle (:func:`expected_records` /
+:func:`expected_fingerprint`) and prove the *sim* interpreter satisfies
+it; the live half of the parity claim is covered by
+``tests/live/test_chaos.py`` and the chaos soak.
+"""
+
+import random
+
+import pytest
+
+from repro.chaos_events import (
+    CrashNode,
+    DropBurst,
+    NemesisLog,
+    PartitionPair,
+    SkewClock,
+    SlowMachine,
+    expected_fingerprint,
+    expected_records,
+    random_schedule,
+)
+from repro.core import ClusterSpec, build_cluster
+from repro.sim import Nemesis
+
+from tests.core.conftest import TINY
+
+
+class TestExpectedRecords:
+    def test_crash_with_downtime(self):
+        records = expected_records([CrashNode("ingestor-0", at=1.0, downtime=2.0)])
+        assert records == [
+            (1.0, "crash", "ingestor-0"),
+            (3.0, "recover", "ingestor-0"),
+        ]
+
+    def test_permanent_crash_has_no_recover(self):
+        assert expected_records([CrashNode("reader-0", at=0.5)]) == [
+            (0.5, "crash", "reader-0")
+        ]
+
+    def test_partition_pair(self):
+        records = expected_records([PartitionPair("m-a", "m-b", at=1.0, duration=0.5)])
+        assert records == [
+            (1.0, "partition", "m-a|m-b"),
+            (1.5, "heal", "m-a|m-b"),
+        ]
+
+    def test_drop_burst_restores_base(self):
+        records = expected_records(
+            [DropBurst(0.4, at=1.0, duration=1.0)], base_drop_probability=0.01
+        )
+        assert records == [
+            (1.0, "drop_burst", "p=0.4"),
+            (2.0, "drop_restore", "p=0.01"),
+        ]
+
+    def test_slow_and_skew(self):
+        records = expected_records(
+            [
+                SlowMachine("m-x", at=0.5, duration=1.0, factor=4.0),
+                SkewClock("ingestor-0", at=0.125, duration=0.125, skew=0.5),
+            ]
+        )
+        assert records == [
+            (0.125, "skew", "ingestor-0"),
+            (0.25, "unskew", "ingestor-0"),
+            (0.5, "slow", "m-x"),
+            (1.5, "restore_speed", "m-x"),
+        ]
+
+    def test_records_are_sorted(self):
+        events = [
+            CrashNode("b", at=2.0, downtime=0.1),
+            CrashNode("a", at=1.0, downtime=5.0),
+        ]
+        records = expected_records(events)
+        assert records == sorted(records)
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(TypeError):
+            expected_records([object()])
+
+
+class TestNemesisLog:
+    def test_wall_excluded_from_fingerprint(self):
+        a, b = NemesisLog(), NemesisLog()
+        a.add(1.0, "crash", "x", wall=1.0)
+        b.add(1.0, "crash", "x", wall=7.3)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_canonical_fingerprint_is_order_insensitive(self):
+        a, b = NemesisLog(), NemesisLog()
+        a.add(1.0, "crash", "x")
+        a.add(1.0, "partition", "m-a|m-b")
+        b.add(1.0, "partition", "m-a|m-b")
+        b.add(1.0, "crash", "x")
+        assert a.fingerprint() != b.fingerprint()
+        assert a.canonical_fingerprint() == b.canonical_fingerprint()
+
+
+class TestRandomSchedule:
+    def test_seed_determinism(self):
+        draw = lambda seed: random_schedule(  # noqa: E731
+            random.Random(seed),
+            horizon=5.0,
+            node_names=["ingestor-0", "compactor-0"],
+            machine_names=["m-ingestor-0", "m-compactor-0", "m-driver"],
+            crashes=2,
+            partitions=2,
+            drop_bursts=1,
+            slowdowns=1,
+        )
+        assert draw(4) == draw(4)
+        assert draw(4) != draw(5)
+
+    def test_unsorted_name_order_does_not_change_draw(self):
+        kwargs = dict(horizon=5.0, crashes=2, partitions=1)
+        a = random_schedule(
+            random.Random(1),
+            node_names=["b", "a"],
+            machine_names=["m-b", "m-a"],
+            **kwargs,
+        )
+        b = random_schedule(
+            random.Random(1),
+            node_names=["a", "b"],
+            machine_names=["m-a", "m-b"],
+            **kwargs,
+        )
+        assert a == b
+
+
+class TestSimInterpreterMatchesOracle:
+    """The sim nemesis must log exactly the oracle's records."""
+
+    def _run(self, events, drop_probability=0.0, horizon=10.0):
+        cluster = build_cluster(
+            ClusterSpec(
+                config=TINY,
+                num_ingestors=1,
+                num_compactors=2,
+                num_readers=1,
+                drop_probability=drop_probability,
+            )
+        )
+        nemesis = Nemesis.for_cluster(cluster)
+        nemesis.schedule(events)
+        cluster.run(until=horizon)
+        assert nemesis.done()
+        return nemesis
+
+    def test_mixed_scenario_fingerprint(self):
+        events = [
+            CrashNode("ingestor-0", at=1.0, downtime=0.5),
+            PartitionPair("m-ingestor-0", "m-compactor-0", at=2.0, duration=0.5),
+            DropBurst(0.3, at=3.0, duration=0.5),
+            SlowMachine("m-compactor-1", at=4.0, duration=0.5, factor=2.0),
+        ]
+        nemesis = self._run(events)
+        assert nemesis.log.canonical_fingerprint() == expected_fingerprint(events)
+
+    def test_fingerprint_accounts_for_base_drop_probability(self):
+        events = [DropBurst(0.5, at=1.0, duration=1.0)]
+        nemesis = self._run(events, drop_probability=0.02)
+        assert nemesis.log.canonical_fingerprint() == expected_fingerprint(
+            events, base_drop_probability=0.02
+        )
+
+    def test_replay_is_bit_identical(self):
+        events = [
+            CrashNode("reader-0", at=0.5, downtime=0.25),
+            PartitionPair("m-ingestor-0", "m-compactor-1", at=1.0, duration=0.75),
+        ]
+        first = self._run(events).log.fingerprint()
+        second = self._run(events).log.fingerprint()
+        assert first == second == expected_fingerprint(events)
