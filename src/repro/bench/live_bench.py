@@ -1,26 +1,41 @@
 """Benchmark a real localhost CooLSM cluster (``repro.cli live-bench``).
 
 Launches the standard smoke topology (1 Ingestor, 2 Compactors,
-1 Reader) as subprocesses, then drives it with increasing client
-counts, measuring wall-clock upsert and read latency through the real
-client stack — wire codec, TCP, asyncio interpreter — and throughput
-per client count.  Results land in ``BENCH_live.json``.
+1 Reader) as subprocesses, then drives a **saturation sweep**: the
+cross product of client counts and pipelining depths, measuring
+wall-clock upsert/read latency (p50/p99/p999) through the real client
+stack — wire codec, TCP, asyncio interpreter — and throughput per
+point.  Results land in ``BENCH_live.json``.
+
+Depth 0 is the legacy synchronous path (one blocking RPC per op): it
+anchors the machine-relative ``pipelined_speedup`` — best pipelined
+throughput over best synchronous throughput — which is what the CI
+``--check`` gate compares against the checked-in baseline (ratios
+transfer across machines; absolute ops/s do not).
+
+Pipelined points write through :class:`~repro.core.client.ClientPipeline`
+(auto-batching into ``UpsertBatchRequest``, up to ``depth`` batches in
+flight) against a cluster running WAL group commit, so one fsync and
+one wire round-trip amortise over many acks.
 
 These are *real seconds on whatever machine runs the bench*, not the
 simulator's modelled seconds: use them to track live-runtime overhead
-(serialisation, transport, event-loop scheduling) across changes, not
-to reproduce the paper's figures (that is the simulator's job).
+across changes, not to reproduce the paper's figures (that is the
+simulator's job).
 """
 
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import json
+import os
 import platform
 import sys
 import tempfile
 import time
 
+from repro.core.client import ClientPipeline
 from repro.core.config import CooLSMConfig
 from repro.core.history import History
 
@@ -29,103 +44,223 @@ from repro.live.node import LiveSpec
 
 from .metrics import LatencySummary, throughput
 
-#: Fraction of operations that are reads in the benchmark mix.
-READ_FRACTION = 0.2
+#: Synchronous point reads per client, probed AFTER the write phase
+#: drains: the write sweep saturates the write path without a blocking
+#: read serialising the pipeline, and the probe still reports read
+#: latency (and verifies the writes landed) at every point.
+READ_PROBES = 50
+#: Default sweep shape: every client count at every pipelining depth
+#: (0 = the synchronous one-RPC-per-op reference path).
+DEFAULT_CLIENTS = (1, 2, 4, 8, 16)
+DEFAULT_DEPTHS = (0, 4, 16)
+DEFAULT_MAX_BATCH = 128
 
 
-def _workload(client, rng, key_range: int, ops: int, samples: dict):
-    """One client's operation mix; appends wall-clock latencies."""
+def _sync_workload(client, rng, key_range: int, ops: int, samples: dict):
+    """Depth 0: one blocking RPC per upsert (the pre-pipelining path)."""
     for _ in range(ops):
         key = str(rng.randrange(key_range)).encode()
         started = time.perf_counter()
-        if rng.random() < READ_FRACTION:
-            yield from client.read(key)
-            samples["read"].append(time.perf_counter() - started)
-        else:
-            yield from client.upsert(key, b"v" + key)
-            samples["upsert"].append(time.perf_counter() - started)
+        yield from client.upsert(key, b"v" + key)
+        samples["upsert"].append(time.perf_counter() - started)
     return ops
 
 
-async def _drive(spec: LiveSpec, num_clients: int, ops_per_client: int, seed: int):
+def _pipelined_workload(
+    client, rng, key_range: int, ops: int, samples: dict, max_batch: int, depth: int
+):
+    """Writes through the auto-batching pipeline; per-op latency is
+    submit -> ack of the covering batch, so queueing delay inside the
+    window is charged to the op (the honest pipelining tradeoff)."""
+    pipeline = ClientPipeline(client, max_batch=max_batch, depth=depth)
+    for _ in range(ops):
+        key = str(rng.randrange(key_range)).encode()
+        yield from pipeline.put(key, b"v" + key)
+    yield from pipeline.drain()
+    samples["upsert"].extend(pipeline.latencies)
+    return ops
+
+
+def _read_probe(client, rng, key_range: int, samples: dict):
+    """Post-drain synchronous reads: latency under a quiescent cluster
+    plus a spot-check that the batched writes are actually readable."""
+    for _ in range(READ_PROBES):
+        key = str(rng.randrange(key_range)).encode()
+        started = time.perf_counter()
+        value = yield from client.read(key)
+        samples["read"].append(time.perf_counter() - started)
+        if value is not None and value != b"v" + key:
+            raise AssertionError(f"read {key!r} returned foreign value {value!r}")
+    return READ_PROBES
+
+
+async def _drive(
+    spec: LiveSpec,
+    num_clients: int,
+    ops_per_client: int,
+    seed: int,
+    max_batch: int,
+    depth: int,
+):
     import random
 
     samples: dict[str, list[float]] = {"upsert": [], "read": []}
     history = History()
     async with ClientPool(spec, num_clients=num_clients, history=history) as pool:
         started = time.perf_counter()
+        workloads = []
+        for index, client in enumerate(pool.clients):
+            rng = random.Random(seed + index)
+            if depth > 0:
+                workload = _pipelined_workload(
+                    client, rng, spec.config.key_range, ops_per_client,
+                    samples, max_batch, depth,
+                )
+            else:
+                workload = _sync_workload(
+                    client, rng, spec.config.key_range, ops_per_client, samples
+                )
+            workloads.append(pool.run(workload, f"bench-{index}"))
+        await asyncio.gather(*workloads)
+        elapsed = time.perf_counter() - started
+        # Read latency is probed after the write phase drains, outside
+        # the timed window (the sweep's throughput is the write path's).
         await asyncio.gather(
             *(
                 pool.run(
-                    _workload(
-                        client,
-                        random.Random(seed + index),
-                        spec.config.key_range,
-                        ops_per_client,
-                        samples,
+                    _read_probe(
+                        client, random.Random(seed + 7_000 + i),
+                        spec.config.key_range, samples,
                     ),
-                    f"bench-{index}",
+                    f"probe-{i}",
                 )
-                for index, client in enumerate(pool.clients)
+                for i, client in enumerate(pool.clients[:num_clients])
             )
         )
-        elapsed = time.perf_counter() - started
     return samples, elapsed, len(history)
 
 
+def _latency_doc(summary: LatencySummary) -> dict:
+    return {
+        "p50": round(summary.ms("p50"), 3),
+        "p99": round(summary.ms("p99"), 3),
+        "p999": round(summary.ms("p999"), 3),
+        "mean": round(summary.ms("mean"), 3),
+        "count": summary.count,
+    }
+
+
 def run(
-    client_counts: list[int],
+    client_counts: list[int] | None = None,
     ops_per_client: int = 400,
     seed: int = 0,
+    depths: list[int] | None = None,
+    max_batch: int = DEFAULT_MAX_BATCH,
 ) -> dict:
-    """Run the live benchmark; returns the BENCH_live.json document."""
-    config = CooLSMConfig().scaled_down(10)
+    """Run the saturation sweep; returns the BENCH_live.json document."""
+    client_counts = list(client_counts or DEFAULT_CLIENTS)
+    depths = list(depths if depths is not None else DEFAULT_DEPTHS)
+    config = dataclasses.replace(
+        CooLSMConfig().scaled_down(10), wal_group_commit=True
+    )
     points = []
-    for num_clients in client_counts:
-        spec = localhost_spec(
-            1, 2, 1, num_clients=max(num_clients, 1), config=config, seed=seed
-        )
-        with tempfile.TemporaryDirectory(prefix="coolsm-live-bench-") as work:
-            with LocalCluster(spec, work) as cluster:
-                cluster.wait_ready()
-                samples, elapsed, recorded = asyncio.run(
-                    _drive(spec, num_clients, ops_per_client, seed)
-                )
-                exit_codes = cluster.stop()
-        total_ops = num_clients * ops_per_client
-        upsert = LatencySummary.from_samples(samples["upsert"])
-        read = LatencySummary.from_samples(samples["read"])
-        points.append(
-            {
-                "clients": num_clients,
-                "ops": total_ops,
-                "recorded_ops": recorded,
-                "elapsed_s": round(elapsed, 4),
-                "throughput_ops_s": round(throughput(total_ops, elapsed), 1),
-                "upsert_ms": {
-                    "p50": round(upsert.ms("p50"), 3),
-                    "p99": round(upsert.ms("p99"), 3),
-                    "mean": round(upsert.ms("mean"), 3),
-                    "count": upsert.count,
-                },
-                "read_ms": {
-                    "p50": round(read.ms("p50"), 3),
-                    "p99": round(read.ms("p99"), 3),
-                    "mean": round(read.ms("mean"), 3),
-                    "count": read.count,
-                },
-                "drained_exit_codes": exit_codes,
-            }
-        )
+    for depth in depths:
+        for num_clients in client_counts:
+            spec = localhost_spec(
+                1, 2, 1, num_clients=max(num_clients, 1), config=config, seed=seed
+            )
+            with tempfile.TemporaryDirectory(prefix="coolsm-live-bench-") as work:
+                with LocalCluster(spec, work) as cluster:
+                    cluster.wait_ready()
+                    samples, elapsed, recorded = asyncio.run(
+                        _drive(
+                            spec, num_clients, ops_per_client, seed, max_batch, depth
+                        )
+                    )
+                    exit_codes = cluster.stop()
+            total_ops = num_clients * ops_per_client
+            points.append(
+                {
+                    "clients": num_clients,
+                    "depth": depth,
+                    "max_batch": max_batch if depth > 0 else 1,
+                    "ops": total_ops,
+                    "recorded_ops": recorded,
+                    "elapsed_s": round(elapsed, 4),
+                    "throughput_ops_s": round(throughput(total_ops, elapsed), 1),
+                    "upsert_ms": _latency_doc(
+                        LatencySummary.from_samples(samples["upsert"])
+                    ),
+                    "read_ms": _latency_doc(
+                        LatencySummary.from_samples(samples["read"])
+                    ),
+                    "drained_exit_codes": exit_codes,
+                }
+            )
+    best = max(points, key=lambda p: p["throughput_ops_s"])
+    sync_points = [p for p in points if p["depth"] == 0]
+    sync_best = (
+        max(p["throughput_ops_s"] for p in sync_points) if sync_points else None
+    )
     return {
         "bench": "live",
         "topology": {"ingestors": 1, "compactors": 2, "readers": 1},
         "ops_per_client": ops_per_client,
-        "read_fraction": READ_FRACTION,
+        "read_probes": READ_PROBES,
         "seed": seed,
         "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+        "sweep": {"clients": client_counts, "depths": depths, "max_batch": max_batch},
+        "wal_group_commit": {
+            "enabled": config.wal_group_commit,
+            "max_batch": config.group_commit_max_batch,
+            "max_delay": config.group_commit_max_delay,
+        },
         "points": points,
+        "best": {
+            "clients": best["clients"],
+            "depth": best["depth"],
+            "throughput_ops_s": best["throughput_ops_s"],
+        },
+        "sync_baseline_ops_s": sync_best,
+        "pipelined_speedup": (
+            round(best["throughput_ops_s"] / sync_best, 2)
+            if sync_best
+            else None
+        ),
     }
+
+
+def check_regression(
+    current: dict, baseline: dict | None, max_regression: float = 2.0
+) -> list[str]:
+    """Failures (empty when healthy).  Correctness is absolute — every
+    node must have drained cleanly at every point; speed is the
+    machine-relative ``pipelined_speedup`` (best pipelined / best
+    synchronous throughput on the SAME machine) vs the baseline's, so
+    the gate travels across hardware."""
+    failures: list[str] = []
+    for point in current["points"]:
+        if any(code != 0 for code in point["drained_exit_codes"].values()):
+            failures.append(
+                f"clients={point['clients']} depth={point['depth']}: "
+                f"non-zero drain exits {point['drained_exit_codes']}"
+            )
+    if baseline is not None and _comparable(current, baseline):
+        base = baseline.get("pipelined_speedup") or 0.0
+        cur = current.get("pipelined_speedup") or 0.0
+        if base > 0 and cur < base / max_regression:
+            failures.append(
+                f"pipelined_speedup regressed {base:.2f}x -> {cur:.2f}x "
+                f"(allowed factor {max_regression}x)"
+            )
+    return failures
+
+
+def _comparable(current: dict, baseline: dict) -> bool:
+    """Speedups only compare between runs of the same sweep shape."""
+    keys = ("sweep", "topology", "ops_per_client", "read_probes")
+    return all(current.get(k) == baseline.get(k) for k in keys)
 
 
 def run_and_report(
@@ -133,30 +268,49 @@ def run_and_report(
     client_counts: list[int] | None = None,
     ops_per_client: int = 400,
     seed: int = 0,
+    depths: list[int] | None = None,
+    max_batch: int = DEFAULT_MAX_BATCH,
+    check: str | None = None,
+    max_regression: float = 2.0,
 ) -> int:
-    """CLI entrypoint: run, print a table, write the JSON document."""
-    document = run(client_counts or [1, 2, 4], ops_per_client, seed)
-    print(f"live bench — {document['topology']} — {ops_per_client} ops/client")
+    """CLI entrypoint: run, print a table, write JSON, gate vs baseline."""
+    document = run(client_counts, ops_per_client, seed, depths, max_batch)
+    print(
+        f"live bench — {document['topology']} — {ops_per_client} ops/client, "
+        f"cpus={document['cpus']}, group_commit="
+        f"{document['wal_group_commit']['enabled']}"
+    )
     header = (
-        f"{'clients':>8} {'thru ops/s':>11} {'upsert p50':>11} "
-        f"{'upsert p99':>11} {'read p50':>9} {'read p99':>9}"
+        f"{'clients':>8} {'depth':>6} {'thru ops/s':>11} {'upsert p50':>11} "
+        f"{'upsert p99':>11} {'p999':>9} {'read p50':>9} {'read p99':>9}"
     )
     print(header)
-    failed = False
     for point in document["points"]:
         print(
-            f"{point['clients']:>8} {point['throughput_ops_s']:>11} "
+            f"{point['clients']:>8} {point['depth']:>6} "
+            f"{point['throughput_ops_s']:>11} "
             f"{point['upsert_ms']['p50']:>10.2f}ms {point['upsert_ms']['p99']:>10.2f}ms "
+            f"{point['upsert_ms']['p999']:>8.2f}ms "
             f"{point['read_ms']['p50']:>8.2f}ms {point['read_ms']['p99']:>8.2f}ms"
         )
-        if any(code != 0 for code in point["drained_exit_codes"].values()):
-            failed = True
-            print(f"  !! non-zero drain exits: {point['drained_exit_codes']}")
+    best = document["best"]
+    print(
+        f"best: {best['throughput_ops_s']} ops/s at clients={best['clients']} "
+        f"depth={best['depth']} (sync baseline {document['sync_baseline_ops_s']} "
+        f"ops/s, speedup {document['pipelined_speedup']}x)"
+    )
     with open(out, "w") as sink:
         json.dump(document, sink, indent=2)
         sink.write("\n")
     print(f"wrote {out}")
-    return 1 if failed else 0
+    baseline = None
+    if check is not None:
+        with open(check) as source:
+            baseline = json.load(source)
+    failures = check_regression(document, baseline, max_regression)
+    for failure in failures:
+        print(f"  !! {failure}")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -201,6 +201,10 @@ def _cmd_live_bench(args) -> int:
         client_counts=[int(c) for c in args.clients.split(",")],
         ops_per_client=args.ops,
         seed=args.seed,
+        depths=[int(d) for d in args.depths.split(",")],
+        max_batch=args.batch,
+        check=args.check,
+        max_regression=args.max_regression,
     )
 
 
@@ -310,12 +314,32 @@ def main(argv: list[str] | None = None) -> int:
         "--out", default="BENCH_live.json", help="output JSON path"
     )
     live_bench_parser.add_argument(
-        "--clients", default="1,2,4", help="comma-separated client counts"
+        "--clients", default="1,2,4,8,16", help="comma-separated client counts"
     )
     live_bench_parser.add_argument(
         "--ops", type=int, default=400, help="operations per client"
     )
     live_bench_parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    live_bench_parser.add_argument(
+        "--depths",
+        default="0,4,16",
+        help="comma-separated pipelining depths (0 = synchronous reference path)",
+    )
+    live_bench_parser.add_argument(
+        "--batch", type=int, default=128, help="max upserts per pipelined batch"
+    )
+    live_bench_parser.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE",
+        help="compare against a baseline BENCH_live.json; exit 1 on regression",
+    )
+    live_bench_parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="allowed pipelined_speedup shrink factor vs baseline (default 2.0)",
+    )
     recovery_parser = subparsers.add_parser(
         "recovery-bench",
         help="benchmark crash recovery of a real durable cluster",

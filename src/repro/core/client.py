@@ -38,6 +38,8 @@ from .messages import (
     RangeQueryReply,
     ReadReply,
     ReadRequest,
+    UpsertBatchReply,
+    UpsertBatchRequest,
     UpsertReply,
     UpsertRequest,
 )
@@ -202,6 +204,49 @@ class Client(RpcNode):
             )
         return reply
 
+    def upsert_many(self, items, ingestor: str | None = None):
+        """Insert or overwrite many keys with ONE batched RPC.
+
+        ``items`` is an iterable of ``(key, value)`` pairs; they are
+        applied by the Ingestor in order and each gets its own stamped
+        :class:`UpsertReply` (returned as a list, in order).  The whole
+        batch retries/fails over as a unit — safe because re-upserting
+        the same values is idempotent, the same argument that covers a
+        single upsert whose ack was lost.
+        """
+        requests = tuple(
+            UpsertRequest(encode_key(key), encode_value(value))
+            for key, value in items
+        )
+        return (yield from self._do_upsert_batch(requests, ingestor))
+
+    def _do_upsert_batch(self, requests: tuple[UpsertRequest, ...], ingestor: str | None):
+        if not requests:
+            return []
+        invoked = self.kernel.now
+        size = 64 + sum(32 + len(r.key) + len(r.value) for r in requests)
+        target, reply = yield from self._failover_call(
+            ingestor, self.ingestors, "upsert_batch",
+            UpsertBatchRequest(requests), size_bytes=size,
+        )
+        assert isinstance(reply, UpsertBatchReply)
+        completed = self.kernel.now
+        latency = completed - invoked
+        for request, op_reply in zip(requests, reply.replies):
+            self.stats.record("write", latency)
+            if self.history is not None:
+                self.history.record(
+                    "write",
+                    request.key,
+                    None if request.tombstone else request.value,
+                    invoked,
+                    completed,
+                    op_reply.timestamp,
+                    client=self.name,
+                    server=target,
+                )
+        return list(reply.replies)
+
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
@@ -339,3 +384,132 @@ class Client(RpcNode):
         if entry is None or entry.tombstone:
             return None
         return entry.value
+
+
+class ClientPipeline:
+    """Auto-batching, pipelined write issuer on top of one client.
+
+    Coalesces submitted upserts into :meth:`Client.upsert_many` batches
+    of up to ``max_batch`` ops and keeps up to ``depth`` batched RPCs in
+    flight at once, so one client saturates the connection instead of
+    paying a full round-trip (and, server-side, a full fsync) per op.
+    Kernel-agnostic: works under the simulator and the live runtime.
+
+    Use :meth:`put` (a generator — ``yield from pipeline.put(...)``) to
+    submit with backpressure: it parks the caller while the window
+    (``depth * max_batch`` ops buffered or in flight) is full.  Call
+    :meth:`drain` before reading your own writes or exiting — only ops
+    acked by then are durable; the first batch failure (after the
+    client's own retries and failovers) is re-raised there and by the
+    next ``put``.
+
+    Per-op latencies (submit -> batch ack, seconds) accumulate in
+    ``latencies`` for the benchmark harness.
+    """
+
+    def __init__(
+        self,
+        client: Client,
+        ingestor: str | None = None,
+        max_batch: int = 32,
+        depth: int = 4,
+    ) -> None:
+        if max_batch <= 0 or depth <= 0:
+            raise ValueError("max_batch and depth must be positive")
+        self.client = client
+        self.kernel = client.kernel
+        self.ingestor = ingestor
+        self.max_batch = max_batch
+        self.depth = depth
+        self.latencies: list[float] = []
+        self.ops_acked = 0
+        self.batches_sent = 0
+        self._buffer: list[tuple[UpsertRequest, float]] = []
+        self._inflight_batches = 0
+        self._inflight_ops = 0
+        self._pump_scheduled = False
+        self._waiters: list = []
+        self._error: Exception | None = None
+
+    @property
+    def pending_ops(self) -> int:
+        """Ops submitted but not yet acked (buffered + in flight)."""
+        return len(self._buffer) + self._inflight_ops
+
+    def submit(self, key, value) -> None:
+        """Queue one upsert without blocking (no window check — callers
+        that outrun ``depth * max_batch`` should use :meth:`put`)."""
+        self._raise_if_failed()
+        request = UpsertRequest(encode_key(key), encode_value(value))
+        self._buffer.append((request, self.kernel.now))
+        self._dispatch()
+
+    def put(self, key, value):
+        """Generator: queue one upsert, parking while the window is full."""
+        while self.pending_ops >= self.depth * self.max_batch:
+            waiter = self.kernel.event()
+            self._waiters.append(waiter)
+            yield waiter
+        self.submit(key, value)
+
+    def drain(self):
+        """Generator: flush the buffer, wait until nothing is in flight,
+        and re-raise the first batch failure if there was one."""
+        while self._buffer or self._inflight_batches:
+            self._dispatch(flush=True)
+            if not (self._buffer or self._inflight_batches):
+                break
+            waiter = self.kernel.event()
+            self._waiters.append(waiter)
+            yield waiter
+        self._raise_if_failed()
+
+    def _raise_if_failed(self) -> None:
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise error
+
+    def _dispatch(self, flush: bool = False) -> None:
+        """Launch full batches while slots are free; a partial buffer
+        waits one scheduler tick for same-tick submits (or goes out
+        immediately when ``flush`` demands it)."""
+        while self._inflight_batches < self.depth and (
+            len(self._buffer) >= self.max_batch or (flush and self._buffer)
+        ):
+            batch = self._buffer[: self.max_batch]
+            del self._buffer[: self.max_batch]
+            self._inflight_batches += 1
+            self._inflight_ops += len(batch)
+            self.batches_sent += 1
+            self.kernel.spawn(
+                self._run_batch(batch),
+                f"{self.client.name}.pipeline.batch",
+            )
+        if self._buffer and self._inflight_batches < self.depth and not self._pump_scheduled:
+            self._pump_scheduled = True
+            self.kernel.spawn(self._pump(), f"{self.client.name}.pipeline.pump")
+
+    def _pump(self):
+        yield self.kernel.timeout(0.0)
+        self._pump_scheduled = False
+        self._dispatch(flush=True)
+
+    def _run_batch(self, batch):
+        requests = tuple(request for request, __ in batch)
+        try:
+            yield from self.client._do_upsert_batch(requests, self.ingestor)
+        except (RpcTimeout, RemoteError, ValueError) as error:
+            if self._error is None:
+                self._error = error
+        else:
+            acked = self.kernel.now
+            for __, submitted in batch:
+                self.latencies.append(acked - submitted)
+            self.ops_acked += len(batch)
+        finally:
+            self._inflight_batches -= 1
+            self._inflight_ops -= len(batch)
+            self._dispatch()
+            waiters, self._waiters = self._waiters, []
+            for waiter in waiters:
+                waiter.succeed()

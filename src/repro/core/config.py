@@ -65,6 +65,18 @@ class CooLSMConfig:
             results keyed by immutable sstable id, so cached entries
             never go stale; see :mod:`repro.lsm.cache`).  0 disables
             node-side caching.  Volatile state: cleared on crash.
+        wal_group_commit: When an Ingestor has a durable store attached,
+            batch concurrent WAL appends so one fsync covers many acks
+            (DESIGN.md §13).  Ack-time durability is preserved — no op
+            is acked before the fsync covering its record — only the
+            fsync count is amortised.  Off by default so store
+            attachment stays byte-identical with the sim schedule.
+        group_commit_max_batch: Entries one group-commit fsync may
+            cover; a fuller buffer flushes in several records.
+        group_commit_max_delay: Extra seconds the group-commit flusher
+            may wait for stragglers before fsyncing a non-full buffer.
+            0 flushes at the next scheduler tick (pure coalescing of
+            already-concurrent appends, no added latency).
         costs: The compute cost model.
     """
 
@@ -85,6 +97,9 @@ class CooLSMConfig:
     client_timeout: float | None = None
     client_retry_budget: int = 4
     read_cache_capacity: int = 4_096
+    wal_group_commit: bool = False
+    group_commit_max_batch: int = 256
+    group_commit_max_delay: float = 0.0
     costs: CostModel = DEFAULT_COSTS
 
     def __post_init__(self) -> None:
@@ -112,6 +127,10 @@ class CooLSMConfig:
             raise InvalidConfigError("client_timeout must be positive")
         if self.read_cache_capacity < 0:
             raise InvalidConfigError("read_cache_capacity must be non-negative")
+        if self.group_commit_max_batch <= 0:
+            raise InvalidConfigError("group_commit_max_batch must be positive")
+        if self.group_commit_max_delay < 0:
+            raise InvalidConfigError("group_commit_max_delay must be non-negative")
 
     @property
     def request_timeout(self) -> float:

@@ -55,6 +55,8 @@ from .messages import (
     RangeQueryReply,
     ReadReply,
     ReadRequest,
+    UpsertBatchReply,
+    UpsertBatchRequest,
     UpsertReply,
     UpsertRequest,
 )
@@ -65,6 +67,9 @@ class IngestorStats:
     """Counters and timings exposed for the evaluation harness."""
 
     upserts: int = 0
+    batch_upserts: int = 0
+    group_commits: int = 0
+    group_commit_entries: int = 0
     reads: int = 0
     flushes: int = 0
     minor_compactions: int = 0
@@ -152,6 +157,13 @@ class Ingestor(RpcNode):
         # Optional durable storage (live runtime); None under the
         # simulator, where all persistence stays modelled.
         self._store = None
+        # WAL group commit (config.wal_group_commit): pending
+        # (entries, ack-event) groups awaiting the shared fsync, the
+        # total entry count buffered, and the single flusher's state.
+        self._gc_buffer: list = []
+        self._gc_buffered = 0
+        self._gc_flusher_active = False
+        self._gc_wake = None
         # Highest timestamp this node ever stamped: persisted so a
         # restarted process (whose kernel clock restarts at zero) keeps
         # issuing strictly newer timestamps.
@@ -159,6 +171,7 @@ class Ingestor(RpcNode):
         self._drain_waiters: list = []
         self._compact_lock = Resource(kernel, 1)
         self.on("upsert", self._handle_upsert)
+        self.on("upsert_batch", self._handle_upsert_batch)
         self.on("read", self._handle_read)
         self.on("read_phase1", self._handle_read_phase1)
         self.on("ingestor_read", self._handle_ingestor_read)
@@ -201,6 +214,9 @@ class Ingestor(RpcNode):
             "l1_tables": len(self.level1),
             "forward_retries": self.stats.forward_retries,
             "forward_failovers": self.stats.forward_failovers,
+            "batch_upserts": self.stats.batch_upserts,
+            "wal_group_commits": self.stats.group_commits,
+            "wal_group_commit_entries": self.stats.group_commit_entries,
         }
 
     # ------------------------------------------------------------------
@@ -208,6 +224,45 @@ class Ingestor(RpcNode):
     # ------------------------------------------------------------------
     def _handle_upsert(self, src: str, request: UpsertRequest):
         yield from self.compute(self.config.costs.upsert_cpu)
+        entry = self._stamp(request)
+        # Log-then-ack: the reply below is only sent once the entry is
+        # fsynced, so "acked" means "survives SIGKILL".  Under group
+        # commit the wait parks this handler until the shared fsync
+        # covering its record completes.
+        yield from self._log_durable([entry])
+        self.stats.upserts += 1
+        if self._memtable.is_full():
+            # The batch is full: this request pays for the flush (and any
+            # cascading minor compaction + forwarding stall) — the
+            # occasional slow writes of Table II.
+            yield from self._flush_and_compact()
+        return UpsertReply(entry.timestamp, entry.seqno)
+
+    def _handle_upsert_batch(self, src: str, request: UpsertBatchRequest):
+        """Apply a whole client batch with one durability wait.
+
+        Ops are stamped and applied in order; with WAL group commit one
+        fsync (shared with any concurrent batches) covers every ack in
+        the reply, which is what makes the pipelined write path cheap.
+        Externally equivalent to the same ops sent one at a time.
+        """
+        if not request.ops:
+            return UpsertBatchReply(())
+        yield from self.compute(len(request.ops) * self.config.costs.upsert_cpu)
+        entries = [self._stamp(op) for op in request.ops]
+        yield from self._log_durable(entries)
+        self.stats.upserts += len(entries)
+        self.stats.batch_upserts += 1
+        if self._memtable.is_full():
+            # The memtable tolerates overshoot, so the whole batch lands
+            # in one generation and pays for at most one flush.
+            yield from self._flush_and_compact()
+        return UpsertBatchReply(
+            tuple(UpsertReply(e.timestamp, e.seqno) for e in entries)
+        )
+
+    def _stamp(self, request: UpsertRequest) -> Entry:
+        """Stamp one op and apply it to the in-memory write state."""
         timestamp = self.clock.now()
         entry = Entry(
             request.key, self._next_seqno(), timestamp, request.value, request.tombstone
@@ -215,17 +270,88 @@ class Ingestor(RpcNode):
         self._unflushed.append(entry)
         self._memtable.put(entry)
         self._max_entry_ts = timestamp
-        if self._store is not None:
-            # Log-then-ack: the reply below is only sent once the entry
-            # is fsynced, so "acked" means "survives SIGKILL".
-            self._store.log_entries([entry])
-        self.stats.upserts += 1
-        if self._memtable.is_full():
-            # The batch is full: this request pays for the flush (and any
-            # cascading minor compaction + forwarding stall) — the
-            # occasional slow writes of Table II.
-            yield from self._flush_and_compact()
-        return UpsertReply(timestamp, entry.seqno)
+        return entry
+
+    def _log_durable(self, entries: list[Entry]):
+        """Make ``entries`` durable (WAL) before the caller acks.
+
+        Without a store this is a no-op *with zero yields*, so the sim
+        schedule is untouched.  Without ``wal_group_commit`` it is the
+        synchronous log-then-ack path: one fsynced record per call.
+        With group commit the entries join the shared buffer and the
+        caller parks until the flusher's fsync covers them — one fsync
+        then acks every handler that contributed to the buffer.
+        """
+        if self._store is None:
+            return
+        if not self.config.wal_group_commit:
+            self._store.log_entries(entries)
+            return
+        waiter = self.kernel.event()
+        self._gc_buffer.append((entries, waiter))
+        self._gc_buffered += len(entries)
+        if not self._gc_flusher_active:
+            self._gc_flusher_active = True
+            self.kernel.spawn(self._group_commit_loop(), f"{self.name}.group-commit")
+        elif (
+            self._gc_wake is not None
+            and not self._gc_wake.triggered
+            and self._gc_buffered >= self.config.group_commit_max_batch
+        ):
+            self._gc_wake.succeed()  # full buffer: cut the delay short
+        yield waiter
+
+    def _group_commit_loop(self):
+        """The single group-commit flusher.
+
+        Spawned lazily by the first buffered append and exits once the
+        buffer drains (a later append spawns a fresh one).  Each round
+        waits one scheduler tick (plus up to ``group_commit_max_delay``
+        while the buffer is short) so concurrent handlers can pile on,
+        then writes up to ``group_commit_max_batch`` entries as ONE
+        fsynced WAL record and wakes every handler it covered.
+        """
+        try:
+            while self._gc_buffer:
+                delay = self.config.group_commit_max_delay
+                if delay > 0 and self._gc_buffered < self.config.group_commit_max_batch:
+                    self._gc_wake = self.kernel.event()
+                    yield self.kernel.any_of(
+                        [self._gc_wake, self.kernel.timeout(delay)]
+                    )
+                    self._gc_wake = None
+                else:
+                    # One tick: everything already runnable gets to
+                    # append before the fsync, at no added latency.
+                    yield self.kernel.timeout(0.0)
+                while self._gc_buffer:
+                    # Take whole groups (a handler's entries are never
+                    # split across fsyncs) up to max_batch — always at
+                    # least one group, so oversized batches still flush.
+                    groups = [self._gc_buffer.pop(0)]
+                    taken = len(groups[0][0])
+                    while (
+                        self._gc_buffer
+                        and taken + len(self._gc_buffer[0][0])
+                        <= self.config.group_commit_max_batch
+                    ):
+                        group = self._gc_buffer.pop(0)
+                        groups.append(group)
+                        taken += len(group[0])
+                    self._gc_buffered -= taken
+                    record = [e for entries, __ in groups for e in entries]
+                    try:
+                        self._store.log_entries(record)
+                    except Exception as error:
+                        for __, waiter in groups:
+                            waiter.fail(error)
+                        raise
+                    self.stats.group_commits += 1
+                    self.stats.group_commit_entries += taken
+                    for __, waiter in groups:
+                        waiter.succeed()
+        finally:
+            self._gc_flusher_active = False
 
     def _flush_and_compact(self):
         yield self._compact_lock.request()

@@ -33,6 +33,29 @@ class UpsertReply:
 
 
 @dataclass(frozen=True, slots=True)
+class UpsertBatchRequest:
+    """Client -> Ingestor: many upserts in one wire message.
+
+    The pipelined write path coalesces concurrent client ops into one
+    batch so a single RPC (and, with WAL group commit, a single fsync)
+    covers all of them.  Ops are applied in order; each gets its own
+    stamped reply so the batch is externally equivalent to sending the
+    same :class:`UpsertRequest` sequence back to back.
+    """
+
+    ops: tuple[UpsertRequest, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class UpsertBatchReply:
+    """Ingestor -> client: one per-op reply for each op in the batch,
+    in the same order.  Sent only after every op in the batch is as
+    durable as a single acked upsert would be."""
+
+    replies: tuple[UpsertReply, ...]
+
+
+@dataclass(frozen=True, slots=True)
 class ReadRequest:
     """Point read.  ``as_of`` caps the visible timestamps: nodes ignore
     versions with timestamp > as_of (multi-Ingestor protocol)."""

@@ -360,6 +360,7 @@ class ClientPool:
             policy=self.spec.retry_policy(),
             max_queued=self.spec.transport_max_queued,
             overflow=self.spec.transport_overflow,
+            compress_min_bytes=self.spec.transport_compress_min_bytes,
         )
         machine = LiveMachine(self.kernel, "m-driver")
         for index in range(1, self.num_clients + 1):

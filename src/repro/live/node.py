@@ -79,6 +79,10 @@ class LiveSpec:
         transport_overflow: What a full queue does to the sender:
             ``"drop"`` (count + shed) or ``"raise"``
             (:class:`~repro.live.transport.BackpressureError`).
+        transport_compress_min_bytes: Payloads at least this large are
+            zlib-compressed on the wire (``FLAG_ZLIB``) when smaller —
+            for WAN-shaped links carrying forwarded sstables.  0
+            (default) sends everything uncompressed.
     """
 
     config: CooLSMConfig = field(default_factory=CooLSMConfig)
@@ -94,6 +98,7 @@ class LiveSpec:
     data_dir: str | None = None
     transport_max_queued: int = 10_000
     transport_overflow: str = "drop"
+    transport_compress_min_bytes: int = 0
 
     def role_of(self, name: str) -> str:
         if name in self.ingestor_names:
@@ -113,6 +118,10 @@ class LiveSpec:
             raise InvalidConfigError(
                 f"transport_overflow must be one of {OVERFLOW_POLICIES}, "
                 f"got {self.transport_overflow!r}"
+            )
+        if self.transport_compress_min_bytes < 0:
+            raise InvalidConfigError(
+                "transport_compress_min_bytes must be non-negative"
             )
 
     # ------------------------------------------------------------------
@@ -214,6 +223,7 @@ def spec_to_dict(spec: LiveSpec) -> dict[str, Any]:
         "data_dir": spec.data_dir,
         "transport_max_queued": spec.transport_max_queued,
         "transport_overflow": spec.transport_overflow,
+        "transport_compress_min_bytes": spec.transport_compress_min_bytes,
         "addresses": {
             name: f"{host}:{port}" for name, (host, port) in spec.addresses.items()
         },
@@ -251,6 +261,7 @@ class LiveNode:
             rng=RngRegistry(spec.seed).stream(f"transport.{name}"),
             max_queued=spec.transport_max_queued,
             overflow=spec.transport_overflow,
+            compress_min_bytes=spec.transport_compress_min_bytes,
         )
         self.machine = LiveMachine(
             self.kernel, f"m-{name}", compute_scale=spec.compute_scale

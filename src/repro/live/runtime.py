@@ -382,6 +382,7 @@ class LiveNetwork:
         rng: random.Random | None = None,
         max_queued: int = 10_000,
         overflow: str = "drop",
+        compress_min_bytes: int = 0,
     ) -> None:
         self.kernel = kernel
         self.addresses = dict(addresses)
@@ -392,6 +393,7 @@ class LiveNetwork:
             rng=rng,
             max_queued=max_queued,
             overflow=overflow,
+            compress_min_bytes=compress_min_bytes,
         )
         self._inboxes: dict[str, Store] = {}
         self._machines: dict[str, LiveMachine] = {}
@@ -419,14 +421,16 @@ class LiveNetwork:
             # asynchrony the node layer assumes is preserved in-process.
             self.kernel._soon(lambda: inbox.put((src, message)))
             return
-        payload = wire.encode_envelope(next(self._frame_ids), src, dst, message)
+        payload = wire.encode_envelope_buffer(next(self._frame_ids), src, dst, message)
         self.transport.post(dst, payload)
 
     # ------------------------------------------------------------------
     # Transport glue
     # ------------------------------------------------------------------
     def _on_payload(self, payload: bytes) -> None:
-        __, src, dst, message = wire.decode_envelope(payload)
+        # A memoryview keeps the recursive decode zero-copy: nested
+        # slices share this buffer until each value's final bytes().
+        __, src, dst, message = wire.decode_envelope(memoryview(payload))
         inbox = self._inboxes.get(dst)
         if inbox is None:
             self.unroutable += 1

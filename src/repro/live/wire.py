@@ -18,9 +18,21 @@ bloom filters and fence pointers are reconstructed rather than shipped.
     | magic | length u32 | crc u32 | payload (length B) |
     +-------+----------+---------+--------------------+
 
-A corrupted or truncated frame raises :class:`WireError`; the transport
-closes the connection (TCP already protects in flight — the CRC guards
-against framing bugs and partial writes around reconnects).
+The top three bits of the length word are frame flags (the payload
+length itself is bounded well below 2**29): :data:`FLAG_ZLIB` marks a
+zlib-compressed payload — the CRC always covers the *on-wire* bytes,
+so corruption is detected before any decompression.  A corrupted or
+truncated frame raises :class:`WireError`; the transport closes the
+connection (TCP already protects in flight — the CRC guards against
+framing bugs and partial writes around reconnects).
+
+Hot-path framing is zero-copy: :func:`encode_frame_into` appends the
+header and payload to a caller-owned ``bytearray`` (the transport
+reuses one scratch buffer per peer and drains many frames into a
+single socket write), and the decode path slices a ``memoryview`` of
+the received payload so nested values never copy the buffer before
+their final ``bytes`` materialisation.  :func:`encode_frame` remains
+as the one-shot convenience used by tests and the chaos proxy.
 
 **Registry.**  Message dataclasses are registered with *explicit* type
 ids so every process agrees on the numbering regardless of import
@@ -46,12 +58,17 @@ __all__ = [
     "MAGIC",
     "HEADER_SIZE",
     "MAX_FRAME_BYTES",
+    "FLAG_ZLIB",
+    "KNOWN_FLAGS",
     "encode_value",
     "decode_value",
     "encode_frame",
+    "encode_frame_into",
     "decode_header",
+    "decode_header_full",
     "check_payload",
     "encode_envelope",
+    "encode_envelope_buffer",
     "decode_envelope",
     "message_registry",
     "missing_codecs",
@@ -72,23 +89,61 @@ HEADER_SIZE = _HEADER.size
 #: the largest message and stays far below this in any sane deployment.
 MAX_FRAME_BYTES = 256 * 1024 * 1024
 
+# Frame flags live in the top 3 bits of the length word; the payload
+# length (<= MAX_FRAME_BYTES = 2**28) never reaches them.
+_FLAG_SHIFT = 29
+_LENGTH_MASK = (1 << _FLAG_SHIFT) - 1
+#: Payload is zlib-compressed; the CRC covers the compressed bytes.
+FLAG_ZLIB = 0x1
+#: Every flag this codec version understands (receivers reject others).
+KNOWN_FLAGS = FLAG_ZLIB
+_FLAGS_MAX = (1 << (32 - _FLAG_SHIFT)) - 1
 
-def encode_frame(payload: bytes) -> bytes:
-    """Wrap an encoded payload in a length+CRC header."""
-    if len(payload) > MAX_FRAME_BYTES:
-        raise WireError(f"frame too large: {len(payload)} bytes")
-    return _HEADER.pack(MAGIC, len(payload), zlib.crc32(payload)) + payload
+
+def encode_frame_into(out: bytearray, payload: bytes, flags: int = 0) -> None:
+    """Append one framed payload to ``out`` without intermediate copies.
+
+    The transport writer drains its whole queue through this into one
+    reused scratch buffer, then issues a single socket write.
+    """
+    length = len(payload)
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"frame too large: {length} bytes")
+    if not 0 <= flags <= _FLAGS_MAX:
+        raise WireError(f"frame flags out of range: {flags:#x}")
+    out += _HEADER.pack(MAGIC, length | (flags << _FLAG_SHIFT), zlib.crc32(payload))
+    out += payload
+
+
+def encode_frame(payload: bytes, flags: int = 0) -> bytes:
+    """Wrap an encoded payload in a length+CRC header (one-shot form)."""
+    out = bytearray()
+    encode_frame_into(out, payload, flags)
+    return bytes(out)
+
+
+def decode_header_full(header: bytes) -> tuple[int, int, int]:
+    """Parse and validate a frame header; returns (length, crc, flags).
+
+    Unknown flag bits are preserved, not rejected — forwarding relays
+    (the chaos proxy) must pass frames through byte-for-byte even when
+    they predate a flag.  Endpoint receivers reject flags they cannot
+    interpret (see the transport's receive path).
+    """
+    if len(header) != HEADER_SIZE:
+        raise WireError(f"short header: {len(header)} bytes")
+    magic, word, crc = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise WireError(f"bad magic: {magic!r}")
+    length = word & _LENGTH_MASK
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"frame too large: {length} bytes")
+    return length, crc, word >> _FLAG_SHIFT
 
 
 def decode_header(header: bytes) -> tuple[int, int]:
     """Parse and validate a frame header; returns (length, crc)."""
-    if len(header) != HEADER_SIZE:
-        raise WireError(f"short header: {len(header)} bytes")
-    magic, length, crc = _HEADER.unpack(header)
-    if magic != MAGIC:
-        raise WireError(f"bad magic: {magic!r}")
-    if length > MAX_FRAME_BYTES:
-        raise WireError(f"frame too large: {length} bytes")
+    length, crc, __ = decode_header_full(header)
     return length, crc
 
 
@@ -115,6 +170,11 @@ _T_DICT = 9
 _T_ENTRY = 10
 _T_SSTABLE = 11
 _T_MSG = 12
+# Dedicated forms for the pipelined write path: a batch of upserts (and
+# its per-op replies) is the hot message under load, so each gets a
+# packed block encoding instead of one recursive _T_MSG per op.
+_T_UPSERT_BATCH = 13
+_T_UPSERT_BATCH_REPLY = 14
 
 _U32 = struct.Struct(">I")
 _I64 = struct.Struct(">q")
@@ -122,6 +182,14 @@ _F64 = struct.Struct(">d")
 _U16 = struct.Struct(">H")
 _ENTRY_FIXED = struct.Struct(">qdB")  # seqno, timestamp, tombstone
 _SSTABLE_FIXED = struct.Struct(">qIdI")  # table_id, block_entries, fp_rate, count
+_REPLY_FIXED = struct.Struct(">dq")  # timestamp, seqno
+
+#: Bound to the batch message classes once the registry loads (late, to
+#: avoid importing repro.core.messages at module import time).
+_BATCH_REQUEST_CLS: type | None = None
+_BATCH_REPLY_CLS: type | None = None
+_UPSERT_REQUEST_CLS: type | None = None
+_UPSERT_REPLY_CLS: type | None = None
 
 _INT64_MIN, _INT64_MAX = -(2**63), 2**63 - 1
 
@@ -207,6 +275,20 @@ def encode_value(value: typing.Any, out: bytearray) -> None:
         )
         for entry in value.entries:
             _encode_entry_body(entry, out)
+    elif type(value) is _BATCH_REQUEST_CLS:
+        out.append(_T_UPSERT_BATCH)
+        out += _U32.pack(len(value.ops))
+        for op in value.ops:
+            out += _U32.pack(len(op.key))
+            out += op.key
+            out += _U32.pack(len(op.value))
+            out += op.value
+            out.append(1 if op.tombstone else 0)
+    elif type(value) is _BATCH_REPLY_CLS:
+        out.append(_T_UPSERT_BATCH_REPLY)
+        out += _U32.pack(len(value.replies))
+        for reply in value.replies:
+            out += _REPLY_FIXED.pack(reply.timestamp, reply.seqno)
     elif type(value) in _MESSAGE_IDS:
         out.append(_T_MSG)
         out += _U16.pack(_MESSAGE_IDS[type(value)])
@@ -283,6 +365,32 @@ def _decode(buf: bytes, pos: int) -> tuple[typing.Any, int]:
             table_id=table_id,
         )
         return table, pos
+    if tag == _T_UPSERT_BATCH:
+        (count,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        ops = []
+        for __ in range(count):
+            (key_len,) = _U32.unpack_from(buf, pos)
+            pos += 4
+            key = bytes(buf[pos : pos + key_len])
+            pos += key_len
+            (value_len,) = _U32.unpack_from(buf, pos)
+            pos += 4
+            value = bytes(buf[pos : pos + value_len])
+            pos += value_len
+            tombstone = buf[pos]
+            pos += 1
+            ops.append(_UPSERT_REQUEST_CLS(key, value, tombstone=bool(tombstone)))
+        return _BATCH_REQUEST_CLS(tuple(ops)), pos
+    if tag == _T_UPSERT_BATCH_REPLY:
+        (count,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        replies = []
+        for __ in range(count):
+            timestamp, seqno = _REPLY_FIXED.unpack_from(buf, pos)
+            pos += _REPLY_FIXED.size
+            replies.append(_UPSERT_REPLY_CLS(timestamp, seqno))
+        return _BATCH_REPLY_CLS(tuple(replies)), pos
     if tag == _T_MSG:
         (type_id,) = _U16.unpack_from(buf, pos)
         pos += 2
@@ -324,15 +432,32 @@ def _decode(buf: bytes, pos: int) -> tuple[typing.Any, int]:
 # ----------------------------------------------------------------------
 # Envelopes: what actually travels between processes
 # ----------------------------------------------------------------------
-def encode_envelope(frame_id: int, src: str, dst: str, message: typing.Any) -> bytes:
-    """Encode one routed message as an (unframed) payload."""
+def encode_envelope_buffer(
+    frame_id: int, src: str, dst: str, message: typing.Any
+) -> bytearray:
+    """Encode one routed message as an (unframed) payload buffer.
+
+    Returns the working ``bytearray`` itself so the hot path skips the
+    final ``bytes()`` materialisation — the transport frames it with
+    :func:`encode_frame_into` without another copy.
+    """
     out = bytearray()
     encode_value((frame_id, src, dst, message), out)
-    return bytes(out)
+    return out
+
+
+def encode_envelope(frame_id: int, src: str, dst: str, message: typing.Any) -> bytes:
+    """Encode one routed message as an (unframed) payload."""
+    return bytes(encode_envelope_buffer(frame_id, src, dst, message))
 
 
 def decode_envelope(payload: bytes) -> tuple[int, str, str, typing.Any]:
-    """Decode a payload produced by :func:`encode_envelope`."""
+    """Decode a payload produced by :func:`encode_envelope`.
+
+    Accepts ``bytes`` or a ``memoryview`` — the transport hands in a
+    memoryview so nested slices stay zero-copy until each leaf value's
+    final ``bytes`` materialisation.
+    """
     value, end = decode_value(payload, 0)
     if end != len(payload):
         raise WireError(f"{len(payload) - end} trailing bytes after envelope")
@@ -369,6 +494,8 @@ def _register_all() -> None:
         (15, messages.NodeStats),
         (16, messages.HealthPing),
         (17, messages.HealthReply),
+        (18, messages.UpsertBatchRequest),
+        (19, messages.UpsertBatchReply),
         # RPC envelopes (the request/response/cast framing the RpcNode
         # layer wraps around every payload).
         (64, rpc._Request),
@@ -377,6 +504,14 @@ def _register_all() -> None:
     ]
     for type_id, cls in protocol:
         register_message(cls, type_id)
+    # Hot-path classes for the packed batch forms (the registry entries
+    # above keep the generic _T_MSG encoding decodable too).
+    global _BATCH_REQUEST_CLS, _BATCH_REPLY_CLS
+    global _UPSERT_REQUEST_CLS, _UPSERT_REPLY_CLS
+    _BATCH_REQUEST_CLS = messages.UpsertBatchRequest
+    _BATCH_REPLY_CLS = messages.UpsertBatchReply
+    _UPSERT_REQUEST_CLS = messages.UpsertRequest
+    _UPSERT_REPLY_CLS = messages.UpsertReply
 
 
 _register_all()

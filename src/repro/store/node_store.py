@@ -93,6 +93,11 @@ class NodeStore:
         self._state: dict = {}
         self._wal: WriteAheadLog | None = None
         self._closed = False
+        #: Fsynced WAL records written / entries they covered.  Their
+        #: ratio is the group-commit amortisation factor (1.0 without
+        #: group commit: every acked upsert paid its own fsync).
+        self.wal_records = 0
+        self.wal_entries_logged = 0
 
     # ------------------------------------------------------------------
     # Open / recover
@@ -192,9 +197,13 @@ class NodeStore:
         """Durably append entries to the role WAL (one fsynced record).
 
         The Ingestor calls this for every upsert *before* acking, which
-        is what makes "acked" mean "will survive SIGKILL"."""
+        is what makes "acked" mean "will survive SIGKILL".  With WAL
+        group commit one call — one fsync — covers the entries of many
+        concurrent handlers (DESIGN.md §13)."""
         self._check_open()
         self._wal.append_batch(entries)
+        self.wal_records += 1
+        self.wal_entries_logged += len(entries)
 
     def commit(
         self,

@@ -1,0 +1,80 @@
+"""Unit tests for the live-bench regression gate (no cluster spawned).
+
+The CI job feeds ``check_regression`` a fresh sweep and the checked-in
+``BENCH_live.json``; these tests pin its contract: clean drains are an
+absolute invariant, and the ``pipelined_speedup`` ratio is compared
+only between runs of the same sweep shape (ratios travel across
+machines; absolute ops/s do not).
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.bench.live_bench import _comparable, check_regression
+
+
+def make_doc(speedup: float = 10.0, exit_code: int = 0) -> dict:
+    point = {
+        "clients": 4,
+        "depth": 4,
+        "drained_exit_codes": {"ingestor-0": exit_code, "compactor-0": 0},
+    }
+    return {
+        "sweep": {"clients": [1, 4], "depths": [0, 4], "max_batch": 128},
+        "topology": {"ingestors": 1, "compactors": 2, "readers": 1},
+        "ops_per_client": 400,
+        "read_probes": 50,
+        "points": [point],
+        "pipelined_speedup": speedup,
+    }
+
+
+class TestCheckRegression:
+    def test_healthy_run_passes(self):
+        assert check_regression(make_doc(), make_doc()) == []
+
+    def test_no_baseline_checks_absolutes_only(self):
+        assert check_regression(make_doc(), None) == []
+        failures = check_regression(make_doc(exit_code=9), None)
+        assert failures and "non-zero drain" in failures[0]
+
+    def test_unclean_drain_is_absolute(self):
+        failures = check_regression(make_doc(exit_code=1), make_doc())
+        assert any("non-zero drain" in f for f in failures)
+
+    def test_speedup_regression_gated(self):
+        failures = check_regression(
+            make_doc(speedup=3.0), make_doc(speedup=10.0), max_regression=2.0
+        )
+        assert any("pipelined_speedup regressed" in f for f in failures)
+
+    def test_speedup_within_allowance_passes(self):
+        assert (
+            check_regression(
+                make_doc(speedup=6.0), make_doc(speedup=10.0), max_regression=2.0
+            )
+            == []
+        )
+
+    def test_different_sweep_shapes_not_compared(self):
+        other = make_doc(speedup=100.0)
+        other["sweep"] = {"clients": [1], "depths": [0, 8], "max_batch": 64}
+        assert not _comparable(make_doc(), other)
+        assert check_regression(make_doc(speedup=1.0), other) == []
+
+    def test_missing_speedup_not_gated(self):
+        # A depths=[0]-only baseline has no pipelined points.
+        baseline = make_doc()
+        baseline["pipelined_speedup"] = None
+        assert check_regression(make_doc(speedup=1.0), baseline) == []
+
+
+class TestComparable:
+    def test_identical_shape(self):
+        assert _comparable(make_doc(), make_doc())
+
+    def test_ops_per_client_mismatch(self):
+        other = copy.deepcopy(make_doc())
+        other["ops_per_client"] = 100
+        assert not _comparable(make_doc(), other)

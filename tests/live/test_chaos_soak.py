@@ -66,8 +66,16 @@ def _schedule(spec):
 
 @pytest.fixture(scope="module")
 def soak_run(tmp_path_factory):
+    # Group commit + batched writes stay on for the whole soak: the
+    # fault schedule must not be able to turn shared fsyncs into
+    # acked-write loss.
     config = dataclasses.replace(
-        CooLSMConfig().scaled_down(10), ack_timeout=1.0, client_timeout=1.5
+        CooLSMConfig().scaled_down(10),
+        ack_timeout=1.0,
+        client_timeout=1.5,
+        wal_group_commit=True,
+        group_commit_max_batch=64,
+        group_commit_max_delay=0.002,
     )
     spec = localhost_spec(
         num_ingestors=1,
@@ -138,6 +146,32 @@ def soak_run(tmp_path_factory):
                         index += 1
                     return {"ops": index, "retries": retries}
 
+                def batch_writer(client, base):
+                    """Writer 1's batched twin: 8-op UpsertBatchRequests
+                    retried as a unit until acked (idempotent — same
+                    keys, same values), feeding the same ledger."""
+                    index = 0
+                    retries = 0
+                    while not state["chaos_done"] or index < MIN_OPS:
+                        items = [
+                            (
+                                base + (index + op) % KEYS_PER_WRITER,
+                                b"soak-%d-%d" % (base, index + op),
+                            )
+                            for op in range(8)
+                        ]
+                        while True:
+                            try:
+                                yield from client.upsert_many(items)
+                                break
+                            except SimError:
+                                retries += 1
+                        for key, value in items:
+                            acked[str(key).encode()] = value
+                        yield client.kernel.timeout(0.005)
+                        index += 8
+                    return {"ops": index, "retries": retries}
+
                 def ycsb_under_fire(client):
                     """The YCSB mix in chunks: a chunk lost to a fault
                     is counted, not fatal.  History-less — its ops
@@ -164,7 +198,7 @@ def soak_run(tmp_path_factory):
                 log, w0, w1, ycsb = await asyncio.gather(
                     run_nemesis(),
                     pool.run(writer(pool.clients[0], 10_000), "writer-0"),
-                    pool.run(writer(pool.clients[1], 20_000), "writer-1"),
+                    pool.run(batch_writer(pool.clients[1], 20_000), "writer-1"),
                     pool.run(ycsb_under_fire(ycsb_client), "ycsb"),
                 )
 

@@ -176,3 +176,135 @@ class TestCrashRecovery:
         for name in crash_run["logs"]:
             node_dir = crash_run["data_dir"] / name
             assert (node_dir / "NODE_MANIFEST.json").exists()
+
+
+# ----------------------------------------------------------------------
+# SIGKILL under WAL group commit + batched writers.
+#
+# Group commit opens a window between a record entering the shared WAL
+# buffer and the fsync that covers it; an ack must never be sent inside
+# that window (DESIGN.md §13).  A wide 5 ms flush delay plus concurrent
+# UpsertBatchRequest writers keeps the Ingestor perpetually inside that
+# window, so a SIGKILL lands between buffer-append and group fsync with
+# high probability — and still no *acked* write may be lost.
+# ----------------------------------------------------------------------
+
+#: Batches per group-commit chaos writer (of BATCH_OPS ops each).
+GC_BATCHES = 18
+BATCH_OPS = 12
+GC_KILL_AFTER_ACKS = 50
+
+
+def batch_chaos_writer(client, base: int, acked: dict):
+    """Batched writer that survives the outage: retry the whole batch
+    (idempotent — same keys, same values) until it acks as a unit."""
+    for index in range(GC_BATCHES):
+        items = [
+            (
+                str(base + (index * BATCH_OPS + op) % 40).encode(),
+                b"gc-%d-%d-%d" % (base, index, op),
+            )
+            for op in range(BATCH_OPS)
+        ]
+        while True:
+            try:
+                yield from client.upsert_many(items)
+            except (RpcTimeout, RemoteError):
+                continue  # node down or restarting: same batch again
+            break
+        for key, value in items:
+            acked[key] = value
+    return "ok"
+
+
+@pytest.fixture(scope="module")
+def group_commit_crash_run(tmp_path_factory):
+    config = replace(
+        CooLSMConfig().scaled_down(10),
+        ack_timeout=2.0,
+        client_timeout=2.0,
+        wal_group_commit=True,
+        group_commit_max_batch=64,
+        group_commit_max_delay=0.005,
+    )
+    spec = localhost_spec(
+        num_ingestors=1,
+        num_compactors=2,
+        num_readers=1,
+        num_clients=3,
+        config=config,
+        seed=29,
+    )
+    work_dir = tmp_path_factory.mktemp("gc-crash")
+    data_dir = tmp_path_factory.mktemp("gc-crash-data")
+    history = History()
+    acked: dict[bytes, bytes] = {}
+    readback: dict[bytes, bytes | None] = {}
+
+    with LocalCluster(spec, work_dir, data_dir=data_dir) as cluster:
+        cluster.wait_ready(timeout=30.0)
+
+        async def nemesis():
+            while len(acked) < GC_KILL_AFTER_ACKS:
+                await asyncio.sleep(0.01)
+            # Kill ONLY the Ingestor — the node running group commit —
+            # with batches in flight and a non-empty WAL buffer.
+            await asyncio.to_thread(cluster.kill9, "ingestor-0")
+            await asyncio.to_thread(cluster.restart, "ingestor-0", 30.0)
+            return "nemesis-done"
+
+        async def drive():
+            async with ClientPool(spec, num_clients=3, history=history) as pool:
+                results = await asyncio.gather(
+                    pool.run(batch_chaos_writer(pool.clients[0], 0, acked), "gc-0"),
+                    pool.run(batch_chaos_writer(pool.clients[1], 1000, acked), "gc-1"),
+                    nemesis(),
+                )
+                await pool.run(
+                    read_all(pool.clients[2], acked, readback), "readback"
+                )
+                return results
+
+        results = asyncio.run(asyncio.wait_for(drive(), timeout=240.0))
+        exit_codes = cluster.stop(timeout=30.0)
+
+    logs = {name: cluster.log_path(name).read_text() for name in spec.node_names}
+    return {
+        "results": results,
+        "history": history,
+        "acked": acked,
+        "readback": readback,
+        "exit_codes": exit_codes,
+        "logs": logs,
+    }
+
+
+class TestGroupCommitCrash:
+    def test_batched_workloads_complete_through_the_outage(
+        self, group_commit_crash_run
+    ):
+        assert group_commit_crash_run["results"] == ["ok", "ok", "nemesis-done"]
+        assert len(group_commit_crash_run["acked"]) >= GC_KILL_AFTER_ACKS
+
+    def test_zero_acked_loss_under_group_commit(self, group_commit_crash_run):
+        acked = group_commit_crash_run["acked"]
+        readback = group_commit_crash_run["readback"]
+        lost = {
+            key: (expected, readback.get(key))
+            for key, expected in acked.items()
+            if readback.get(key) != expected
+        }
+        assert not lost, (
+            f"acked writes lost across SIGKILL with group commit: {lost}"
+        )
+
+    def test_history_is_linearizable(self, group_commit_crash_run):
+        report = check_linearizable(group_commit_crash_run["history"])
+        assert not report.violations, report.violations
+
+    def test_ingestor_recovered_and_drained_clean(self, group_commit_crash_run):
+        log = group_commit_crash_run["logs"]["ingestor-0"]
+        assert "RECOVERED ingestor-0" in log
+        assert log.count("READY ingestor-0") == 2
+        exit_codes = group_commit_crash_run["exit_codes"]
+        assert exit_codes == {name: 0 for name in exit_codes}

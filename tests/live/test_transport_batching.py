@@ -1,0 +1,220 @@
+"""Write-path batching on the framed TCP transport.
+
+The writer task drains its whole queue into one socket write per
+wakeup (coalescing), frames carry flag bits for optional zlib block
+compression, and both behaviours surface in :class:`TransportStats`
+so the monitor can see bytes-per-write and compression savings.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import struct
+import zlib
+
+import pytest
+
+from repro.live import wire
+from repro.live.harness import free_port
+from repro.live.transport import RetryPolicy, Transport, TransportStats
+
+
+def _payload(index: int, pad: bytes = b"") -> bytes:
+    out = bytearray()
+    wire.encode_value((index, pad), out)
+    return bytes(out)
+
+
+def _indices(payloads: list[bytes]) -> list[int]:
+    return [wire.decode_value(p)[0][0] for p in payloads]
+
+
+def _fast_policy() -> RetryPolicy:
+    return RetryPolicy(base=0.01, cap=0.1)
+
+
+async def _wait_for(predicate, timeout: float = 10.0, message: str = "condition"):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not predicate():
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError(f"timed out waiting for {message}")
+        await asyncio.sleep(0.01)
+
+
+class TestWriteCoalescing:
+    def test_queued_frames_share_one_socket_write(self):
+        async def scenario():
+            port = free_port()
+            received: list[bytes] = []
+            sender = Transport(
+                {"peer": ("127.0.0.1", port)},
+                on_payload=lambda p: None,
+                policy=_fast_policy(),
+                rng=random.Random(1),
+            )
+            receiver = Transport({}, on_payload=received.append)
+            try:
+                # Queue a burst while nothing listens: on connect the
+                # writer must drain it as ONE buffer, not 10 writes.
+                for index in range(10):
+                    sender.post("peer", _payload(index))
+                await receiver.listen("127.0.0.1", port)
+                await _wait_for(lambda: len(received) == 10, message="delivery")
+                assert _indices(received) == list(range(10))
+                assert sender.stats.frames_sent == 10
+                assert sender.stats.write_calls < 10
+                assert sender.stats.frames_coalesced == (
+                    sender.stats.frames_sent - sender.stats.write_calls
+                )
+            finally:
+                await sender.close()
+                await receiver.close()
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=30.0))
+
+    def test_bytes_per_write_gauge(self):
+        stats = TransportStats(bytes_sent=4096, write_calls=4, frames_sent=16)
+        gauges = stats.as_gauges()
+        assert gauges["transport_bytes_per_write"] == pytest.approx(1024.0)
+        assert gauges["transport_write_calls"] == 4
+        assert "transport_frames_coalesced" in gauges
+        assert "transport_frames_compressed" in gauges
+        # No division blow-up before the first write.
+        assert TransportStats().as_gauges()["transport_bytes_per_write"] == 0.0
+
+
+class TestCompression:
+    def _pair(self, received, compress_min_bytes):
+        port = free_port()
+        sender = Transport(
+            {"peer": ("127.0.0.1", port)},
+            on_payload=lambda p: None,
+            policy=_fast_policy(),
+            rng=random.Random(2),
+            compress_min_bytes=compress_min_bytes,
+        )
+        receiver = Transport({}, on_payload=received.append)
+        return port, sender, receiver
+
+    def test_large_frame_compressed_and_transparent(self):
+        async def scenario():
+            received: list[bytes] = []
+            port, sender, receiver = self._pair(received, compress_min_bytes=64)
+            try:
+                await receiver.listen("127.0.0.1", port)
+                original = _payload(7, pad=b"a" * 4096)
+                sender.post("peer", original)
+                await _wait_for(lambda: len(received) == 1, message="delivery")
+                # Receiver sees the ORIGINAL bytes: compression is a
+                # transport detail, invisible above the frame layer.
+                assert received[0] == original
+                assert sender.stats.frames_compressed == 1
+                assert sender.stats.compression_saved_bytes > 0
+                assert sender.stats.bytes_sent < len(original)
+            finally:
+                await sender.close()
+                await receiver.close()
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=30.0))
+
+    def test_small_frames_skip_compression(self):
+        async def scenario():
+            received: list[bytes] = []
+            port, sender, receiver = self._pair(received, compress_min_bytes=1024)
+            try:
+                await receiver.listen("127.0.0.1", port)
+                sender.post("peer", _payload(1, pad=b"tiny"))
+                await _wait_for(lambda: len(received) == 1, message="delivery")
+                assert sender.stats.frames_compressed == 0
+            finally:
+                await sender.close()
+                await receiver.close()
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=30.0))
+
+    def test_incompressible_frame_sent_raw(self):
+        async def scenario():
+            received: list[bytes] = []
+            port, sender, receiver = self._pair(received, compress_min_bytes=64)
+            try:
+                await receiver.listen("127.0.0.1", port)
+                # Random bytes: zlib output is larger, so the transport
+                # must fall back to the raw payload.
+                noise = random.Random(3).randbytes(2048)
+                original = _payload(2, pad=noise)
+                sender.post("peer", original)
+                await _wait_for(lambda: len(received) == 1, message="delivery")
+                assert received[0] == original
+                assert sender.stats.frames_compressed == 0
+            finally:
+                await sender.close()
+                await receiver.close()
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=30.0))
+
+    def test_compress_min_bytes_validated(self):
+        with pytest.raises(ValueError):
+            Transport({}, on_payload=lambda p: None, compress_min_bytes=-1)
+
+
+class TestUnknownFlagRejection:
+    def test_receiver_drops_connection_on_unknown_flag(self):
+        async def scenario():
+            port = free_port()
+            received: list[bytes] = []
+            receiver = Transport({}, on_payload=received.append)
+            try:
+                await receiver.listen("127.0.0.1", port)
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                payload = b"mystery"
+                # Flag 0b100 is unassigned: endpoints must reject it
+                # (only the pass-through chaos proxy tolerates it).
+                header = struct.pack(
+                    ">4sII",
+                    wire.MAGIC,
+                    len(payload) | (0b100 << 29),
+                    zlib.crc32(payload),
+                )
+                writer.write(header + payload)
+                await writer.drain()
+                await _wait_for(
+                    lambda: receiver.stats.decode_errors == 1,
+                    message="decode error",
+                )
+                assert received == []
+                writer.close()
+            finally:
+                await receiver.close()
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=30.0))
+
+    def test_corrupt_zlib_body_is_wire_error_not_crash(self):
+        async def scenario():
+            port = free_port()
+            received: list[bytes] = []
+            receiver = Transport({}, on_payload=received.append)
+            try:
+                await receiver.listen("127.0.0.1", port)
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                # FLAG_ZLIB set but the body is not a zlib stream; the
+                # CRC is correct so only inflation can catch it.
+                payload = b"not-zlib-data"
+                header = struct.pack(
+                    ">4sII",
+                    wire.MAGIC,
+                    len(payload) | (wire.FLAG_ZLIB << 29),
+                    zlib.crc32(payload),
+                )
+                writer.write(header + payload)
+                await writer.drain()
+                await _wait_for(
+                    lambda: receiver.stats.decode_errors == 1,
+                    message="decode error",
+                )
+                assert received == []
+                writer.close()
+            finally:
+                await receiver.close()
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=30.0))

@@ -311,6 +311,66 @@ class TestFrames:
                 wire.decode_value(bytes(out[:cut]))
 
 
+class TestFrameFlags:
+    def test_flags_round_trip(self):
+        frame = wire.encode_frame(b"payload", flags=wire.FLAG_ZLIB)
+        length, crc, flags = wire.decode_header_full(frame[: wire.HEADER_SIZE])
+        assert (length, flags) == (7, wire.FLAG_ZLIB)
+        wire.check_payload(frame[wire.HEADER_SIZE :], crc)
+
+    def test_decode_header_masks_flags(self):
+        # The lenient decoder (used by the chaos proxy, which forwards
+        # frames verbatim) must ignore flags it doesn't understand.
+        frame = wire.encode_frame(b"x", flags=wire.FLAG_ZLIB)
+        length, __ = wire.decode_header(frame[: wire.HEADER_SIZE])
+        assert length == 1
+
+    def test_unknown_flags_preserved_for_endpoint_rejection(self):
+        frame = wire.encode_frame(b"x", flags=0b100)
+        __, __, flags = wire.decode_header_full(frame[: wire.HEADER_SIZE])
+        assert flags & ~wire.KNOWN_FLAGS
+
+    def test_flags_out_of_range_rejected(self):
+        with pytest.raises(wire.WireError, match="flags"):
+            wire.encode_frame(b"x", flags=0b1000)
+        with pytest.raises(wire.WireError, match="flags"):
+            wire.encode_frame(b"x", flags=-1)
+
+    def test_flagless_frames_unchanged(self):
+        # Flags live in previously-must-be-zero high bits: a zero-flag
+        # frame is byte-identical to the old format.
+        assert wire.encode_frame(b"abc") == wire.encode_frame(b"abc", flags=0)
+
+    def test_encode_frame_into_appends(self):
+        out = bytearray(b"prefix")
+        wire.encode_frame_into(out, b"one")
+        first_end = len(out)
+        wire.encode_frame_into(out, b"two", flags=wire.FLAG_ZLIB)
+        assert out[:6] == b"prefix"
+        assert bytes(out[6:first_end]) == wire.encode_frame(b"one")
+        assert bytes(out[first_end:]) == wire.encode_frame(b"two", flags=wire.FLAG_ZLIB)
+
+
+class TestBatchMessages:
+    def test_upsert_batch_round_trip(self):
+        request = messages.UpsertBatchRequest(
+            (
+                messages.UpsertRequest(b"k1", b"v1"),
+                messages.UpsertRequest(b"k2", b"", tombstone=True),
+            )
+        )
+        assert roundtrip(request) == request
+
+    def test_upsert_batch_reply_round_trip(self):
+        reply = messages.UpsertBatchReply(
+            (messages.UpsertReply(1.0, 1), messages.UpsertReply(1.5, 2))
+        )
+        assert roundtrip(reply) == reply
+
+    def test_empty_batch_round_trip(self):
+        assert roundtrip(messages.UpsertBatchRequest(())) == messages.UpsertBatchRequest(())
+
+
 class TestEnvelopes:
     def test_envelope_round_trip(self):
         message = rpc._Request(3, "read", messages.ReadRequest(b"k"), 128)
@@ -329,3 +389,16 @@ class TestEnvelopes:
         wire.encode_value("not an envelope", out)
         with pytest.raises(wire.WireError):
             wire.decode_envelope(bytes(out))
+
+    def test_encode_envelope_buffer_matches_bytes_variant(self):
+        message = rpc._Request(3, "read", messages.ReadRequest(b"k"), 128)
+        buffer = wire.encode_envelope_buffer(77, "client-1", "ingestor-0", message)
+        assert isinstance(buffer, bytearray)
+        assert bytes(buffer) == wire.encode_envelope(77, "client-1", "ingestor-0", message)
+
+    def test_decode_envelope_accepts_memoryview(self):
+        message = messages.UpsertBatchRequest((messages.UpsertRequest(b"k", b"v"),))
+        payload = wire.encode_envelope(5, "a", "b", message)
+        frame_id, src, dst, decoded = wire.decode_envelope(memoryview(payload))
+        assert (frame_id, src, dst) == (5, "a", "b")
+        assert decoded == message

@@ -1,0 +1,108 @@
+"""WAL group commit on the deterministic sim kernel.
+
+The live runtime's throughput win comes from batching many concurrent
+acks behind one fsync; these tests pin the semantics on the simulator,
+where the schedule is reproducible:
+
+* a **sequential** writer sees byte-identical WAL output with group
+  commit on or off (every group degenerates to one entry, so the
+  amortisation is pure overlap, never a format change);
+* **concurrent** writers genuinely share fsyncs (fewer WAL records
+  than entries) and still lose nothing across a whole-cluster crash —
+  DESIGN.md §13's ack-time durability contract under batching.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from tests.core.conftest import TINY, fill, tiny_cluster
+from tests.store.test_role_recovery import attach_all, read_all
+
+# Zero max-delay: flush at the next kernel step (what the sequential
+# byte-identical test exercises — grouping is pure opportunism).
+GC = dataclasses.replace(TINY, wal_group_commit=True, group_commit_max_batch=64)
+# A 1 ms window: long enough to cover many 10 µs upsert_cpu stamps, so
+# concurrent handlers genuinely land in one fsync.
+GC_DELAY = dataclasses.replace(GC, group_commit_max_delay=0.001)
+
+
+def wal_bytes(root, node: str) -> bytes:
+    path = root / node / "wal.log"
+    return path.read_bytes() if path.exists() else b""
+
+
+def writers(cluster, count: int, each: int, key_range: int):
+    """Spawn ``count`` concurrent client processes; return the oracle
+    (filled in as acks land) to check after the run."""
+    oracle = {}
+
+    def one(client, base):
+        for i in range(each):
+            key = (base + i * count) % key_range
+            value = b"w%d-%d" % (base, i)
+            yield from client.upsert(key, value)
+            oracle[key] = value
+
+    for index in range(count):
+        client = cluster.add_client(colocate_with="ingestor-0")
+        cluster.kernel.spawn(one(client, index), f"writer-{index}")
+    return oracle
+
+
+class TestSequentialEquivalence:
+    def test_wal_byte_identical_with_sequential_writer(self, tmp_path):
+        def run_once(config, root):
+            cluster = tiny_cluster(config=config)
+            attach_all(cluster, root)
+            client = cluster.add_client(colocate_with="ingestor-0")
+            return cluster, cluster.run_process(
+                fill(cluster, client, 200, key_range=80)
+            )
+
+        sync_cluster, sync_oracle = run_once(TINY, tmp_path / "sync")
+        gc_cluster, gc_oracle = run_once(GC, tmp_path / "gc")
+        assert sync_oracle == gc_oracle
+        # One writer never shares an fsync, so the WAL (and the virtual
+        # schedule around it) must be byte-for-byte what sync mode wrote.
+        assert wal_bytes(tmp_path / "gc", "ingestor-0") == wal_bytes(
+            tmp_path / "sync", "ingestor-0"
+        )
+        assert gc_cluster.kernel.now == sync_cluster.kernel.now
+        ingestor = gc_cluster.ingestors[0]
+        assert ingestor.stats.group_commits == ingestor.stats.group_commit_entries
+
+
+class TestConcurrentAmortisation:
+    def test_concurrent_writers_share_fsyncs(self, tmp_path):
+        cluster = tiny_cluster(config=GC_DELAY)
+        stores = attach_all(cluster, tmp_path)
+        oracle = writers(cluster, count=8, each=30, key_range=200)
+        cluster.run()
+        ingestor = cluster.ingestors[0]
+        store = next(s for s in stores if s.node_name == "ingestor-0")
+        assert store.wal_entries_logged == 8 * 30
+        assert store.wal_records < store.wal_entries_logged, (
+            "concurrent acks must share WAL records"
+        )
+        assert ingestor.stats.group_commits == store.wal_records
+        assert ingestor.stats.group_commit_entries == store.wal_entries_logged
+        # Every acked write is readable.
+        client = cluster.add_client(colocate_with="ingestor-0")
+        assert cluster.run_process(read_all(client, oracle)) == {}
+
+    def test_no_acked_loss_across_crash_with_group_commit(self, tmp_path):
+        cluster = tiny_cluster(config=GC_DELAY)
+        attach_all(cluster, tmp_path)
+        oracle = writers(cluster, count=6, each=40, key_range=150)
+        cluster.run()
+        # SIGKILL analog: abandon the cluster (no drain, no flush) and
+        # recover from the directories alone.
+        revived = tiny_cluster(config=GC_DELAY)
+        attach_all(revived, tmp_path)
+        client = revived.add_client(colocate_with="ingestor-0")
+        assert revived.run_process(read_all(client, oracle)) == {}
+
+    def test_group_commit_off_by_default(self):
+        cluster = tiny_cluster()
+        assert cluster.config.wal_group_commit is False
