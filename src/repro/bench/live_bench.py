@@ -54,6 +54,15 @@ READ_PROBES = 50
 DEFAULT_CLIENTS = (1, 2, 4, 8, 16)
 DEFAULT_DEPTHS = (0, 4, 16)
 DEFAULT_MAX_BATCH = 128
+#: Shard-scaling sweep: aggregate pipelined write throughput per
+#: Ingestor count, clients routing by the shard map.
+DEFAULT_SHARDS = (1, 2, 4)
+SHARD_SWEEP_CLIENTS = 4
+SHARD_SWEEP_DEPTH = 4
+#: Expected-scaling efficiency: at ``min(shards, cpus)`` ideal speedup,
+#: a healthy run keeps at least this fraction (0.625 * 4 = the 2.5x
+#: floor at 4 Ingestors on a >= 4-core machine).
+SHARD_SCALING_EFFICIENCY = 0.625
 
 
 def _sync_workload(client, rng, key_range: int, ops: int, samples: dict):
@@ -150,12 +159,95 @@ def _latency_doc(summary: LatencySummary) -> dict:
     }
 
 
+def run_shard_sweep(
+    shard_counts: list[int],
+    ops_per_client: int = 400,
+    seed: int = 0,
+    max_batch: int = DEFAULT_MAX_BATCH,
+) -> dict:
+    """Aggregate write throughput per Ingestor count, sharded routing.
+
+    Each point boots a *sharded* cluster of ``n`` Ingestors (disjoint
+    uniform key ranges) and drives a fixed pipelined client fleet whose
+    random keys spray across every shard, so the measured ops/s is the
+    fleet's aggregate.  The headline ``scaling_ratio`` — best multi-
+    shard throughput over the 1-shard point — is machine-relative: on
+    an ``n``-core box the ideal is ``min(shards, cpus)``, which is why
+    ``cpus`` rides along in the document and the ``--check`` gate
+    scales its floor by it.
+    """
+    config = dataclasses.replace(
+        CooLSMConfig().scaled_down(10), wal_group_commit=True
+    )
+    points = []
+    for num_shards in shard_counts:
+        spec = localhost_spec(
+            num_shards,
+            2,
+            0,
+            num_clients=SHARD_SWEEP_CLIENTS,
+            config=config,
+            seed=seed,
+            sharded=True,
+        )
+        with tempfile.TemporaryDirectory(prefix="coolsm-shard-bench-") as work:
+            with LocalCluster(spec, work) as cluster:
+                cluster.wait_ready()
+                samples, elapsed, recorded = asyncio.run(
+                    _drive(
+                        spec,
+                        SHARD_SWEEP_CLIENTS,
+                        ops_per_client,
+                        seed,
+                        max_batch,
+                        SHARD_SWEEP_DEPTH,
+                    )
+                )
+                exit_codes = cluster.stop()
+        total_ops = SHARD_SWEEP_CLIENTS * ops_per_client
+        points.append(
+            {
+                "shards": num_shards,
+                "clients": SHARD_SWEEP_CLIENTS,
+                "depth": SHARD_SWEEP_DEPTH,
+                "ops": total_ops,
+                "recorded_ops": recorded,
+                "elapsed_s": round(elapsed, 4),
+                "throughput_ops_s": round(throughput(total_ops, elapsed), 1),
+                "upsert_ms": _latency_doc(
+                    LatencySummary.from_samples(samples["upsert"])
+                ),
+                "drained_exit_codes": exit_codes,
+            }
+        )
+    single = next((p for p in points if p["shards"] == 1), None)
+    best_multi = max(
+        (p for p in points if p["shards"] > 1),
+        key=lambda p: p["throughput_ops_s"],
+        default=None,
+    )
+    ratio = None
+    if single and best_multi and single["throughput_ops_s"] > 0:
+        ratio = round(
+            best_multi["throughput_ops_s"] / single["throughput_ops_s"], 2
+        )
+    return {
+        "shard_counts": list(shard_counts),
+        "clients": SHARD_SWEEP_CLIENTS,
+        "depth": SHARD_SWEEP_DEPTH,
+        "points": points,
+        "scaling_ratio": ratio,
+        "scaling_at_shards": best_multi["shards"] if best_multi else None,
+    }
+
+
 def run(
     client_counts: list[int] | None = None,
     ops_per_client: int = 400,
     seed: int = 0,
     depths: list[int] | None = None,
     max_batch: int = DEFAULT_MAX_BATCH,
+    shard_counts: list[int] | None = None,
 ) -> dict:
     """Run the saturation sweep; returns the BENCH_live.json document."""
     client_counts = list(client_counts or DEFAULT_CLIENTS)
@@ -228,6 +320,11 @@ def run(
             if sync_best
             else None
         ),
+        "shard_sweep": (
+            run_shard_sweep(list(shard_counts), ops_per_client, seed, max_batch)
+            if shard_counts
+            else None
+        ),
     }
 
 
@@ -254,6 +351,43 @@ def check_regression(
                 f"pipelined_speedup regressed {base:.2f}x -> {cur:.2f}x "
                 f"(allowed factor {max_regression}x)"
             )
+    failures.extend(check_shard_scaling(current))
+    return failures
+
+
+def check_shard_scaling(current: dict) -> list[str]:
+    """Machine-relative shard-scaling gate.
+
+    The ideal aggregate speedup of an ``n``-shard fleet on this machine
+    is ``min(n, cpus)`` (the Ingestors are CPU-bound processes); a
+    healthy run keeps at least ``SHARD_SCALING_EFFICIENCY`` of it.  On
+    a >= 4-core box that is the paper-style ">= 2.5x at 4 Ingestors";
+    on a 1-core box the floor degrades to ~parity instead of demanding
+    impossible parallelism.  No cross-machine baseline is consulted —
+    the ratio is already relative to the same machine's 1-shard point.
+    """
+    sweep = current.get("shard_sweep")
+    if not sweep:
+        return []
+    failures = []
+    for point in sweep["points"]:
+        if any(code != 0 for code in point["drained_exit_codes"].values()):
+            failures.append(
+                f"shards={point['shards']}: non-zero drain exits "
+                f"{point['drained_exit_codes']}"
+            )
+    ratio = sweep.get("scaling_ratio")
+    at_shards = sweep.get("scaling_at_shards")
+    if ratio is not None and at_shards:
+        cpus = current.get("cpus") or 1
+        floor = SHARD_SCALING_EFFICIENCY * min(at_shards, cpus)
+        if ratio < floor:
+            failures.append(
+                f"shard scaling {ratio:.2f}x at {at_shards} shards is below "
+                f"the machine-relative floor {floor:.2f}x "
+                f"({SHARD_SCALING_EFFICIENCY} * min({at_shards} shards, "
+                f"{cpus} cpus))"
+            )
     return failures
 
 
@@ -272,9 +406,12 @@ def run_and_report(
     max_batch: int = DEFAULT_MAX_BATCH,
     check: str | None = None,
     max_regression: float = 2.0,
+    shard_counts: list[int] | None = None,
 ) -> int:
     """CLI entrypoint: run, print a table, write JSON, gate vs baseline."""
-    document = run(client_counts, ops_per_client, seed, depths, max_batch)
+    document = run(
+        client_counts, ops_per_client, seed, depths, max_batch, shard_counts
+    )
     print(
         f"live bench — {document['topology']} — {ops_per_client} ops/client, "
         f"cpus={document['cpus']}, group_commit="
@@ -299,6 +436,24 @@ def run_and_report(
         f"depth={best['depth']} (sync baseline {document['sync_baseline_ops_s']} "
         f"ops/s, speedup {document['pipelined_speedup']}x)"
     )
+    sweep = document.get("shard_sweep")
+    if sweep:
+        print(
+            f"shard scaling — {sweep['clients']} clients, depth "
+            f"{sweep['depth']}, sharded routing"
+        )
+        print(f"{'shards':>8} {'thru ops/s':>11} {'upsert p50':>11} {'p99':>9}")
+        for point in sweep["points"]:
+            print(
+                f"{point['shards']:>8} {point['throughput_ops_s']:>11} "
+                f"{point['upsert_ms']['p50']:>10.2f}ms "
+                f"{point['upsert_ms']['p99']:>8.2f}ms"
+            )
+        print(
+            f"scaling: {sweep['scaling_ratio']}x at "
+            f"{sweep['scaling_at_shards']} shards "
+            f"(ideal min(shards, {document['cpus']} cpus))"
+        )
     with open(out, "w") as sink:
         json.dump(document, sink, indent=2)
         sink.write("\n")

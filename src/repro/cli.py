@@ -205,6 +205,9 @@ def _cmd_live_bench(args) -> int:
         max_batch=args.batch,
         check=args.check,
         max_regression=args.max_regression,
+        shard_counts=(
+            [int(s) for s in args.shards.split(",")] if args.shards else None
+        ),
     )
 
 
@@ -339,6 +342,14 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=2.0,
         help="allowed pipelined_speedup shrink factor vs baseline (default 2.0)",
+    )
+    live_bench_parser.add_argument(
+        "--shards",
+        default=None,
+        metavar="COUNTS",
+        help="also sweep sharded Ingestor fleets (comma-separated counts, "
+        "e.g. 1,2,4): aggregate pipelined write throughput per shard "
+        "count, gated machine-relatively against min(shards, cpus)",
     )
     recovery_parser = subparsers.add_parser(
         "recovery-bench",

@@ -52,6 +52,7 @@ from .reconfig import (
     replace_compactor,
     split_partition,
 )
+from .shard import Shard, ShardMap, WrongShardError, is_wrong_shard
 
 __all__ = [
     "BackupUpdate",
@@ -87,9 +88,13 @@ __all__ = [
     "ReadRequest",
     "Reader",
     "Sample",
+    "Shard",
+    "ShardMap",
     "Timeline",
     "ReaderStats",
     "ReconfigStats",
+    "WrongShardError",
+    "is_wrong_shard",
     "add_compactor",
     "replace_compactor",
     "split_partition",

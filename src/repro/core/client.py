@@ -38,11 +38,13 @@ from .messages import (
     RangeQueryReply,
     ReadReply,
     ReadRequest,
+    ShardMapRequest,
     UpsertBatchReply,
     UpsertBatchRequest,
     UpsertReply,
     UpsertRequest,
 )
+from .shard import ShardMap, is_wrong_shard
 
 
 @dataclass(slots=True)
@@ -53,6 +55,8 @@ class ClientStats:
     phase2_reads: int = 0
     timeouts: int = 0
     failovers: int = 0
+    shard_redirects: int = 0
+    map_refreshes: int = 0
 
     def record(self, kind: str, latency: float) -> None:
         self.latencies.setdefault(kind, []).append(latency)
@@ -91,6 +95,7 @@ class Client(RpcNode):
         readers: list[str] | None = None,
         multi_ingestor: bool = False,
         history: History | None = None,
+        shard_map: ShardMap | None = None,
     ) -> None:
         super().__init__(kernel, network, machine, name)
         if not ingestors:
@@ -101,6 +106,11 @@ class Client(RpcNode):
         self.readers = list(readers or [])
         self.multi_ingestor = multi_ingestor
         self.history = history
+        # Sharded scale-out mode: route each op to the owner named by
+        # the (versioned) shard map instead of failing over blindly.
+        # Refreshed in place whenever a node bounces a request with a
+        # WrongShard redirect — clients never poll for membership.
+        self.shard_map = shard_map
         self.stats = ClientStats()
 
     # ------------------------------------------------------------------
@@ -151,6 +161,84 @@ class Client(RpcNode):
                 self.stats.timeouts += 1
         raise last_error
 
+    # ------------------------------------------------------------------
+    # Sharded routing (live scale-out)
+    # ------------------------------------------------------------------
+    def _refresh_shard_map(self):
+        """Try to fetch a strictly newer shard map from any live node.
+
+        Asks the current map's owners first (the node that bounced us
+        is usually the one holding the successor epoch), then the rest
+        of the configured Ingestor pool.  Returns True if a newer map
+        was installed.
+        """
+        assert self.shard_map is not None
+        candidates = self.shard_map.owners()
+        for name in self.ingestors:
+            if name not in candidates:
+                candidates.append(name)
+        for target in candidates:
+            try:
+                reply = yield self.call(
+                    target,
+                    "shard_map",
+                    ShardMapRequest(self.shard_map.epoch),
+                    timeout=self.config.request_timeout,
+                )
+            except (RpcTimeout, RemoteError):
+                continue
+            fresher = reply.shard_map
+            if fresher is not None and fresher.epoch > self.shard_map.epoch:
+                self.shard_map = fresher
+                self.stats.map_refreshes += 1
+                return True
+        return False
+
+    def _sharded_call(self, key: bytes, method: str, request, size_bytes: int = 256):
+        """Owner-routed RPC: WrongShard bounces refresh the map and
+        re-route instead of burning the failover budget.
+
+        During a split's fence→activate window no node serves the
+        moving range; redirects that find no fresher map back off
+        (bounded) until the new owner goes live.  Other failures retry
+        the owner — in sharded mode there is no alternate target, only
+        a fresher map.
+        """
+        failures = 0
+        redirects = 0
+        backoff = self.config.forward_backoff_base
+        last_error: Exception | None = None
+        while True:
+            target = self.shard_map.owner_of(key)
+            try:
+                reply = yield self.call(
+                    target,
+                    method,
+                    request,
+                    size_bytes=size_bytes,
+                    timeout=self.config.request_timeout,
+                )
+                return target, reply
+            except (RpcTimeout, RemoteError) as error:
+                last_error = error
+                if is_wrong_shard(error):
+                    self.stats.shard_redirects += 1
+                    redirects += 1
+                    if redirects > 8 * self.config.client_retry_budget:
+                        raise last_error
+                    refreshed = yield from self._refresh_shard_map()
+                    if not refreshed:
+                        yield self.kernel.timeout(backoff)
+                        backoff = min(backoff * 2.0, self.config.forward_backoff_cap)
+                    continue
+                self.stats.timeouts += 1
+                failures += 1
+                if failures >= self.config.client_retry_budget:
+                    raise last_error
+                yield from self._refresh_shard_map()
+                yield self.kernel.timeout(backoff)
+                backoff = min(backoff * 2.0, self.config.forward_backoff_cap)
+
     def _member_read(self, member: str, request: ReadRequest):
         """Phase-2 helper: bounded-retry read against one Compactor.
         Raises after the budget — a missing member's answer could hide
@@ -184,10 +272,16 @@ class Client(RpcNode):
 
     def _do_upsert(self, request: UpsertRequest, ingestor: str | None):
         invoked = self.kernel.now
-        target, reply = yield from self._failover_call(
-            ingestor, self.ingestors, "upsert", request,
-            size_bytes=64 + len(request.value),
-        )
+        if self.shard_map is not None and ingestor is None:
+            target, reply = yield from self._sharded_call(
+                request.key, "upsert", request,
+                size_bytes=64 + len(request.value),
+            )
+        else:
+            target, reply = yield from self._failover_call(
+                ingestor, self.ingestors, "upsert", request,
+                size_bytes=64 + len(request.value),
+            )
         assert isinstance(reply, UpsertReply)
         latency = self.kernel.now - invoked
         self.stats.record("write", latency)
@@ -223,6 +317,8 @@ class Client(RpcNode):
     def _do_upsert_batch(self, requests: tuple[UpsertRequest, ...], ingestor: str | None):
         if not requests:
             return []
+        if self.shard_map is not None and ingestor is None:
+            return (yield from self._do_upsert_batch_sharded(requests))
         invoked = self.kernel.now
         size = 64 + sum(32 + len(r.key) + len(r.value) for r in requests)
         target, reply = yield from self._failover_call(
@@ -246,6 +342,80 @@ class Client(RpcNode):
                     server=target,
                 )
         return list(reply.replies)
+
+    def _do_upsert_batch_sharded(self, requests: tuple[UpsertRequest, ...]):
+        """Apply a mixed batch under shard routing.
+
+        The batch is grouped per shard owner *under the current map*
+        and each group goes out as one ``upsert_batch`` RPC.  A
+        WrongShard bounce refreshes the map and the still-unacked ops
+        are regrouped — after a split a group that used to be one
+        owner's keys legitimately straddles two owners, so regrouping
+        (not blind retry) is what terminates.  Replies come back in the
+        original op order.
+        """
+        invoked = self.kernel.now
+        replies: list[UpsertReply | None] = [None] * len(requests)
+        pending = list(range(len(requests)))
+        failures = 0
+        redirects = 0
+        backoff = self.config.forward_backoff_base
+        last_error: Exception | None = None
+        while pending:
+            owner = self.shard_map.owner_of(requests[pending[0]].key)
+            group = [
+                i for i in pending
+                if self.shard_map.owner_of(requests[i].key) == owner
+            ]
+            group_requests = tuple(requests[i] for i in group)
+            size = 64 + sum(32 + len(r.key) + len(r.value) for r in group_requests)
+            try:
+                reply = yield self.call(
+                    owner,
+                    "upsert_batch",
+                    UpsertBatchRequest(group_requests),
+                    size_bytes=size,
+                    timeout=self.config.request_timeout,
+                )
+            except (RpcTimeout, RemoteError) as error:
+                last_error = error
+                if is_wrong_shard(error):
+                    self.stats.shard_redirects += 1
+                    redirects += 1
+                    if redirects > 8 * self.config.client_retry_budget:
+                        raise last_error
+                    refreshed = yield from self._refresh_shard_map()
+                    if not refreshed:
+                        yield self.kernel.timeout(backoff)
+                        backoff = min(backoff * 2.0, self.config.forward_backoff_cap)
+                    continue
+                self.stats.timeouts += 1
+                failures += 1
+                if failures >= self.config.client_retry_budget:
+                    raise last_error
+                yield from self._refresh_shard_map()
+                yield self.kernel.timeout(backoff)
+                backoff = min(backoff * 2.0, self.config.forward_backoff_cap)
+                continue
+            assert isinstance(reply, UpsertBatchReply)
+            completed = self.kernel.now
+            for index, op_reply in zip(group, reply.replies):
+                replies[index] = op_reply
+                request = requests[index]
+                self.stats.record("write", completed - invoked)
+                if self.history is not None:
+                    self.history.record(
+                        "write",
+                        request.key,
+                        None if request.tombstone else request.value,
+                        invoked,
+                        completed,
+                        op_reply.timestamp,
+                        client=self.name,
+                        server=owner,
+                    )
+            pending = [i for i in pending if i not in set(group)]
+        return replies
 
     # ------------------------------------------------------------------
     # Reads
@@ -276,6 +446,14 @@ class Client(RpcNode):
                     self.stats.timeouts += 1
             if last_error is not None:
                 raise last_error
+        elif self.shard_map is not None and coordinator is None:
+            # Sharded: exactly one Ingestor serves this key, so the
+            # single-Ingestor read path applies per shard.
+            __, reply = yield from self._sharded_call(
+                encoded, "read", ReadRequest(encoded)
+            )
+            entry = reply.entry
+            stamp = entry.timestamp if entry is not None else 0.0
         else:
             __, reply = yield from self._failover_call(
                 coordinator, self.ingestors, "read", ReadRequest(encoded)
@@ -476,8 +654,7 @@ class ClientPipeline:
         while self._inflight_batches < self.depth and (
             len(self._buffer) >= self.max_batch or (flush and self._buffer)
         ):
-            batch = self._buffer[: self.max_batch]
-            del self._buffer[: self.max_batch]
+            batch = self._take_batch()
             self._inflight_batches += 1
             self._inflight_ops += len(batch)
             self.batches_sent += 1
@@ -488,6 +665,32 @@ class ClientPipeline:
         if self._buffer and self._inflight_batches < self.depth and not self._pump_scheduled:
             self._pump_scheduled = True
             self.kernel.spawn(self._pump(), f"{self.client.name}.pipeline.pump")
+
+    def _take_batch(self) -> list[tuple[UpsertRequest, float]]:
+        """Pull the next batch off the buffer.
+
+        Under shard routing every batch must land on one owner (a mixed
+        batch would bounce whole), so take up to ``max_batch`` buffered
+        ops owned by the first op's shard and keep the rest, in order,
+        for later batches — per-shard pipelining is preserved because
+        each shard's ops drain through their own batches while other
+        shards' batches are in flight.
+        """
+        shard_map = self.client.shard_map
+        if shard_map is None or self.ingestor is not None:
+            batch = self._buffer[: self.max_batch]
+            del self._buffer[: self.max_batch]
+            return batch
+        owner = shard_map.owner_of(self._buffer[0][0].key)
+        batch: list[tuple[UpsertRequest, float]] = []
+        rest: list[tuple[UpsertRequest, float]] = []
+        for item in self._buffer:
+            if len(batch) < self.max_batch and shard_map.owner_of(item[0].key) == owner:
+                batch.append(item)
+            else:
+                rest.append(item)
+        self._buffer = rest
+        return batch
 
     def _pump(self):
         yield self.kernel.timeout(0.0)

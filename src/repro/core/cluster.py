@@ -56,6 +56,16 @@ class ClusterSpec:
             compaction, making Reader state fresher at the cost of
             extra coordination traffic.
         monolithic: Build the single-machine baseline instead.
+        sharded: Range-shard the key space across the Ingestors: each
+            key has exactly one owner, clients route by a versioned
+            shard map and chase WrongShard redirects, and online splits
+            (:func:`repro.live.membership.split_ingestor_shard`) move
+            ranges between Ingestors at runtime.  Disables the
+            overlapping multi-Ingestor read protocol — sharded fleets
+            are Linearizable via single ownership plus epoch fencing.
+        spare_ingestors: Extra Ingestors (named after the active ones)
+            built with the cluster but owning no shards; splits hand
+            them ranges at higher epochs.
         seed: RNG seed for the whole simulation.
         drop_probability: Network fault injection.
         tolerated_failures: f > 0 replicates each Compactor's operation
@@ -75,13 +85,29 @@ class ClusterSpec:
     ingestors_share_machine: bool = False
     ingestors_feed_readers: bool = False
     monolithic: bool = False
+    sharded: bool = False
+    spare_ingestors: int = 0
     seed: int = 0
     drop_probability: float = 0.0
     tolerated_failures: int = 0
 
     @property
     def multi_ingestor(self) -> bool:
-        return self.num_ingestors > 1
+        # Sharded deployments use disjoint ownership: one owner per
+        # key, never the overlapping 2δ read protocol.
+        return self.num_ingestors > 1 and not self.sharded
+
+    def initial_shard_map(self):
+        """Epoch-1 shard map (``None`` when unsharded): the active
+        Ingestors split the key space uniformly; spares own nothing."""
+        if not self.sharded:
+            return None
+        from .shard import ShardMap
+
+        return ShardMap.uniform(
+            self.config.key_range,
+            [f"ingestor-{i}" for i in range(self.num_ingestors)],
+        )
 
 
 class Cluster:
@@ -175,6 +201,7 @@ class Cluster:
             readers,
             multi_ingestor=self.spec.multi_ingestor,
             history=self.history if record_history else None,
+            shard_map=self.spec.initial_shard_map(),
         )
         self.clients.append(client)
         return client
@@ -261,7 +288,12 @@ def build_cluster(spec: ClusterSpec) -> Cluster:
             )
         cluster.compactors.append(node)
 
-    ingestor_names = [f"ingestor-{i}" for i in range(spec.num_ingestors)]
+    active_names = [f"ingestor-{i}" for i in range(spec.num_ingestors)]
+    ingestor_names = active_names + [
+        f"ingestor-{spec.num_ingestors + i}" for i in range(spec.spare_ingestors)
+    ]
+    if spec.spare_ingestors and not spec.sharded:
+        raise InvalidConfigError("spare_ingestors require sharded=True")
     ingestor_regions = spec.ingestor_regions or (spec.cloud_region,)
     shared_machine = None
     if spec.ingestors_share_machine:
@@ -270,7 +302,9 @@ def build_cluster(spec: ClusterSpec) -> Cluster:
         machine = shared_machine or cluster.machine(
             f"m-{name}", ingestor_regions[index % len(ingestor_regions)]
         )
-        peers = [n for n in ingestor_names if n != name]
+        peers = (
+            [n for n in active_names if n != name] if spec.multi_ingestor else []
+        )
         cluster.ingestors.append(
             Ingestor(
                 cluster.kernel,
@@ -284,6 +318,7 @@ def build_cluster(spec: ClusterSpec) -> Cluster:
                 multi_ingestor=spec.multi_ingestor,
                 backups=reader_names if spec.ingestors_feed_readers else (),
                 rng=cluster.rngs.stream(f"backoff.{name}"),
+                shard_map=spec.initial_shard_map(),
             )
         )
     if spec.tolerated_failures > 0:

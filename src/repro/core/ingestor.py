@@ -49,17 +49,24 @@ from .messages import (
     ForwardRequest,
     IngestorL1Update,
     IngestorReadResult,
+    InstallShardMap,
+    InstallShardMapReply,
     Phase1Reply,
     Phase1Request,
     RangeQuery,
     RangeQueryReply,
     ReadReply,
     ReadRequest,
+    ShardDrainReply,
+    ShardDrainRequest,
+    ShardMapReply,
+    ShardMapRequest,
     UpsertBatchReply,
     UpsertBatchRequest,
     UpsertReply,
     UpsertRequest,
 )
+from .shard import ShardMap, WrongShardError
 
 
 @dataclass(slots=True)
@@ -113,6 +120,7 @@ class Ingestor(RpcNode):
         multi_ingestor: bool = False,
         backups: Iterable[str] = (),
         rng: random.Random | None = None,
+        shard_map: ShardMap | None = None,
     ) -> None:
         super().__init__(kernel, network, machine, name)
         self.config = config
@@ -121,6 +129,11 @@ class Ingestor(RpcNode):
         self.peers = list(peers)
         self.multi_ingestor = multi_ingestor
         self.backups = list(backups)
+        # Sharded scale-out mode: when set, this node serves only the
+        # key ranges the map assigns to it and rejects everything else
+        # with a WrongShard redirect.  ``None`` (the default) keeps the
+        # classic accept-everything behaviour.
+        self.shard_map = shard_map
         # Jitter stream for retry backoff; seeded per node by the
         # cluster builder so chaotic runs replay bit-identically.
         self._rng = rng or random.Random(0xC001)
@@ -176,6 +189,10 @@ class Ingestor(RpcNode):
         self.on("read_phase1", self._handle_read_phase1)
         self.on("ingestor_read", self._handle_ingestor_read)
         self.on("range_query", self._handle_range_query)
+        self.on("shard_map", self._handle_shard_map)
+        self.on("install_shard_map", self._handle_install_shard_map)
+        self.on("shard_drain", self._handle_shard_drain)
+        self.on("shard_status", self._handle_shard_status)
 
     # ------------------------------------------------------------------
     # Helpers
@@ -207,9 +224,21 @@ class Ingestor(RpcNode):
     def inflight_tables(self) -> int:
         return self._inflight_tables
 
+    def _check_owner(self, key: bytes) -> None:
+        """Fence misrouted traffic in sharded mode.
+
+        After a split, the deposed owner of a range holds a map (epoch
+        E+1) in which someone else owns it; any request routed here
+        under the stale map is rejected so the client refreshes and
+        re-routes — late writes can never land on the old owner.
+        """
+        if self.shard_map is not None and self.shard_map.owner_of(key) != self.name:
+            raise WrongShardError(self.name, self.shard_map.epoch)
+
     def health_gauges(self) -> dict:
         return {
             "inflight": self._inflight_tables,
+            "shard_epoch": -1 if self.shard_map is None else self.shard_map.epoch,
             "l0_tables": len(self.level0),
             "l1_tables": len(self.level1),
             "forward_retries": self.stats.forward_retries,
@@ -223,6 +252,7 @@ class Ingestor(RpcNode):
     # Write path
     # ------------------------------------------------------------------
     def _handle_upsert(self, src: str, request: UpsertRequest):
+        self._check_owner(request.key)
         yield from self.compute(self.config.costs.upsert_cpu)
         entry = self._stamp(request)
         # Log-then-ack: the reply below is only sent once the entry is
@@ -248,6 +278,11 @@ class Ingestor(RpcNode):
         """
         if not request.ops:
             return UpsertBatchReply(())
+        # All-or-nothing ownership: a batch containing any key this node
+        # does not own bounces whole, before any op is applied — the
+        # client refreshes its map and re-splits the batch per shard.
+        for op in request.ops:
+            self._check_owner(op.key)
         yield from self.compute(len(request.ops) * self.config.costs.upsert_cpu)
         entries = [self._stamp(op) for op in request.ops]
         yield from self._log_durable(entries)
@@ -442,6 +477,11 @@ class Ingestor(RpcNode):
         )
         if not overflow:
             return
+        self._launch_forwards(overflow)
+
+    def _launch_forwards(self, overflow: list[SSTable]) -> None:
+        """Move ``overflow`` (tables currently in L1) into the in-flight
+        set and ship them to the owning Compactor partitions."""
         self.manifest.apply(LevelEdit().remove(1, overflow))
         high_ts = max(e.timestamp for t in overflow for e in t.entries)
         self.ts_c = max(self.ts_c, high_ts)
@@ -535,6 +575,82 @@ class Ingestor(RpcNode):
                 waiter.succeed()
 
     # ------------------------------------------------------------------
+    # Shard membership (live scale-out)
+    # ------------------------------------------------------------------
+    def _handle_shard_map(self, src: str, request: ShardMapRequest):
+        """Serve this node's current shard map to a redirected client."""
+        yield from ()
+        return ShardMapReply(self.shard_map)
+
+    def _handle_install_shard_map(self, src: str, request: InstallShardMap):
+        """Adopt a newer shard map (split coordinator, step A and C).
+
+        Epoch-monotone: installs are accepted only when strictly newer
+        than what this node holds, so a stale or replayed install can
+        never resurrect old ownership.  The accepted map is persisted
+        before the reply — a deposed owner stays fenced across a crash.
+        ``clock_floor`` raises the loose clock past the previous owner's
+        timestamp watermark so a newly activated owner stamps strictly
+        newer versions than anything it inherited.
+        """
+        yield from ()
+        current = self.shard_map
+        if current is not None and request.shard_map.epoch <= current.epoch:
+            return InstallShardMapReply(current.epoch, False)
+        self.shard_map = request.shard_map
+        self.clock.advance_past(request.clock_floor)
+        if self._store is not None:
+            self._persist()
+        return InstallShardMapReply(request.shard_map.epoch, True)
+
+    def _handle_shard_drain(self, src: str, request: ShardDrainRequest):
+        """Migration step B: push everything this node holds downstream.
+
+        Called on the deposed owner *after* the fence (so no new writes
+        for the moving range can arrive): flush the memtable — which
+        raises the durable WAL floor via :meth:`_persist` — minor-compact
+        L0 into L1, then forward ALL of L1 to the Compactors through the
+        normal retained/acked path.  The reply snapshots the in-flight
+        batch ids; once those specific batches are acked (polled via
+        ``shard_status``), every write acked before the fence is
+        readable at the Compactors and the new owner can go live.
+        """
+        yield self._compact_lock.request()
+        try:
+            entries = self._memtable.entries()
+            if entries:
+                # Same atomic swap as _flush_and_compact, without the
+                # is-full gate: drain flushes whatever is buffered.
+                self._memtable = self._new_memtable()
+                self._unflushed = []
+                self.manifest.apply(LevelEdit().add(0, [SSTable(entries)]))
+                if self._store is not None:
+                    self._persist(wal_floor=self._seqno)
+                self.stats.flushes += 1
+                yield from self.compute(self.config.costs.flush_cost(len(entries)))
+            if self.level0:
+                yield from self._minor_compaction()
+            leftover = list(self.level1)
+            if leftover:
+                self._launch_forwards(leftover)
+        finally:
+            self._compact_lock.release()
+        return self._shard_status()
+
+    def _handle_shard_status(self, src: str, request: ShardDrainRequest):
+        """Cheap poll of the drain snapshot (no flushing side effects)."""
+        yield from ()
+        return self._shard_status()
+
+    def _shard_status(self) -> ShardDrainReply:
+        return ShardDrainReply(
+            pending=tuple(sorted(self._in_flight)),
+            inflight_tables=self._inflight_tables,
+            watermark=self._max_entry_ts,
+            ts_c=self.ts_c,
+        )
+
+    # ------------------------------------------------------------------
     # Crash recovery (Section III-H)
     # ------------------------------------------------------------------
     def crash(self, lose_memtable: bool = True) -> None:
@@ -582,6 +698,7 @@ class Ingestor(RpcNode):
             "batch_seq": self._batch_seq,
             "ts_c": self.ts_c,
             "clock_watermark": self._max_entry_ts,
+            "shard_map": None if self.shard_map is None else self.shard_map.to_state(),
             "levels": [
                 [t.table_id for t in self.level0],
                 [t.table_id for t in self.level1],
@@ -620,6 +737,14 @@ class Ingestor(RpcNode):
         self._seqno = int(state.get("seqno", 0))
         self._batch_seq = int(state.get("batch_seq", 0))
         self.ts_c = float(state.get("ts_c", float("-inf")))
+        persisted_map = state.get("shard_map")
+        if persisted_map is not None:
+            restored = ShardMap.from_state(persisted_map)
+            # The spec's initial map seeds construction; a persisted map
+            # from a later epoch (an install survived a crash) wins, so
+            # a deposed owner comes back up still fenced.
+            if self.shard_map is None or restored.epoch > self.shard_map.epoch:
+                self.shard_map = restored
         edit = LevelEdit()
         for level, ids in enumerate(state.get("levels", ())):
             if ids:
@@ -718,6 +843,7 @@ class Ingestor(RpcNode):
     def _handle_read(self, src: str, request: ReadRequest):
         """Full read path (Section III-C): local levels, then the
         appropriate Compactor."""
+        self._check_owner(request.key)
         self.stats.reads += 1
         yield from self.compute(self.config.costs.read_base)
         entry, probes = self._search_local(request.key, request.as_of)

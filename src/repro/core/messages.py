@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.shard import ShardMap
 from repro.lsm.entry import Entry
 from repro.lsm.sstable import SSTable
 
@@ -196,6 +197,73 @@ class NodeStats:
     level_sizes: tuple[int, ...]
     total_entries: int
     extra: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True, slots=True)
+class ShardMapRequest:
+    """Client -> any Ingestor: fetch the node's current shard map.
+
+    Sent when a write bounces with a ``WrongShard`` redirect; the
+    client installs the reply if its epoch is newer than what it holds.
+    """
+
+    min_epoch: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class ShardMapReply:
+    """The serving node's current shard map (``None`` if unsharded)."""
+
+    shard_map: ShardMap | None
+
+
+@dataclass(frozen=True, slots=True)
+class InstallShardMap:
+    """Coordinator -> Ingestor: adopt a new shard map.
+
+    Rejected (by reply, not error) unless ``shard_map.epoch`` is
+    strictly greater than the epoch the node already holds — epoch
+    monotonicity is what fences a deposed owner against late writes.
+
+    ``clock_floor`` carries the previous owner's timestamp watermark so
+    a newly activated owner stamps its first write strictly after every
+    migrated entry (newest-wins across the handoff).
+    """
+
+    shard_map: ShardMap
+    clock_floor: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class InstallShardMapReply:
+    """The epoch the node holds after the install attempt."""
+
+    epoch: int
+    accepted: bool
+
+
+@dataclass(frozen=True, slots=True)
+class ShardDrainRequest:
+    """Coordinator -> deposed owner: push everything downstream.
+
+    Flushes the memtable (raising the WAL floor via the durable store),
+    minor-compacts L0 into L1, and forwards *all* of L1 to the
+    Compactors.  The reply lists the forward batches in flight; the
+    split coordinator polls ``shard_status`` until those specific
+    batches are acked, at which point every write acked before the
+    fence is readable at the Compactors.
+    """
+
+
+@dataclass(frozen=True, slots=True)
+class ShardDrainReply:
+    """Drain snapshot: in-flight forward batches plus the clock
+    watermark the new owner must advance past."""
+
+    pending: tuple[int, ...]
+    inflight_tables: int
+    watermark: float
+    ts_c: float
 
 
 @dataclass(frozen=True, slots=True)

@@ -1,0 +1,210 @@
+"""Versioned shard map: key-range → Ingestor ownership for scale-out.
+
+The paper's headline multi-Ingestor mode lets several Ingestors accept
+the *same* keys and relies on 2δ loose-timestamp ordering to merge their
+outputs.  The scale-out mode implemented here is the complementary
+classic design: the key space is *range-partitioned across* Ingestors,
+each key has exactly one owner at any time, and ownership moves by
+splitting a shard — so per-key writes are serialized by a single node
+and histories stay plainly linearizable.
+
+The map is versioned for online reconfiguration:
+
+``epoch``
+    Bumped on every ownership change.  Nodes install a new map only if
+    its epoch is strictly greater than the one they hold, so a stale
+    coordinator can never roll ownership back.
+
+``term`` (per shard)
+    Bumped for every range whose owner changes.  A deposed owner holds
+    a map in which its old range carries a higher term owned by someone
+    else; any write routed to it under the old term is rejected with
+    :class:`WrongShardError` — the fencing that makes "late writes to
+    the previous owner" impossible rather than merely unlikely.
+
+Everything here is pure data shared by the simulator and the live TCP
+runtime; the live membership layer (``repro.live.membership``) drives
+splits over RPC, and clients refresh their copy of the map lazily when
+a node rejects a misrouted request.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.lsm.entry import encode_key
+
+#: Marker embedded in the exception message so the redirect survives the
+#: RPC layer's ``RemoteError(repr(error))`` round-trip and can be
+#: recognised by clients without a dedicated error channel.
+WRONG_SHARD_MARKER = "WRONG_SHARD"
+
+
+class WrongShardError(Exception):
+    """Raised by a node asked to serve a key it does not own.
+
+    Clients treat this as a redirect: refresh the shard map from any
+    live Ingestor and re-route, instead of burning failover retries.
+    """
+
+    def __init__(self, node: str, epoch: int) -> None:
+        super().__init__(f"{WRONG_SHARD_MARKER} node={node} epoch={epoch}")
+        self.node = node
+        self.epoch = epoch
+
+
+def is_wrong_shard(error: BaseException) -> bool:
+    """True if ``error`` is (or wraps, as a ``RemoteError`` string) a
+    :class:`WrongShardError` redirect."""
+    return WRONG_SHARD_MARKER in str(error)
+
+
+@dataclass(frozen=True, slots=True)
+class Shard:
+    """One contiguous key range and its owner.
+
+    Attributes:
+        lower: Inclusive lower bound; ``None`` for the leftmost shard
+            (covers from the beginning of the key space).  The upper
+            bound is the next shard's lower bound, exclusive.
+        owner: Name of the Ingestor that accepts writes/reads for the
+            range.
+        term: Fencing term, bumped each time this range changes owner.
+    """
+
+    lower: bytes | None
+    owner: str
+    term: int = 1
+
+
+@dataclass(frozen=True, slots=True)
+class ShardMap:
+    """An immutable, versioned assignment of the whole key space.
+
+    Shards are sorted by lower bound; the first covers from the start of
+    the key space, so every key has exactly one owner (full coverage, no
+    overlap — by construction, and re-checked by :meth:`validate`).
+    """
+
+    epoch: int
+    shards: tuple[Shard, ...]
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Check full coverage, no overlap, and positive terms."""
+        if self.epoch < 0:
+            raise ValueError("shard map epoch must be non-negative")
+        if not self.shards:
+            raise ValueError("shard map must contain at least one shard")
+        if self.shards[0].lower is not None:
+            raise ValueError("first shard must cover from the start (lower=None)")
+        for left, right in zip(self.shards, self.shards[1:]):
+            if right.lower is None:
+                raise ValueError("only the first shard may have lower=None")
+            if left.lower is not None and left.lower >= right.lower:
+                raise ValueError("shard boundaries must be strictly increasing")
+        for shard in self.shards:
+            if shard.term < 1:
+                raise ValueError("shard terms start at 1")
+            if not shard.owner:
+                raise ValueError("every shard needs an owner")
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def single(cls, owner: str, epoch: int = 1) -> "ShardMap":
+        """The whole key space owned by one Ingestor."""
+        return cls(epoch, (Shard(None, owner),))
+
+    @classmethod
+    def uniform(cls, key_range: int, owners: list[str], epoch: int = 1) -> "ShardMap":
+        """Split ``[0, key_range)`` integer keys evenly across ``owners``.
+
+        Mirrors :meth:`repro.core.keyspace.Partitioning.uniform` so the
+        Ingestor shard boundaries line up with how benches and tests
+        think about integer key spaces.
+        """
+        if not owners:
+            raise ValueError("need at least one owner")
+        shards = []
+        for index, owner in enumerate(owners):
+            lower = None if index == 0 else encode_key(index * key_range // len(owners))
+            shards.append(Shard(lower, owner))
+        return cls(epoch, tuple(shards))
+
+    # -- routing --------------------------------------------------------
+
+    @property
+    def _boundaries(self) -> list[bytes]:
+        return [shard.lower for shard in self.shards[1:]]  # type: ignore[misc]
+
+    def shard_for(self, key: bytes | str | int) -> Shard:
+        """The shard owning ``key`` (bisect over the sorted boundaries)."""
+        encoded = encode_key(key)
+        return self.shards[bisect.bisect_right(self._boundaries, encoded)]
+
+    def owner_of(self, key: bytes | str | int) -> str:
+        """Name of the Ingestor that owns ``key``."""
+        return self.shard_for(key).owner
+
+    def owners(self) -> list[str]:
+        """All distinct owners, in shard order."""
+        seen: list[str] = []
+        for shard in self.shards:
+            if shard.owner not in seen:
+                seen.append(shard.owner)
+        return seen
+
+    def owns(self, owner: str, key: bytes | str | int) -> bool:
+        return self.owner_of(key) == owner
+
+    # -- reconfiguration ------------------------------------------------
+
+    def split(self, boundary: bytes | str | int, new_owner: str) -> "ShardMap":
+        """Split the shard containing ``boundary`` at it.
+
+        The upper half ``[boundary, next)`` moves to ``new_owner`` with
+        a bumped term; the lower half stays with the old owner.  The
+        result's epoch is this map's plus one.
+        """
+        encoded = encode_key(boundary)
+        index = bisect.bisect_right(self._boundaries, encoded)
+        victim = self.shards[index]
+        if victim.lower == encoded:
+            raise ValueError("boundary is already a shard boundary")
+        shards = (
+            self.shards[:index]
+            + (victim, Shard(encoded, new_owner, victim.term + 1))
+            + self.shards[index + 1 :]
+        )
+        return ShardMap(self.epoch + 1, shards)
+
+    # -- state / identity -----------------------------------------------
+
+    def to_state(self) -> dict:
+        """JSON-serialisable form for the durable node store."""
+        return {
+            "epoch": self.epoch,
+            "shards": [
+                [None if s.lower is None else s.lower.hex(), s.owner, s.term]
+                for s in self.shards
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ShardMap":
+        shards = tuple(
+            Shard(None if lower is None else bytes.fromhex(lower), owner, term)
+            for lower, owner, term in state["shards"]
+        )
+        return cls(int(state["epoch"]), shards)
+
+    def fingerprint(self) -> tuple:
+        """Hashable identity used by tests and the verify oracle."""
+        return (
+            self.epoch,
+            tuple((s.lower, s.owner, s.term) for s in self.shards),
+        )

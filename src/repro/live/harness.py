@@ -109,6 +109,11 @@ class LocalCluster:
         #: The address map the driver should use (proxied under chaos).
         self.driver_spec: LiveSpec = spec
         self._log_offsets: dict[str, int] = {}
+        #: Role (``ingestor``/``compactor``/``reader``) recorded at
+        #: launch time, so :meth:`stop` waves classify every node the
+        #: spec knows about — including shard Ingestors added mid-run
+        #: by an online split — by role rather than name prefix.
+        self._roles: dict[str, str] = {}
 
     def log_path(self, name: str) -> Path:
         return self.work_dir / f"{name}.log"
@@ -145,6 +150,7 @@ class LocalCluster:
         self._log_offsets[name] = (
             log_path.stat().st_size if log_path.exists() else 0
         )
+        self._roles[name] = self.spec.role_of(name)
         log = open(log_path, "a")
         self.processes[name] = subprocess.Popen(
             command, stdout=log, stderr=subprocess.STDOUT, env=self._env()
@@ -215,7 +221,9 @@ class LocalCluster:
                     json.dumps(spec_to_dict(view), indent=2)
                 )
             self.driver_spec = proxied_spec(self.spec, self.links, DRIVER_MACHINE)
-        for name in self.spec.node_names:
+        # Spares (sharded mode) get addresses and spec files but no
+        # process yet: an online split brings them up via add_node.
+        for name in self.spec.launch_names:
             self._launch(name)
 
     def _ready_logged(self, name: str) -> bool:
@@ -251,10 +259,22 @@ class LocalCluster:
             time.sleep(0.05)
 
     def wait_ready(self, timeout: float = 30.0) -> None:
-        """Block until every node's port accepts connections."""
+        """Block until every launched node's port accepts connections."""
         deadline = time.monotonic() + timeout
-        for name in self.spec.node_names:
+        for name in list(self.processes):
             self._wait_node_ready(name, deadline)
+
+    def add_node(self, name: str, timeout: float = 30.0) -> None:
+        """Launch a node the cluster did not start up front — a spare
+        shard Ingestor an online split is about to hand ownership — and
+        wait until it accepts connections."""
+        if name not in self.spec.node_names:
+            raise RuntimeError(f"unknown node name: {name}")
+        process = self.processes.get(name)
+        if process is not None and process.poll() is None:
+            raise RuntimeError(f"{name} is already running")
+        self._launch(name)
+        self._wait_node_ready(name, time.monotonic() + timeout)
 
     # ------------------------------------------------------------------
     # Crash nemesis (real processes)
@@ -285,14 +305,33 @@ class LocalCluster:
     #: pending work exits immediately while the Ingestor still retries
     #: an unacked forward against it forever.
     STOP_WAVES = ("ingestor-", "compactor-", "reader-")
+    #: Wave order by *role*: when a role map is available (recorded at
+    #: launch from ``spec.role_of``), nodes are classified by it, so an
+    #: Ingestor added mid-run by an online split drains in the ingestor
+    #: wave no matter what it is called.  Prefix matching remains the
+    #: fallback for names launched outside :meth:`_launch`.
+    ROLE_WAVES = ("ingestor", "compactor", "reader")
 
     @classmethod
-    def _stop_waves(cls, names: list[str]) -> list[list[str]]:
+    def _stop_waves(
+        cls, names: list[str], roles: dict[str, str] | None = None
+    ) -> list[list[str]]:
+        roles = roles or {}
+
+        def role(name: str) -> str | None:
+            known = roles.get(name)
+            if known is not None:
+                return known
+            for prefix in cls.STOP_WAVES:
+                if name.startswith(prefix):
+                    return prefix.rstrip("-")
+            return None
+
         waves = [
-            [n for n in names if n.startswith(prefix)]
-            for prefix in cls.STOP_WAVES
+            [n for n in names if role(n) == wave_role]
+            for wave_role in cls.ROLE_WAVES
         ]
-        waves.append([n for n in names if not n.startswith(cls.STOP_WAVES)])
+        waves.append([n for n in names if role(n) not in cls.ROLE_WAVES])
         return [wave for wave in waves if wave]
 
     def stop(self, timeout: float = 30.0) -> dict[str, int]:
@@ -304,7 +343,7 @@ class LocalCluster:
         in-flight work to still-running downstream peers.  A node that
         fails to drain within ``timeout`` is SIGKILLed (exit -9).
         """
-        for wave in self._stop_waves(list(self.processes)):
+        for wave in self._stop_waves(list(self.processes), self._roles):
             for name in wave:
                 process = self.processes[name]
                 if process.poll() is None:

@@ -91,6 +91,17 @@ class LiveSpec:
     num_readers: int = 0
     compactor_replicas: int = 1
     ingestors_feed_readers: bool = False
+    #: Range-shard the key space across the Ingestors (each key has
+    #: exactly one owner; clients route by shard map and refresh on
+    #: WrongShard redirects).  Mutually exclusive in spirit with the
+    #: overlapping multi-Ingestor protocol: sharded deployments use the
+    #: single-Ingestor read path per key.
+    sharded: bool = False
+    #: Extra Ingestor processes named after the active ones
+    #: (``ingestor-<num_ingestors>`` ...) that get addresses but own no
+    #: shards and are NOT launched at cluster start — online splits
+    #: spawn them (``LocalCluster.add_node``) and hand them ownership.
+    spare_ingestors: int = 0
     addresses: dict[str, tuple[str, int]] = field(default_factory=dict)
     seed: int = 0
     compute_scale: float = 0.0
@@ -101,7 +112,7 @@ class LiveSpec:
     transport_compress_min_bytes: int = 0
 
     def role_of(self, name: str) -> str:
-        if name in self.ingestor_names:
+        if name in self.ingestor_names or name in self.spare_ingestor_names:
             return "ingestor"
         if name in self.compactor_names:
             return "compactor"
@@ -110,6 +121,10 @@ class LiveSpec:
     def __post_init__(self) -> None:
         if self.num_ingestors < 1 or self.num_compactors < 1:
             raise InvalidConfigError("need at least one Ingestor and one Compactor")
+        if self.spare_ingestors < 0:
+            raise InvalidConfigError("spare_ingestors must be non-negative")
+        if self.spare_ingestors and not self.sharded:
+            raise InvalidConfigError("spare_ingestors require sharded=True")
         if self.num_compactors % self.compactor_replicas != 0:
             raise InvalidConfigError(
                 "num_compactors must be a multiple of compactor_replicas"
@@ -136,16 +151,48 @@ class LiveSpec:
         return [f"compactor-{i}" for i in range(self.num_compactors)]
 
     @property
+    def spare_ingestor_names(self) -> list[str]:
+        return [
+            f"ingestor-{self.num_ingestors + i}" for i in range(self.spare_ingestors)
+        ]
+
+    @property
     def reader_names(self) -> list[str]:
         return [f"reader-{i}" for i in range(self.num_readers)]
 
     @property
     def node_names(self) -> list[str]:
-        return [*self.ingestor_names, *self.compactor_names, *self.reader_names]
+        # Spares come LAST so adding them never shifts the node_index
+        # (= table-id namespace) of pre-existing nodes.
+        return [
+            *self.ingestor_names,
+            *self.compactor_names,
+            *self.reader_names,
+            *self.spare_ingestor_names,
+        ]
+
+    @property
+    def launch_names(self) -> list[str]:
+        """Nodes a harness starts up front — everything but the spares,
+        which online splits spawn on demand."""
+        spares = set(self.spare_ingestor_names)
+        return [name for name in self.node_names if name not in spares]
 
     @property
     def multi_ingestor(self) -> bool:
-        return self.num_ingestors > 1
+        # Sharded fleets use disjoint ownership and the single-Ingestor
+        # read path per key — never the overlapping 2δ protocol.
+        return self.num_ingestors > 1 and not self.sharded
+
+    def initial_shard_map(self):
+        """The epoch-1 map every node and client starts from (``None``
+        when unsharded).  Spares own nothing until a split hands them a
+        range at a higher epoch."""
+        if not self.sharded:
+            return None
+        from repro.core.shard import ShardMap
+
+        return ShardMap.uniform(self.config.key_range, self.ingestor_names)
 
     def node_index(self, name: str) -> int:
         """Global index of a node — the table-id namespace (0 is the
@@ -217,6 +264,8 @@ def spec_to_dict(spec: LiveSpec) -> dict[str, Any]:
         "num_readers": spec.num_readers,
         "compactor_replicas": spec.compactor_replicas,
         "ingestors_feed_readers": spec.ingestors_feed_readers,
+        "sharded": spec.sharded,
+        "spare_ingestors": spec.spare_ingestors,
         "seed": spec.seed,
         "compute_scale": spec.compute_scale,
         "drain_timeout": spec.drain_timeout,
@@ -325,7 +374,7 @@ def _build_node(
     config = spec.config
     rngs = RngRegistry(spec.seed)
     clock = LooseClock(kernel, config.delta, rngs.stream(f"clock.{name}"))
-    if name in spec.ingestor_names:
+    if spec.role_of(name) == "ingestor":
         return Ingestor(
             kernel,
             network,
@@ -334,10 +383,15 @@ def _build_node(
             config,
             clock,
             spec.partitioning(),
-            peers=[n for n in spec.ingestor_names if n != name],
+            peers=(
+                [n for n in spec.ingestor_names if n != name]
+                if spec.multi_ingestor
+                else []
+            ),
             multi_ingestor=spec.multi_ingestor,
             backups=spec.reader_names if spec.ingestors_feed_readers else (),
             rng=rngs.stream(f"backoff.{name}"),
+            shard_map=spec.initial_shard_map(),
         )
     if name in spec.compactor_names:
         return Compactor(
@@ -377,6 +431,7 @@ def build_driver_client(
         readers if readers is not None else spec.reader_names,
         multi_ingestor=spec.multi_ingestor,
         history=history,
+        shard_map=spec.initial_shard_map(),
     )
 
 

@@ -473,7 +473,7 @@ def decode_envelope(payload: bytes) -> tuple[int, str, str, typing.Any]:
 # Registry contents
 # ----------------------------------------------------------------------
 def _register_all() -> None:
-    from repro.core import messages
+    from repro.core import messages, shard
     from repro.sim import rpc
 
     protocol = [
@@ -496,6 +496,15 @@ def _register_all() -> None:
         (17, messages.HealthReply),
         (18, messages.UpsertBatchRequest),
         (19, messages.UpsertBatchReply),
+        # Shard-map / membership layer (live scale-out).
+        (20, shard.Shard),
+        (21, shard.ShardMap),
+        (22, messages.ShardMapRequest),
+        (23, messages.ShardMapReply),
+        (24, messages.InstallShardMap),
+        (25, messages.InstallShardMapReply),
+        (26, messages.ShardDrainRequest),
+        (27, messages.ShardDrainReply),
         # RPC envelopes (the request/response/cast framing the RpcNode
         # layer wraps around every payload).
         (64, rpc._Request),

@@ -22,6 +22,7 @@ Entry point: ``python -m repro.cli verify --seed S``.
 
 from .explorer import (
     BUGS,
+    LIVE_SHAPES,
     SHAPES,
     VERIFY_CONFIG,
     ExplorationReport,
@@ -48,6 +49,7 @@ from .shrink import ShrinkResult, ddmin, render_timeline, shrink_schedule
 __all__ = [
     "BUGS",
     "ExplorationReport",
+    "LIVE_SHAPES",
     "Explorer",
     "ModelMismatch",
     "ModelReport",

@@ -84,22 +84,47 @@ VERIFY_CONFIG = CooLSMConfig(
 # ----------------------------------------------------------------------
 @dataclass(frozen=True, slots=True)
 class ShapeSpec:
-    """One cell of the paper's deployment design space."""
+    """One cell of the paper's deployment design space.
+
+    ``sharded`` range-shards the key space across the Ingestors (one
+    owner per key, clients chase WrongShard redirects) and ``spares``
+    adds unlaunched-equivalent Ingestors owning nothing — the live
+    scale-out topology, model-checked in the simulator.  The
+    ``"shard-split"`` reconfig drives the online split coordinator
+    (:func:`repro.live.membership.split_ingestor_shard`) mid-schedule.
+    ``fault_focus`` narrows the nemesis: ``"none"`` (fault-free load),
+    ``"partition"`` (machine-pair partitions only), or ``"crash"``
+    (node crash/recover only) — so a shape *guarantees* its scenario
+    (split-under-load, split-during-partition, split-with-crash)
+    instead of leaving it to the seed's fault lottery.
+    """
 
     num_ingestors: int = 1
     num_compactors: int = 2
     num_readers: int = 0
     clients: int = 2
-    reconfig: str | None = None  # None | "replace" | "split"
+    reconfig: str | None = None  # None | "replace" | "split" | "shard-split"
+    sharded: bool = False
+    spares: int = 0
+    fault_focus: str | None = None  # None | "none" | "partition" | "crash"
 
     @property
     def label(self) -> str:
         tag = f"{self.num_ingestors}i/{self.num_compactors}c/{self.num_readers}r"
-        return tag + (f"+{self.reconfig}" if self.reconfig else "")
+        if self.sharded:
+            tag += f"/sh{self.spares and f'+{self.spares}' or ''}"
+        tag += f"+{self.reconfig}" if self.reconfig else ""
+        if self.fault_focus:
+            tag += f"!{self.fault_focus}"
+        return tag
 
     @property
     def guarantee(self) -> str:
-        front = "lin+conc" if self.num_ingestors > 1 else "linearizable"
+        # Sharded fleets have exactly one owner per key: single-Ingestor
+        # linearizability via ownership + epoch fencing, regardless of
+        # how many Ingestors share the key space.
+        multi = self.num_ingestors > 1 and not self.sharded
+        front = "lin+conc" if multi else "linearizable"
         return front + ("+snapshot" if self.num_readers else "")
 
 
@@ -112,6 +137,23 @@ SHAPES: tuple[ShapeSpec, ...] = (
     ShapeSpec(2, 2, 1, clients=3),
     ShapeSpec(1, 2, 0, clients=2, reconfig="replace"),
     ShapeSpec(1, 1, 0, clients=2, reconfig="split"),
+)
+
+#: Live-cluster shapes: the sharded scale-out topology with an online
+#: Ingestor shard split firing mid-schedule.  A separate corpus (not
+#: folded into :data:`SHAPES`) so the long-standing seed -> shape
+#: mapping of the main corpus — and every fingerprint derived from it —
+#: stays stable.
+LIVE_SHAPES: tuple[ShapeSpec, ...] = (
+    # Split under concurrent load, no faults: the protocol itself.
+    ShapeSpec(2, 2, 0, clients=3, sharded=True, spares=1,
+              reconfig="shard-split", fault_focus="none"),
+    # Split while machine pairs partition and heal underneath.
+    ShapeSpec(2, 2, 0, clients=2, sharded=True, spares=1,
+              reconfig="shard-split", fault_focus="partition"),
+    # Split concurrent with Ingestor crash/recover cycles.
+    ShapeSpec(2, 2, 0, clients=2, sharded=True, spares=1,
+              reconfig="shard-split", fault_focus="crash"),
 )
 
 
@@ -146,7 +188,9 @@ class ScheduleSpec:
 
 
 def _machine_names(shape: ShapeSpec) -> list[str]:
-    names = [f"m-ingestor-{i}" for i in range(shape.num_ingestors)]
+    names = [
+        f"m-ingestor-{i}" for i in range(shape.num_ingestors + shape.spares)
+    ]
     names += [f"m-compactor-{i}" for i in range(shape.num_compactors)]
     names += [f"m-reader-{i}" for i in range(shape.num_readers)]
     return names
@@ -191,24 +235,40 @@ def generate_schedule(
         )
     horizon = max(0.05, ops * 0.004)
     machines = _machine_names(shape)
-    crash_targets = [f"ingestor-{i}" for i in range(shape.num_ingestors)]
+    crash_targets = [
+        f"ingestor-{i}" for i in range(shape.num_ingestors + shape.spares)
+    ]
     crash_targets += [f"reader-{i}" for i in range(shape.num_readers)]
     events: list[NemesisEvent] = []
-    for __ in range(faults):
-        family = rng.randrange(4)
-        at = rng.uniform(0.01, horizon)
-        duration = rng.uniform(0.05, 0.20)
-        if family == 0:
-            events.append(CrashNode(rng.choice(crash_targets), at, duration))
-        elif family == 1 and len(machines) >= 2:
-            a, b = rng.sample(machines, 2)
-            events.append(PartitionPair(a, b, at, duration))
-        elif family == 2:
-            events.append(DropBurst(rng.uniform(0.05, 0.30), at, duration))
-        else:
-            events.append(
-                SlowMachine(rng.choice(machines), at, duration, factor=rng.uniform(2.0, 6.0))
-            )
+    if shape.fault_focus == "none":
+        pass  # fault-free: the schedule exercises load + reconfig only
+    elif shape.fault_focus in ("partition", "crash"):
+        # Focused nemesis, timed to overlap the mid-run reconfig window
+        # (the reconfig driver starts at 0.4 * horizon).
+        for __ in range(faults):
+            at = rng.uniform(0.25 * horizon, 0.75 * horizon)
+            duration = rng.uniform(0.05, 0.20)
+            if shape.fault_focus == "partition" and len(machines) >= 2:
+                a, b = rng.sample(machines, 2)
+                events.append(PartitionPair(a, b, at, duration))
+            else:
+                events.append(CrashNode(rng.choice(crash_targets), at, duration))
+    else:
+        for __ in range(faults):
+            family = rng.randrange(4)
+            at = rng.uniform(0.01, horizon)
+            duration = rng.uniform(0.05, 0.20)
+            if family == 0:
+                events.append(CrashNode(rng.choice(crash_targets), at, duration))
+            elif family == 1 and len(machines) >= 2:
+                a, b = rng.sample(machines, 2)
+                events.append(PartitionPair(a, b, at, duration))
+            elif family == 2:
+                events.append(DropBurst(rng.uniform(0.05, 0.30), at, duration))
+            else:
+                events.append(
+                    SlowMachine(rng.choice(machines), at, duration, factor=rng.uniform(2.0, 6.0))
+                )
     events.sort(key=lambda e: e.at)
     return ScheduleSpec(seed, shape, tuple(planned), tuple(events))
 
@@ -315,13 +375,30 @@ def _client_driver(cluster, strong, analyst, spec, ops, executed):
     return driver
 
 
-def _reconfig_driver(cluster, spec, start_at: float):
+def _reconfig_driver(cluster, spec, start_at: float, admin=None):
     """Launch the shape's live reconfiguration mid-run."""
 
     def driver():
         yield cluster.kernel.timeout(start_at)
         if spec.shape.reconfig == "replace":
             yield from replace_compactor(cluster, "compactor-0", "compactor-0x")
+        elif spec.shape.reconfig == "shard-split":
+            # Online Ingestor shard split, driven by the *live* runtime's
+            # coordinator running under the sim kernel — the exact code
+            # the TCP cluster runs, model-checked here against faults.
+            from repro.live.membership import split_ingestor_shard
+
+            shape = spec.shape
+            new_owner = f"ingestor-{shape.num_ingestors}"
+            boundary = max(op.key for op in spec.ops) // 2 + 1
+            yield from split_ingestor_shard(
+                admin,
+                cluster.spec.initial_shard_map(),
+                boundary,
+                new_owner,
+                others=[node.name for node in cluster.ingestors],
+                history=cluster.history,
+            )
         else:
             # Explicit boundary: the node may not have forwarded data yet
             # by mid-run, and an empty compactor cannot infer a midpoint.
@@ -344,6 +421,8 @@ def run_schedule(
             num_ingestors=shape.num_ingestors,
             num_compactors=shape.num_compactors,
             num_readers=shape.num_readers,
+            sharded=shape.sharded,
+            spare_ingestors=shape.spares,
             seed=spec.seed,
         )
     )
@@ -395,8 +474,16 @@ def run_schedule(
     waits = list(drivers) + list(fault_processes)
     if shape.reconfig:
         horizon = max(0.05, len(spec.ops) * 0.004)
+        admin = None
+        if shape.reconfig == "shard-split":
+            admin = cluster.add_client(
+                colocate_with="ingestor-0", record_history=False
+            )
         waits.append(
-            kernel.spawn(_reconfig_driver(cluster, spec, 0.4 * horizon)(), "verify.reconfig")
+            kernel.spawn(
+                _reconfig_driver(cluster, spec, 0.4 * horizon, admin)(),
+                "verify.reconfig",
+            )
         )
 
     def barrier():
@@ -459,13 +546,15 @@ def _check_outcome(outcome: ScheduleOutcome, config: CooLSMConfig) -> None:
             counters.model_mismatches += 1
             outcome.model_mismatches += 1
 
-    if spec.shape.num_ingestors > 1:
+    if spec.shape.num_ingestors > 1 and not spec.shape.sharded:
         record(
             "lin+conc",
             check_linearizable_concurrent(outcome.history, config.delta).violations,
         )
         record_model("model:loose-ts", check_history_loose_ts(outcome.history, config.delta))
     else:
+        # Single Ingestor — or a sharded fleet, where single ownership
+        # per key plus epoch fencing restores plain linearizability.
         record("linearizable", check_linearizable(outcome.history).violations)
         record_model("model:realtime", check_history_realtime(outcome.history))
     if spec.shape.num_readers:

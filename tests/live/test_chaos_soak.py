@@ -341,3 +341,275 @@ class TestChaosSoak:
         # Scheduled recoveries belong to the nemesis; the supervisor
         # must not have raced them into a failed double-relaunch.
         assert stats.failures == 0
+
+
+# ----------------------------------------------------------------------
+# Sharded soak: an online shard split fired mid-schedule, under chaos
+# ----------------------------------------------------------------------
+SPLIT_SEED = 3031
+SPLIT_HORIZON = 4.0
+#: Keys per writer; writer 0 targets the *moving* range so the fence/
+#: drain window interacts with retried live load.
+SPLIT_KEYS = 32
+SPLIT_MIN_OPS = 40
+
+
+def _split_schedule(spec):
+    """Faults drawn over the launched fleet only — the spare is down
+    until the split spawns it, and SIGKILLing a process that does not
+    exist yet is a harness bug, not a fault."""
+    return random_schedule(
+        random.Random(SPLIT_SEED),
+        horizon=SPLIT_HORIZON,
+        node_names=spec.launch_names,
+        machine_names=[machine_of(name) for name in spec.launch_names],
+        crashes=1,
+        partitions=2,
+        drop_bursts=1,
+        slowdowns=1,
+        mean_downtime=0.5,
+    )
+
+
+@pytest.fixture(scope="module")
+def sharded_soak_run(tmp_path_factory):
+    from repro.core.messages import UpsertRequest
+    from repro.core.shard import is_wrong_shard
+    from repro.live.membership import split_ingestor_shard
+    from repro.lsm.entry import encode_key
+    from repro.sim.rpc import RemoteError, RpcTimeout
+
+    config = dataclasses.replace(
+        CooLSMConfig().scaled_down(10),
+        ack_timeout=1.0,
+        client_timeout=1.5,
+        wal_group_commit=True,
+        group_commit_max_batch=64,
+        group_commit_max_delay=0.002,
+    )
+    spec = localhost_spec(
+        num_ingestors=2,
+        num_compactors=2,
+        num_readers=0,
+        config=config,
+        seed=SPLIT_SEED,
+        sharded=True,
+        spare_ingestors=1,
+    )
+    boundary = config.key_range // 4
+    new_owner = spec.spare_ingestor_names[0]
+    events = _split_schedule(spec)
+    work_dir = tmp_path_factory.mktemp("chaos-soak-shard")
+    history = History()
+    acked: dict[bytes, bytes] = {}
+    readback: dict[bytes, bytes | None] = {}
+    state = {"chaos_done": False}
+    split_result: dict = {}
+
+    with LocalCluster(
+        spec, work_dir, data_dir=work_dir / "data",
+        chaos=True, chaos_seed=SPLIT_SEED,
+    ) as cluster:
+        cluster.wait_ready(timeout=60.0)
+
+        async def drive():
+            control = ChaosControl(cluster.control_address)
+            supervisor = Supervisor(
+                cluster,
+                policy=RestartPolicy(base=0.2, cap=2.0, stable_after=5.0),
+                poll_interval=0.1,
+            )
+            nemesis = LiveNemesis(
+                events, control=control, cluster=cluster, supervisor=supervisor
+            )
+            async with ClientPool(
+                cluster.driver_spec, num_clients=2, history=history
+            ) as pool:
+                supervisor.start()
+
+                async def run_nemesis():
+                    try:
+                        return await nemesis.run()
+                    finally:
+                        state["chaos_done"] = True
+
+                async def run_split():
+                    # Mid-schedule: let the first faults land, then
+                    # scale out while the nemesis keeps firing.
+                    await asyncio.sleep(SPLIT_HORIZON * 0.3)
+                    await asyncio.to_thread(cluster.add_node, new_owner)
+                    admin = pool.backup_client("client-3")
+                    return await pool.run(
+                        split_ingestor_shard(
+                            admin,
+                            spec.initial_shard_map(),
+                            boundary,
+                            new_owner,
+                            others=spec.ingestor_names,
+                            history=history,
+                            budget=120,
+                        ),
+                        "split",
+                    )
+
+                def writer(client, base):
+                    """Retry each value until acked; record only then."""
+                    index = 0
+                    retries = 0
+                    while not state["chaos_done"] or index < SPLIT_MIN_OPS:
+                        key = base + index % SPLIT_KEYS
+                        value = b"shard-soak-%d-%d" % (base, index)
+                        while True:
+                            try:
+                                yield from client.upsert(key, value)
+                                break
+                            except SimError:
+                                retries += 1
+                        acked[str(key).encode()] = value
+                        if index % 9 == 0:
+                            try:
+                                yield from client.read(key)
+                            except SimError:
+                                retries += 1
+                        yield client.kernel.timeout(0.005)
+                        index += 1
+                    return {
+                        "ops": index,
+                        "retries": retries,
+                        "redirects": client.stats.shard_redirects,
+                    }
+
+                log, split, w0, w1 = await asyncio.gather(
+                    run_nemesis(),
+                    run_split(),
+                    # Writer 0 lives in the moving range; writer 1 in
+                    # the untouched lower half of the same source shard.
+                    pool.run(writer(pool.clients[0], boundary), "writer-0"),
+                    pool.run(writer(pool.clients[1], 16), "writer-1"),
+                )
+                split_result["map"], split_result["stats"] = split
+
+                # Stale-epoch probe at the deposed owner.
+                probe = pool.backup_client("client-4")
+
+                def stale_write(client):
+                    try:
+                        yield client.call(
+                            "ingestor-0",
+                            "upsert",
+                            UpsertRequest(encode_key(boundary + 1), b"stale"),
+                            timeout=config.request_timeout,
+                        )
+                    except (RemoteError, RpcTimeout) as error:
+                        return str(error)
+                    return None
+
+                split_result["fence_error"] = await pool.run(
+                    stale_write(probe), "stale-probe"
+                )
+                split_result["fenced"] = (
+                    split_result["fence_error"] is not None
+                    and is_wrong_shard(split_result["fence_error"])
+                )
+
+                def read_all(client):
+                    for key in sorted(acked):
+                        for __ in range(10):
+                            try:
+                                value = yield from client.read(int(key))
+                                break
+                            except SimError:
+                                value = None
+                        readback[key] = value
+                    return len(readback)
+
+                await pool.run(read_all(pool.clients[0]), "readback")
+                await supervisor.stop()
+                await control.close()
+                return log, w0, w1
+
+        log, w0, w1 = asyncio.run(asyncio.wait_for(drive(), timeout=240.0))
+        replay = LiveNemesis(events, control=object(), cluster=cluster)
+        replay_fingerprint = tuple(a.record for a in replay._actions)
+        exit_codes = cluster.stop(timeout=30.0)
+
+    return {
+        "spec": spec,
+        "boundary": boundary,
+        "new_owner": new_owner,
+        "events": events,
+        "log": log,
+        "replay_fingerprint": replay_fingerprint,
+        "writers": (w0, w1),
+        "acked": acked,
+        "readback": readback,
+        "history": history,
+        "exit_codes": exit_codes,
+        **split_result,
+    }
+
+
+class TestShardedChaosSoak:
+    def test_split_landed_mid_schedule(self, sharded_soak_run):
+        stats = sharded_soak_run["stats"]
+        assert stats.new_owner == sharded_soak_run["new_owner"]
+        assert stats.epoch == 2
+        new_map = sharded_soak_run["map"]
+        assert new_map.owner_of(sharded_soak_run["boundary"]) == (
+            sharded_soak_run["new_owner"]
+        )
+
+    def test_zero_acked_write_loss(self, sharded_soak_run):
+        acked = sharded_soak_run["acked"]
+        readback = sharded_soak_run["readback"]
+        assert len(acked) >= SPLIT_KEYS
+        lost = {
+            key: (expected, readback.get(key))
+            for key, expected in acked.items()
+            if readback.get(key) != expected
+        }
+        assert not lost, f"acked writes lost or stale: {lost}"
+
+    def test_stale_epoch_writes_fenced(self, sharded_soak_run):
+        assert sharded_soak_run["fenced"], sharded_soak_run["fence_error"]
+
+    def test_history_passes_both_checkers(self, sharded_soak_run):
+        history = sharded_soak_run["history"]
+        report = check_linearizable(history)
+        assert not report.violations, report.violations[:5]
+        model = check_history_realtime(history)
+        assert model.ok, model.mismatches[:5]
+
+    def test_schedule_replays_bit_identically(self, sharded_soak_run):
+        log = sharded_soak_run["log"]
+        assert sharded_soak_run["replay_fingerprint"] == log.fingerprint()
+        assert log.canonical_fingerprint() == tuple(
+            sorted(expected_fingerprint(sharded_soak_run["events"]))
+        )
+
+    def test_same_schedule_runs_under_sim_kernel(self, sharded_soak_run):
+        """The identical fault schedule over the identical sharded
+        topology, interpreted by the sim nemesis: same canonical log."""
+        cluster = build_cluster(
+            ClusterSpec(
+                config=TINY,
+                num_ingestors=2,
+                num_compactors=2,
+                sharded=True,
+                spare_ingestors=1,
+                seed=SPLIT_SEED,
+            )
+        )
+        nemesis = Nemesis.for_cluster(cluster)
+        nemesis.schedule(sharded_soak_run["events"])
+        cluster.run(until=SPLIT_HORIZON + 2.0)
+        assert nemesis.done()
+        assert (
+            nemesis.log.canonical_fingerprint()
+            == sharded_soak_run["log"].canonical_fingerprint()
+        )
+
+    def test_every_node_drained(self, sharded_soak_run):
+        exit_codes = sharded_soak_run["exit_codes"]
+        assert exit_codes == {name: 0 for name in exit_codes}, exit_codes
+        assert sharded_soak_run["new_owner"] in exit_codes
