@@ -247,6 +247,19 @@ def _cmd_chaos_bench(args) -> int:
     )
 
 
+def _cmd_stability_bench(args) -> int:
+    from repro.bench.stability_bench import run_and_report
+
+    return run_and_report(
+        out=args.out,
+        ops=args.ops,
+        seed=args.seed,
+        live_seconds=args.live_seconds,
+        check=args.check,
+        max_regression=args.max_regression,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -407,6 +420,35 @@ def main(argv: list[str] | None = None) -> int:
         default=2.5,
         help="allowed ratio-of-ratios degradation vs baseline (default 2.5)",
     )
+    stability_parser = subparsers.add_parser(
+        "stability-bench",
+        help="windowed write-stability benchmark: flow control on vs off",
+    )
+    stability_parser.add_argument(
+        "--out", default="BENCH_stability.json", help="output JSON path"
+    )
+    stability_parser.add_argument(
+        "--ops", type=int, default=12000, help="sim-phase writes per run"
+    )
+    stability_parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    stability_parser.add_argument(
+        "--live-seconds",
+        type=float,
+        default=4.0,
+        help="live-phase duration in seconds (0 skips the live phase)",
+    )
+    stability_parser.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE",
+        help="compare against a baseline BENCH_stability.json and fail on regression",
+    )
+    stability_parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.5,
+        help="allowed tail-ratio degradation vs baseline (default 2.5)",
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -422,6 +464,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_chaos_proxy(args)
     if args.command == "chaos-bench":
         return _cmd_chaos_bench(args)
+    if args.command == "stability-bench":
+        return _cmd_stability_bench(args)
     return _cmd_run(args.names, args.ops, args.scale)
 
 

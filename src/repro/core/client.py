@@ -29,6 +29,7 @@ from repro.sim.clock import definitely_after
 from repro.sim.rpc import RemoteError, RpcNode, RpcTimeout
 
 from .config import CooLSMConfig
+from .flow import is_backpressure
 from .history import History
 from .keyspace import Partitioning
 from .messages import (
@@ -57,6 +58,7 @@ class ClientStats:
     failovers: int = 0
     shard_redirects: int = 0
     map_refreshes: int = 0
+    backpressure_retries: int = 0
 
     def record(self, kind: str, latency: float) -> None:
         self.latencies.setdefault(kind, []).append(latency)
@@ -139,14 +141,24 @@ class Client(RpcNode):
         :class:`~repro.sim.rpc.RpcTimeout` after the retry budget —
         never as a driver hung forever on ``timeout=None``.  Returns
         ``(serving_target, reply)``.
+
+        Backpressure replies (admission control shedding writes) are
+        retried against the *same* target with exponential backoff and
+        their own, much larger budget — the node is healthy and asking
+        the client to slow down, so failing over or burning the failover
+        budget would defeat flow control.
         """
         order = self._target_order(preferred, pool)
         last_error: Exception | None = None
-        for attempt in range(self.config.client_retry_budget):
+        attempt = 0
+        bp_retries = 0
+        backoff = self.config.forward_backoff_base
+        prev_target: str | None = None
+        while attempt < self.config.client_retry_budget:
             target = order[attempt % len(order)]
-            if attempt:
-                if target != order[(attempt - 1) % len(order)]:
-                    self.stats.failovers += 1
+            if prev_target is not None and target != prev_target:
+                self.stats.failovers += 1
+            prev_target = target
             try:
                 reply = yield self.call(
                     target,
@@ -158,7 +170,16 @@ class Client(RpcNode):
                 return target, reply
             except (RpcTimeout, RemoteError) as error:
                 last_error = error
+                if is_backpressure(error):
+                    self.stats.backpressure_retries += 1
+                    bp_retries += 1
+                    if bp_retries > 8 * self.config.client_retry_budget:
+                        raise last_error
+                    yield self.kernel.timeout(backoff)
+                    backoff = min(backoff * 2.0, self.config.forward_backoff_cap)
+                    continue
                 self.stats.timeouts += 1
+                attempt += 1
         raise last_error
 
     # ------------------------------------------------------------------
@@ -206,6 +227,7 @@ class Client(RpcNode):
         """
         failures = 0
         redirects = 0
+        bp_retries = 0
         backoff = self.config.forward_backoff_base
         last_error: Exception | None = None
         while True:
@@ -221,6 +243,14 @@ class Client(RpcNode):
                 return target, reply
             except (RpcTimeout, RemoteError) as error:
                 last_error = error
+                if is_backpressure(error):
+                    self.stats.backpressure_retries += 1
+                    bp_retries += 1
+                    if bp_retries > 8 * self.config.client_retry_budget:
+                        raise last_error
+                    yield self.kernel.timeout(backoff)
+                    backoff = min(backoff * 2.0, self.config.forward_backoff_cap)
+                    continue
                 if is_wrong_shard(error):
                     self.stats.shard_redirects += 1
                     redirects += 1
@@ -359,6 +389,7 @@ class Client(RpcNode):
         pending = list(range(len(requests)))
         failures = 0
         redirects = 0
+        bp_retries = 0
         backoff = self.config.forward_backoff_base
         last_error: Exception | None = None
         while pending:
@@ -379,6 +410,14 @@ class Client(RpcNode):
                 )
             except (RpcTimeout, RemoteError) as error:
                 last_error = error
+                if is_backpressure(error):
+                    self.stats.backpressure_retries += 1
+                    bp_retries += 1
+                    if bp_retries > 8 * self.config.client_retry_budget:
+                        raise last_error
+                    yield self.kernel.timeout(backoff)
+                    backoff = min(backoff * 2.0, self.config.forward_backoff_cap)
+                    continue
                 if is_wrong_shard(error):
                     self.stats.shard_redirects += 1
                     redirects += 1

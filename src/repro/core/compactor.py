@@ -30,11 +30,13 @@ from repro.lsm.compaction import (
     KeepPolicy,
     NEWEST_WINS,
     major_compaction,
-    select_overflow_rotating,
+    merge_tables,
 )
 from repro.lsm.entry import Entry
+from repro.lsm.errors import CorruptionError
 from repro.lsm.iterators import level_scan
 from repro.lsm.manifest import LevelEdit, Manifest
+from repro.lsm.policy import make_policy
 from repro.lsm.sstable import SSTable
 from repro.sim.clock import LooseClock
 from repro.sim.resources import Resource
@@ -109,7 +111,13 @@ class Compactor(RpcNode):
         self.backups = list(backups)
         self.multi_ingestor = multi_ingestor
         self.stats = CompactorStats()
-        self.manifest = Manifest(2, overlapping_levels=frozenset())
+        # The compaction policy decides how forwarded tables land in L2
+        # and how L2 overflows into L3; the default (leveling) keeps
+        # both levels single disjoint runs, tiered policies stack runs.
+        self._policy = make_policy(config.compaction_policy)
+        self.manifest = Manifest(
+            2, overlapping_levels=self._policy.compactor_overlapping()
+        )
         # Volatile row cache over immutable sstables; wiped on crash.
         self.read_cache: ReadCache | None = (
             ReadCache(config.read_cache_capacity)
@@ -153,6 +161,9 @@ class Compactor(RpcNode):
             "l2_tables": len(self.level2),
             "l3_tables": len(self.level3),
             "duplicate_forwards": self.stats.duplicate_forwards,
+            # Downstream compaction debt: L2 occupancy over its
+            # threshold (>1.0 means overflow merges are due).
+            "l2_debt": round(len(self.level2) / max(1, self.config.l2_threshold), 4),
         }
 
     def _keep_policy(self, bottom: bool) -> KeepPolicy:
@@ -216,7 +227,10 @@ class Compactor(RpcNode):
         yield self._merge_lock.request()
         try:
             merged = yield from self._compact_into_l2(list(request.tables))
-            if len(self.level2) > self.config.l2_threshold:
+            if (
+                self._policy.overflow_enabled
+                and len(self.level2) > self.config.l2_threshold
+            ):
                 yield from self._compact_l2_overflow_into_l3()
         finally:
             self._merge_lock.release()
@@ -234,12 +248,24 @@ class Compactor(RpcNode):
     def _compact_into_l2(self, incoming: list[SSTable]):
         started = self.kernel.now
         l2_before = list(self.level2)
-        result, untouched = major_compaction(
-            incoming,
-            l2_before,
-            self.config.sstable_entries,
-            self._keep_policy(bottom=False),
-        )
+        if self._policy.merges_on_absorb:
+            # Leveled absorb: merge with the overlapping region of L2
+            # (and drop tombstones if the policy makes L2 the bottom).
+            result, untouched = major_compaction(
+                incoming,
+                l2_before,
+                self.config.sstable_entries,
+                self._keep_policy(bottom=self._policy.l2_is_bottom),
+            )
+        else:
+            # Tiered absorb: sort the incoming batch into one fresh run
+            # stacked on L2; existing runs are untouched (and unpaid).
+            result = merge_tables(
+                list(incoming),
+                self.config.sstable_entries,
+                self._keep_policy(bottom=False),
+            )
+            untouched = l2_before
         total = result.stats.entries_in
         yield from self.compute(self.config.costs.merge_cost(total))
         untouched_ids = {t.table_id for t in untouched}
@@ -250,21 +276,41 @@ class Compactor(RpcNode):
         self.stats.compactions.append(
             CompactionTiming(2, self.kernel.now - started, total)
         )
-        self._push_to_backups(2, result.tables)
+        self._push_to_backups(
+            2,
+            result.tables,
+            replaced_ids=None
+            if self._policy.merges_on_absorb
+            else tuple(t.table_id for t in replaced),
+        )
         return total
 
     def _compact_l2_overflow_into_l3(self):
         started = self.kernel.now
-        kept, overflow, self._l2_pointer = select_overflow_rotating(
+        overflow, self._l2_pointer = self._policy.select_l2_overflow(
             self.level2, self.config.l2_threshold, self._l2_pointer
         )
+        if not overflow:
+            return
         l3_before = list(self.level3)
-        result, untouched = major_compaction(
-            overflow,
-            l3_before,
-            self.config.sstable_entries,
-            self._keep_policy(bottom=True),
-        )
+        if self._policy.merges_on_overflow:
+            # Leveled move: merge into L3's overlapping region (L3 is
+            # the bottom, so tombstones may be dropped).
+            result, untouched = major_compaction(
+                overflow,
+                l3_before,
+                self.config.sstable_entries,
+                self._keep_policy(bottom=True),
+            )
+        else:
+            # Tiered move: every selected run folds into one fresh run
+            # stacked on L3; existing L3 runs are untouched.
+            result = merge_tables(
+                list(reversed(overflow)),  # newest run first
+                self.config.sstable_entries,
+                self._keep_policy(bottom=False),
+            )
+            untouched = l3_before
         total = result.stats.entries_in
         yield from self.compute(self.config.costs.merge_cost(total))
         untouched_ids = {t.table_id for t in untouched}
@@ -279,7 +325,12 @@ class Compactor(RpcNode):
             CompactionTiming(3, self.kernel.now - started, total)
         )
         self._push_to_backups(
-            3, result.tables, removed_l2_ids=tuple(t.table_id for t in overflow)
+            3,
+            result.tables,
+            removed_l2_ids=tuple(t.table_id for t in overflow),
+            replaced_ids=None
+            if self._policy.merges_on_overflow
+            else tuple(t.table_id for t in replaced),
         )
 
     def _push_to_backups(
@@ -287,12 +338,15 @@ class Compactor(RpcNode):
         paper_level: int,
         tables: list[SSTable],
         removed_l2_ids: tuple[int, ...] = (),
+        replaced_ids: tuple[int, ...] | None = None,
     ) -> None:
         """Cast the newly formed sstables to every Reader.
 
         Sent on FIFO channels, so each Reader sees this Compactor's
         post-compaction states in order — the basis of snapshot
-        linearizability (Section III-D.2).
+        linearizability (Section III-D.2).  ``replaced_ids`` carries an
+        exact replacement set for stacked (tiered) levels, where the
+        Reader's replace-by-overlap default would clobber sibling runs.
         """
         if not tables and not removed_l2_ids:
             return
@@ -305,7 +359,12 @@ class Compactor(RpcNode):
             self._persist()
         entries = sum(len(t) for t in tables)
         update = BackupUpdate(
-            paper_level, tuple(tables), self.name, removed_l2_ids, seq=self._backup_seq
+            paper_level,
+            tuple(tables),
+            self.name,
+            removed_l2_ids,
+            seq=self._backup_seq,
+            replaced_ids=replaced_ids,
         )
         for backup in self.backups:
             self.cast(
@@ -333,6 +392,7 @@ class Compactor(RpcNode):
         """Commit L2/L3, the dedup table, and the backup sequence to
         the attached store.  Synchronous — never yields."""
         state = {
+            "policy": self._policy.name,
             "backup_seq": self._backup_seq,
             "levels": [
                 [t.table_id for t in self.level2],
@@ -364,6 +424,15 @@ class Compactor(RpcNode):
             self._persist()
             return
         state = recovered.state
+        persisted_policy = state.get("policy")
+        if persisted_policy is not None and persisted_policy != self._policy.name:
+            # A tiered store holds overlapping runs a leveled node would
+            # mis-merge on the next forward; refuse the mismatch.
+            raise CorruptionError(
+                f"{self.name}: store written by compaction policy "
+                f"{persisted_policy!r}, refusing to recover as "
+                f"{self._policy.name!r}"
+            )
         tables = recovered.tables
         self._backup_seq = int(state.get("backup_seq", 0))
         edit = LevelEdit()
@@ -393,8 +462,9 @@ class Compactor(RpcNode):
         probes = 0
         candidates: list[Entry] = []
         for level in (L2, L3):
-            # Both levels are non-overlapping: the fence index bisects to
-            # the single table covering ``key`` instead of scanning.
+            # The fence index bisects to the candidate tables: exactly
+            # one for a non-overlapping level, one per covering run for
+            # a stacked level (version order resolves among them).
             for table in self.manifest.tables_for_key(level, key):
                 if table.bloom.might_contain(key):
                     probes += 1
@@ -424,16 +494,20 @@ class Compactor(RpcNode):
 
         self.stats.reads += 1
         yield from self.compute(self.config.costs.read_base)
-        # Each level is non-overlapping, so it becomes one lazy chained
-        # stream; with a limit the merge stops after O(limit) entries.
-        sources = [
-            level_scan(
-                self.manifest.tables_for_range(level, request.lo, request.hi),
-                request.lo,
-                request.hi,
-            )
-            for level in (L2, L3)
-        ]
+        # A non-overlapping level becomes one lazy chained stream; a
+        # stacked (tiered) level contributes one cursor per run, since
+        # chaining overlapping tables would break sort order.  With a
+        # limit the merge stops after O(limit) entries either way.
+        overlapping = self.manifest.overlapping_levels
+        sources = []
+        for level in (L2, L3):
+            run = self.manifest.tables_for_range(level, request.lo, request.hi)
+            if not run:
+                continue
+            if level in overlapping:
+                sources.extend(t.scan(request.lo, request.hi) for t in run)
+            else:
+                sources.append(level_scan(run, request.lo, request.hi))
         pairs: list[tuple[bytes, bytes]] = []
         for entry in dedup_newest(k_way_merge(sources)):
             if entry.tombstone:

@@ -77,6 +77,31 @@ class CooLSMConfig:
             may wait for stragglers before fsyncing a non-full buffer.
             0 flushes at the next scheduler tick (pure coalescing of
             already-concurrent appends, no added latency).
+        compaction_policy: Which :mod:`repro.lsm.policy` strategy the
+            Ingestors and Compactors dispatch compactions through.
+            ``"leveling"`` (the paper's hybrid: tiering L0->L1, leveled
+            L2/L3) is the historical, byte-identical default; the
+            others are ``"tiering"``, ``"lazy_leveling"``, and
+            ``"one_leveling"``.
+        flow_control: Enable write admission control at the Ingestor
+            (:mod:`repro.core.flow`).  Off by default so the sim
+            schedule stays byte-identical with historical runs.  When
+            on, writes are delayed once compaction debt crosses
+            ``flow_slowdown_debt`` and rejected with a retryable
+            Backpressure error past ``flow_stall_debt``.
+        flow_slowdown_debt: Debt ratio (worst of L0 / L1 / in-flight
+            occupancy over their thresholds) at which admitted writes
+            start paying a graduated delay.  Debt 1.0 means "exactly at
+            a compaction trigger", which is routine steady state, so
+            the slowdown must start comfortably above it — throttling
+            at <= 1.0 taxes every write instead of absorbing bursts
+            (cf. RocksDB, whose L0 slowdown trigger sits at ~5x its
+            compaction trigger).
+        flow_stall_debt: Debt ratio past which writes are rejected
+            outright (the client backs off and retries).
+        flow_max_delay: Delay, seconds, one admitted write pays when
+            debt reaches ``flow_stall_debt`` (scales linearly from 0 at
+            ``flow_slowdown_debt``).
         costs: The compute cost model.
     """
 
@@ -100,6 +125,11 @@ class CooLSMConfig:
     wal_group_commit: bool = False
     group_commit_max_batch: int = 256
     group_commit_max_delay: float = 0.0
+    compaction_policy: str = "leveling"
+    flow_control: bool = False
+    flow_slowdown_debt: float = 1.5
+    flow_stall_debt: float = 2.5
+    flow_max_delay: float = 0.01
     costs: CostModel = DEFAULT_COSTS
 
     def __post_init__(self) -> None:
@@ -131,6 +161,15 @@ class CooLSMConfig:
             raise InvalidConfigError("group_commit_max_batch must be positive")
         if self.group_commit_max_delay < 0:
             raise InvalidConfigError("group_commit_max_delay must be non-negative")
+        from repro.lsm.policy import normalize_policy_name
+
+        normalize_policy_name(self.compaction_policy)  # raises if unknown
+        if self.flow_slowdown_debt <= 0 or self.flow_stall_debt <= 0:
+            raise InvalidConfigError("flow-control debt thresholds must be positive")
+        if self.flow_stall_debt <= self.flow_slowdown_debt:
+            raise InvalidConfigError("flow_stall_debt must exceed flow_slowdown_debt")
+        if self.flow_max_delay < 0:
+            raise InvalidConfigError("flow_max_delay must be non-negative")
 
     @property
     def request_timeout(self) -> float:

@@ -1,0 +1,230 @@
+"""Write flow control: compaction-debt accounting and admission control.
+
+Luo & Carey ("On Performance Stability in LSM-based Storage Systems")
+show that an LSM ingest path without admission control hides write
+stalls behind a healthy *mean* throughput: L0 stacks up, a minor
+compaction eventually blocks on in-flight forwards, and the writes that
+trigger it pay multi-second tails.  This module adds the missing
+machinery at the Ingestor:
+
+* :class:`DebtSnapshot` — the instantaneous *compaction debt*: L0 run
+  count, L1 backlog, and in-flight forwarded tables, each normalised by
+  its configured threshold.
+* :class:`AdmissionController` — a two-threshold controller (cf.
+  RocksDB's slowdown/stop write controller).  Below
+  ``flow_slowdown_debt`` writes pass untouched; between the thresholds
+  each admitted write pays a graduated delay; above ``flow_stall_debt``
+  writes are rejected with :class:`BackpressureError`, which travels
+  over the wire inside the ordinary error reply and tells the client to
+  back off and retry (the write is shed *before* it can stack more L0).
+* :class:`StallEvent` — start/duration/trigger records for every stall,
+  exposed through ``health_gauges()`` and the Monitor so stability is
+  observable over time, not just on average.
+
+``BackpressureError`` follows the same marker convention as
+``WrongShardError`` (:mod:`repro.core.shard`): the marker substring
+survives the RPC layer's error stringification, so no new wire message
+is needed and :func:`is_backpressure` works on both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .config import CooLSMConfig
+
+#: Substring embedded in every BackpressureError message; survives the
+#: RPC error round-trip (RemoteError wraps repr(error)).
+BACKPRESSURE_MARKER = "BACKPRESSURE"
+
+STATE_OK = "ok"
+STATE_SLOWDOWN = "slowdown"
+STATE_STALL = "stall"
+
+#: Numeric encoding for gauges/timelines (dicts of floats on the wire).
+STATE_CODES = {STATE_OK: 0, STATE_SLOWDOWN: 1, STATE_STALL: 2}
+
+
+class BackpressureError(Exception):
+    """A write was rejected by admission control.
+
+    Retryable by construction: the node is healthy but shedding load;
+    the client should back off and resend rather than fail over.
+    """
+
+    def __init__(self, node: str, debt: float, trigger: str) -> None:
+        super().__init__(
+            f"{BACKPRESSURE_MARKER}: {node} shedding writes "
+            f"(debt={debt:.3f}, trigger={trigger})"
+        )
+        self.node = node
+        self.debt = debt
+        self.trigger = trigger
+
+
+def is_backpressure(error: object) -> bool:
+    """True when ``error`` is (or wraps, at any RPC distance) a
+    :class:`BackpressureError`."""
+    return BACKPRESSURE_MARKER in str(error)
+
+
+@dataclass(frozen=True, slots=True)
+class DebtSnapshot:
+    """Instantaneous compaction debt at one Ingestor.
+
+    Each ratio is the raw quantity over its configured threshold; the
+    controller acts on the worst of them, so debt 1.0 means "exactly at
+    the threshold that triggers compaction/stalling work".
+    """
+
+    l0_tables: int
+    l1_tables: int
+    inflight_forwards: int
+    pending_bytes: int
+    l0_ratio: float
+    l1_ratio: float
+    inflight_ratio: float
+
+    @property
+    def debt(self) -> float:
+        return max(self.l0_ratio, self.l1_ratio, self.inflight_ratio)
+
+    @property
+    def trigger(self) -> str:
+        """Name of the dominating debt component."""
+        worst = self.debt
+        if self.inflight_ratio == worst:
+            return "inflight_forwards"
+        if self.l0_ratio == worst:
+            return "l0_tables"
+        return "l1_backlog"
+
+
+@dataclass(slots=True)
+class StallEvent:
+    """One write stall: when it began, how long it lasted, and which
+    debt component (or blocking wait) caused it."""
+
+    start: float
+    duration: float
+    trigger: str
+
+
+class AdmissionController:
+    """Two-threshold admission control over :class:`DebtSnapshot`.
+
+    Pure bookkeeping plus decisions — it never sleeps or yields itself;
+    the Ingestor applies returned delays with its own kernel timeout, so
+    the controller is identical under the simulator and the live
+    runtime.
+    """
+
+    def __init__(self, config: "CooLSMConfig", node: str = "") -> None:
+        self.config = config
+        self.node = node
+        self.state = STATE_OK
+        self.admitted = 0
+        self.delayed = 0
+        self.rejected = 0
+        self.delay_time = 0.0
+        self.last_debt = 0.0
+        self.stall_events: list[StallEvent] = []
+        self._stall_started: float | None = None
+        self._stall_trigger = ""
+
+    # ------------------------------------------------------------------
+    # Debt accounting
+    # ------------------------------------------------------------------
+    def snapshot(
+        self,
+        l0_tables: int,
+        l1_tables: int,
+        inflight_forwards: int,
+        pending_bytes: int = 0,
+    ) -> DebtSnapshot:
+        """Build a debt snapshot normalised by this config's thresholds."""
+        config = self.config
+        snap = DebtSnapshot(
+            l0_tables=l0_tables,
+            l1_tables=l1_tables,
+            inflight_forwards=inflight_forwards,
+            pending_bytes=pending_bytes,
+            l0_ratio=l0_tables / max(1, config.l0_threshold),
+            l1_ratio=l1_tables / max(1, config.l1_threshold),
+            inflight_ratio=inflight_forwards / max(1, config.max_inflight_tables),
+        )
+        self.last_debt = snap.debt
+        return snap
+
+    # ------------------------------------------------------------------
+    # Admission decision
+    # ------------------------------------------------------------------
+    def admit(self, snap: DebtSnapshot, now: float) -> float:
+        """Decide one write's fate.
+
+        Returns the delay (seconds, possibly 0) the write must pay
+        before proceeding, or raises :class:`BackpressureError` when
+        debt is past the stall threshold.  ``now`` stamps stall events.
+        """
+        config = self.config
+        debt = snap.debt
+        self.last_debt = debt
+        if debt >= config.flow_stall_debt:
+            if self._stall_started is None:
+                self._stall_started = now
+                self._stall_trigger = snap.trigger
+            self.state = STATE_STALL
+            self.rejected += 1
+            raise BackpressureError(self.node, debt, snap.trigger)
+        self._close_stall(now)
+        self.admitted += 1
+        if debt >= config.flow_slowdown_debt:
+            self.state = STATE_SLOWDOWN
+            span = config.flow_stall_debt - config.flow_slowdown_debt
+            fraction = (debt - config.flow_slowdown_debt) / span if span > 0 else 1.0
+            delay = config.flow_max_delay * min(1.0, max(fraction, 0.0))
+            if delay > 0:
+                self.delayed += 1
+                self.delay_time += delay
+            return delay
+        self.state = STATE_OK
+        return 0.0
+
+    def _close_stall(self, now: float) -> None:
+        if self._stall_started is not None:
+            self.record_stall(
+                self._stall_started, now - self._stall_started, self._stall_trigger
+            )
+            self._stall_started = None
+
+    def record_stall(self, start: float, duration: float, trigger: str) -> None:
+        """Record a completed stall (also used by the Ingestor for its
+        blocking wait on in-flight forward acks)."""
+        self.stall_events.append(StallEvent(start, duration, trigger))
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def stall_time(self) -> float:
+        """Total seconds spent in recorded (closed) stalls."""
+        return sum(event.duration for event in self.stall_events)
+
+    @property
+    def state_code(self) -> int:
+        return STATE_CODES[self.state]
+
+    def gauges(self) -> dict[str, float]:
+        """Flow-control gauges merged into the node's health reply."""
+        return {
+            "compaction_debt": round(self.last_debt, 4),
+            "admission_state": self.state_code,
+            "admission_admitted": self.admitted,
+            "admission_rejections": self.rejected,
+            "admission_delays": self.delayed,
+            "admission_delay_time": round(self.delay_time, 6),
+            "stall_events": len(self.stall_events),
+            "stall_time": round(self.stall_time, 6),
+        }

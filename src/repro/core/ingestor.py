@@ -28,21 +28,19 @@ from typing import Iterable
 
 from repro.effects import ComputeHost, EffectKernel, Fabric
 from repro.lsm.cache import ReadCache
-from repro.lsm.compaction import (
-    KeepPolicy,
-    NEWEST_WINS,
-    minor_compaction,
-    select_overflow_rotating,
-)
+from repro.lsm.compaction import KeepPolicy, NEWEST_WINS, merge_tables
 from repro.lsm.entry import Entry
+from repro.lsm.errors import CorruptionError
 from repro.lsm.manifest import LevelEdit, Manifest
 from repro.lsm.memtable import Memtable
+from repro.lsm.policy import make_policy
 from repro.lsm.sstable import SSTable
 from repro.sim.clock import LooseClock
 from repro.sim.resources import Resource
 from repro.sim.rpc import RemoteError, RpcNode, RpcTimeout
 
 from .config import CooLSMConfig
+from .flow import AdmissionController
 from .keyspace import Partitioning
 from .messages import (
     ForwardReply,
@@ -140,7 +138,18 @@ class Ingestor(RpcNode):
         # Event forward-retry loops wait on while this node is down.
         self._recovered: "object | None" = None
         self.stats = IngestorStats()
-        self.manifest = Manifest(2)  # index 0 = L0, index 1 = L1
+        # The compaction policy decides minor-compaction inputs and
+        # forward selection; it is a pure decider (no effects), so the
+        # default keeps the historical schedule byte-identical.
+        self._policy = make_policy(config.compaction_policy)
+        # Write admission control (config.flow_control); the controller
+        # always exists so debt gauges are observable either way.
+        self.admission = AdmissionController(config, name)
+        # Index 0 = L0, index 1 = L1; tiered policies stack overlapping
+        # runs in L1, the default keeps it a single disjoint run.
+        self.manifest = Manifest(
+            2, overlapping_levels=self._policy.ingestor_overlapping()
+        )
         # Per-node read cache over immutable sstable rows.  Volatile:
         # wiped on crash (it is reconstructible state, never durable).
         self.read_cache: ReadCache | None = (
@@ -236,7 +245,7 @@ class Ingestor(RpcNode):
             raise WrongShardError(self.name, self.shard_map.epoch)
 
     def health_gauges(self) -> dict:
-        return {
+        gauges = {
             "inflight": self._inflight_tables,
             "shard_epoch": -1 if self.shard_map is None else self.shard_map.epoch,
             "l0_tables": len(self.level0),
@@ -246,13 +255,51 @@ class Ingestor(RpcNode):
             "batch_upserts": self.stats.batch_upserts,
             "wal_group_commits": self.stats.group_commits,
             "wal_group_commit_entries": self.stats.group_commit_entries,
+            "flow_control": int(self.config.flow_control),
+            "compaction_stall_time": round(self.stats.stall_time, 6),
         }
+        # Debt is recomputed at sample time so the gauge is current even
+        # when no write has consulted the controller recently.
+        self._debt_snapshot()
+        gauges.update(self.admission.gauges())
+        return gauges
+
+    def _debt_snapshot(self):
+        """Current compaction debt (updates ``admission.last_debt``)."""
+        pending_entries = sum(
+            len(t) for batch in self._in_flight.values() for t in batch
+        )
+        pending_bytes = (
+            self.config.costs.tables_size_bytes(pending_entries)
+            if pending_entries
+            else 0
+        )
+        return self.admission.snapshot(
+            len(self.level0),
+            len(self.level1),
+            self._inflight_tables,
+            pending_bytes=pending_bytes,
+        )
+
+    def _admit_write(self):
+        """Consult admission control before accepting a write.
+
+        Pays the controller's slowdown delay via a kernel timeout, or
+        lets its BackpressureError propagate to the client (which backs
+        off and retries).  Only reached when ``config.flow_control`` is
+        on, so the default write path yields exactly as before.
+        """
+        delay = self.admission.admit(self._debt_snapshot(), self.kernel.now)
+        if delay > 0:
+            yield self.kernel.timeout(delay)
 
     # ------------------------------------------------------------------
     # Write path
     # ------------------------------------------------------------------
     def _handle_upsert(self, src: str, request: UpsertRequest):
         self._check_owner(request.key)
+        if self.config.flow_control:
+            yield from self._admit_write()
         yield from self.compute(self.config.costs.upsert_cpu)
         entry = self._stamp(request)
         # Log-then-ack: the reply below is only sent once the entry is
@@ -283,6 +330,10 @@ class Ingestor(RpcNode):
         # client refreshes its map and re-splits the batch per shard.
         for op in request.ops:
             self._check_owner(op.key)
+        if self.config.flow_control:
+            # One admission decision covers the whole batch: it either
+            # enters whole or bounces whole, like the ownership check.
+            yield from self._admit_write()
         yield from self.compute(len(request.ops) * self.config.costs.upsert_cpu)
         entries = [self._stamp(op) for op in request.ops]
         yield from self._log_durable(entries)
@@ -419,23 +470,31 @@ class Ingestor(RpcNode):
             waiter = self.kernel.event()
             self._drain_waiters.append(waiter)
             yield waiter
-        self.stats.stall_time += self.kernel.now - stall_start
+        stalled = self.kernel.now - stall_start
+        self.stats.stall_time += stalled
+        if stalled > 0:
+            # The blocking wait on forward acks is the classic write
+            # stall; record it so the Monitor sees start/duration/cause.
+            self.admission.record_stall(stall_start, stalled, "inflight_acks")
 
         started = self.kernel.now
         l0_newest_first = list(reversed(self.level0))
         l1_tables = list(self.level1)
-        total = sum(len(t) for t in l0_newest_first + l1_tables)
+        # The policy picks the merge inputs: everything in both levels
+        # for the default (tiering into a fresh L1 run), L0 only for
+        # stacked policies (the output becomes a new L1 run).
+        sources, replaced_l1 = self._policy.minor_plan(l0_newest_first, l1_tables)
+        total = sum(len(t) for t in sources)
         yield from self.compute(self.config.costs.merge_cost(total))
-        result = minor_compaction(
-            l0_newest_first,
-            l1_tables,
+        result = merge_tables(
+            sources,
             self.config.sstable_entries,
             self._keep_policy(),
         )
         edit = (
             LevelEdit()
             .remove(0, list(self.level0))
-            .remove(1, l1_tables)
+            .remove(1, replaced_l1)
             .add(1, result.tables)
         )
         self.manifest.apply(edit)
@@ -469,10 +528,11 @@ class Ingestor(RpcNode):
     def _maybe_forward(self) -> None:
         """Move L1's overflow tables into the in-flight set and ship them.
 
-        Overflow is chosen with a rotating pointer so successive
-        forwards sweep the whole key range (no region is starved).
+        The policy selects the overflow: the default sweeps a rotating
+        pointer over the sorted run so no key region is starved; stacked
+        (tiered) policies forward the oldest runs first.
         """
-        kept, overflow, self._forward_pointer = select_overflow_rotating(
+        overflow, self._forward_pointer = self._policy.select_forward(
             self.level1, self.config.l1_threshold, self._forward_pointer
         )
         if not overflow:
@@ -694,6 +754,7 @@ class Ingestor(RpcNode):
             + [t for batch in self._in_flight.values() for t in batch]
         )
         state = {
+            "policy": self._policy.name,
             "seqno": self._seqno,
             "batch_seq": self._batch_seq,
             "ts_c": self.ts_c,
@@ -733,6 +794,15 @@ class Ingestor(RpcNode):
             self._persist()
             return
         state = recovered.state
+        persisted_policy = state.get("policy")
+        if persisted_policy is not None and persisted_policy != self._policy.name:
+            # A tiered store holds overlapping L1 runs a leveled node
+            # would corrupt on its first minor compaction; refuse.
+            raise CorruptionError(
+                f"{self.name}: store written by compaction policy "
+                f"{persisted_policy!r}, refusing to recover as "
+                f"{self._policy.name!r}"
+            )
         tables = recovered.tables
         self._seqno = int(state.get("seqno", 0))
         self._batch_seq = int(state.get("batch_seq", 0))

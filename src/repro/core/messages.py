@@ -148,6 +148,13 @@ class BackupUpdate:
     #: order.  ``None`` marks an unsequenced update (direct test
     #: injection), which is always installed.
     seq: int | None = None
+    #: Exact ids of the tables this update replaces at ``level``.
+    #: ``None`` (the default, and the leveled policies' behaviour)
+    #: means replace-by-key-overlap; stacked (tiered) policies send the
+    #: exact set — possibly empty for a pure run append — because their
+    #: levels hold overlapping sibling runs an overlap-based replace
+    #: would incorrectly clobber.
+    replaced_ids: tuple[int, ...] | None = None
 
 
 @dataclass(frozen=True, slots=True)

@@ -67,6 +67,7 @@ class MonolithicNode(RpcNode):
                     config.l2_threshold,
                     config.l3_threshold,
                 ),
+                compaction_policy=config.compaction_policy,
             ),
         )
         self._seqno = 0

@@ -207,9 +207,19 @@ class Reader(RpcNode):
         level = _L2 if update.level == 2 else _L3
         edit = LevelEdit()
         if tables:
-            lo = min(t.min_key for t in tables)
-            hi = max(t.max_key for t in tables)
-            replaced = [t for t in area.level(level) if t.overlaps(lo, hi)]
+            if update.replaced_ids is not None:
+                # Stacked (tiered) source level: the update names the
+                # exact tables it supersedes (often none — a pure run
+                # append); replacing by key overlap would clobber
+                # sibling runs that still hold live versions.
+                replaced_ids = set(update.replaced_ids)
+                replaced = [
+                    t for t in area.level(level) if t.table_id in replaced_ids
+                ]
+            else:
+                lo = min(t.min_key for t in tables)
+                hi = max(t.max_key for t in tables)
+                replaced = [t for t in area.level(level) if t.overlaps(lo, hi)]
             edit.remove(level, replaced).add(level, tables)
         if update.removed_l2_ids:
             moved_down = [

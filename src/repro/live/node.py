@@ -40,6 +40,7 @@ from repro.core.ingestor import Ingestor
 from repro.core.keyspace import Partitioning
 from repro.core.reader import Reader
 from repro.lsm.errors import InvalidConfigError
+from repro.lsm.policy import normalize_policy_name
 from repro.lsm.sstable import advance_table_ids, seed_table_ids
 from repro.store.node_store import NodeStore
 from repro.sim.clock import LooseClock
@@ -324,7 +325,10 @@ class LiveNode:
         base = data_dir if data_dir is not None else spec.data_dir
         if base is not None:
             store = NodeStore.open(
-                str(Path(base) / name), node_name=name, role=spec.role_of(name)
+                str(Path(base) / name),
+                node_name=name,
+                role=spec.role_of(name),
+                policy=normalize_policy_name(spec.config.compaction_policy),
             )
             if store.recovered is not None:
                 self.recovered = True

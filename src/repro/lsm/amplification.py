@@ -58,8 +58,14 @@ def measure_lsm_tree(tree) -> AmplificationReport:
     entries_rewritten = sum(e.stats.entries_out for e in stats.compactions)
     entries_stored = tree.manifest.total_entries()
     live_keys = sum(1 for __ in tree.scan())
-    # Worst case probes: every L0 table plus one per deeper level.
-    max_probed = len(tree.manifest.level(0)) + (tree.manifest.num_levels - 1)
+    # Worst case probes: every table of an overlapping level, one per
+    # disjoint level.  For the default leveling policy (only L0
+    # overlapping) this is the classic len(L0) + depth.
+    overlapping = tree.manifest.overlapping_levels
+    max_probed = sum(
+        len(tree.manifest.level(i)) if i in overlapping else 1
+        for i in range(tree.manifest.num_levels)
+    )
     return AmplificationReport(
         user_entries=stats.puts + stats.deletes,
         entries_flushed=entries_flushed,

@@ -116,6 +116,11 @@ class Manifest:
     def num_levels(self) -> int:
         return len(self._levels)
 
+    @property
+    def overlapping_levels(self) -> frozenset[int]:
+        """Level indices whose tables may overlap in key range."""
+        return self._overlapping
+
     def level(self, index: int) -> list[SSTable]:
         """The current table list of a level (treat as immutable)."""
         return self._levels[index]

@@ -1,0 +1,38 @@
+"""Pluggable compaction policies over the LSM design space.
+
+The paper hard-wires one point in the compaction design space: tiering
+between L0 and L1 (minor compaction) and leveling above (major
+compaction).  Sarkar et al.'s "Constructing and Analyzing the LSM
+Compaction Design Space" decomposes a policy into *trigger* (when to
+compact), *granularity* (what to pick), and *data movement* (how the
+picked tables merge into the target level); this package makes those
+three decisions a strategy object consulted by the standalone
+:class:`~repro.lsm.tree.LSMTree`, the Ingestor's minor-compaction path,
+and the Compactor's major-compaction path.
+
+Policies are *pure deciders*: they never yield kernel effects, consume
+randomness, or touch the clock, so the default (``leveling``, the
+paper's hybrid) is byte-identical to the historical hard-wired
+behaviour under the deterministic simulator.
+"""
+
+from .base import (
+    CompactionPolicy,
+    POLICY_NAMES,
+    make_policy,
+    normalize_policy_name,
+)
+from .leveling import LevelingPolicy
+from .one_level import OneLevelingPolicy
+from .tiering import LazyLevelingPolicy, TieringPolicy
+
+__all__ = [
+    "CompactionPolicy",
+    "LevelingPolicy",
+    "TieringPolicy",
+    "LazyLevelingPolicy",
+    "OneLevelingPolicy",
+    "POLICY_NAMES",
+    "make_policy",
+    "normalize_policy_name",
+]

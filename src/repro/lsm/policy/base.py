@@ -1,0 +1,175 @@
+"""The :class:`CompactionPolicy` strategy interface and registry.
+
+A policy answers the three design-space questions for every host that
+runs compactions:
+
+* the standalone :class:`~repro.lsm.tree.LSMTree` (the full cascade,
+  :meth:`CompactionPolicy.compact_tree`);
+* the Ingestor's L0/L1 minor-compaction path
+  (:meth:`CompactionPolicy.minor_plan`,
+  :meth:`CompactionPolicy.select_forward`);
+* the Compactor's L2/L3 major-compaction path (the ``merges_on_*`` /
+  ``overflow_*`` knobs and :meth:`CompactionPolicy.select_l2_overflow`).
+
+Every method is a pure function of the tables it is handed: no kernel
+effects, no randomness, no clock.  The hosts keep ownership of all
+yields and compute-cost accounting, which is what keeps the default
+policy byte-identical to the pre-policy code under the deterministic
+simulator.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, ClassVar
+
+from ..errors import InvalidConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sstable import SSTable
+    from ..tree import LSMTree
+
+
+class CompactionPolicy(ABC):
+    """Trigger + victim selection + data movement for one policy.
+
+    Class attributes describe the *shape* of the policy (which levels
+    may hold overlapping runs, whether the Compactor merges or stacks);
+    methods make the per-compaction decisions.
+    """
+
+    #: Canonical policy name, persisted in store manifests.
+    name: ClassVar[str]
+
+    #: Compactor absorbs forwarded tables by leveled merge into L2
+    #: (True) or packs them into a fresh run stacked on L2 (False).
+    merges_on_absorb: ClassVar[bool]
+
+    #: L2 is the tree's bottom level: tombstones may be dropped when
+    #: absorbing (only OneLeveling, which never populates L3).
+    l2_is_bottom: ClassVar[bool]
+
+    #: Whether L2 ever overflows into L3 at all.
+    overflow_enabled: ClassVar[bool]
+
+    #: L2 overflow merges into L3 as a leveled run (True) or is packed
+    #: into a fresh run stacked on L3 (False).
+    merges_on_overflow: ClassVar[bool]
+
+    # ------------------------------------------------------------------
+    # Structure: which levels may hold overlapping runs
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def tree_overlapping(self, num_levels: int) -> frozenset[int]:
+        """Overlapping level set for a standalone tree's manifest."""
+
+    @abstractmethod
+    def ingestor_overlapping(self) -> frozenset[int]:
+        """Overlapping level set over the Ingestor's local {L0, L1}."""
+
+    @abstractmethod
+    def compactor_overlapping(self) -> frozenset[int]:
+        """Overlapping level set over the Compactor's local {L2, L3}
+        (local indices 0 and 1)."""
+
+    # ------------------------------------------------------------------
+    # Standalone tree
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def compact_tree(self, tree: "LSMTree") -> None:
+        """Run the policy's full compaction cascade on ``tree`` after a
+        flush.  Implementations use the tree's manifest/keep-policy
+        helpers and report via ``tree._record_compaction``."""
+
+    # ------------------------------------------------------------------
+    # Ingestor (L0 / L1)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def minor_plan(
+        self, l0_newest_first: list["SSTable"], l1_tables: list["SSTable"]
+    ) -> tuple[list["SSTable"], list["SSTable"]]:
+        """Plan a minor compaction: ``(merge_sources, replaced_l1)``.
+
+        ``merge_sources`` (newest first) feed one k-way merge whose
+        output lands in L1; ``replaced_l1`` are the L1 tables the output
+        replaces (empty means the output stacks as a new run).
+        """
+
+    @abstractmethod
+    def select_forward(
+        self,
+        l1_tables: list["SSTable"],
+        threshold: int,
+        pointer: bytes | None,
+    ) -> tuple[list["SSTable"], bytes | None]:
+        """Pick the L1 tables to forward downstream when L1 exceeds
+        ``threshold``.  Returns ``(overflow, new_pointer)``."""
+
+    # ------------------------------------------------------------------
+    # Compactor (L2 / L3)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def select_l2_overflow(
+        self,
+        l2_tables: list["SSTable"],
+        threshold: int,
+        pointer: bytes | None,
+    ) -> tuple[list["SSTable"], bytes | None]:
+        """Pick the L2 tables that overflow into L3.  Returns
+        ``(overflow, new_pointer)``."""
+
+
+_REGISTRY: dict[str, type[CompactionPolicy]] = {}
+
+#: Accepted spellings -> canonical name.
+_ALIASES = {
+    "lazy-leveling": "lazy_leveling",
+    "lazyleveling": "lazy_leveling",
+    "one-leveling": "one_leveling",
+    "oneleveling": "one_leveling",
+    "1-leveling": "one_leveling",
+    "1leveling": "one_leveling",
+}
+
+
+def register_policy(cls: type[CompactionPolicy]) -> type[CompactionPolicy]:
+    """Class decorator adding a policy to the registry by its name."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def normalize_policy_name(name: str) -> str:
+    """Canonical spelling of ``name`` (raises on unknown policies)."""
+    key = name.strip().lower().replace(" ", "_")
+    key = _ALIASES.get(key, key)
+    if key not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise InvalidConfigError(f"unknown compaction policy {name!r} (known: {known})")
+    return key
+
+
+def make_policy(name: str) -> CompactionPolicy:
+    """Instantiate the policy registered under ``name`` (any alias)."""
+    return _REGISTRY[normalize_policy_name(name)]()
+
+
+def _policy_names() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+# Filled in by the concrete modules importing register_policy; the
+# tuple below is rebuilt in __init__ import order, so keep it lazy.
+class _PolicyNames:
+    """Lazy view of the registered canonical names (import-order safe)."""
+
+    def __iter__(self):
+        return iter(_policy_names())
+
+    def __contains__(self, item: object) -> bool:
+        return item in _REGISTRY
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return repr(_policy_names())
+
+
+POLICY_NAMES = _PolicyNames()

@@ -1,0 +1,113 @@
+"""The paper's hybrid policy: tiering at L0/L1, leveling above.
+
+This is the default and reproduces the pre-policy hard-wired behaviour
+exactly — same merges, same victim selection, same rotating pointers —
+so the seed-0 verify corpus is unchanged by the refactor.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, ClassVar
+
+from ..compaction import (
+    major_compaction,
+    minor_compaction,
+    select_overflow_rotating,
+)
+from ..manifest import LevelEdit
+from .base import CompactionPolicy, register_policy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sstable import SSTable
+    from ..tree import LSMTree
+
+
+@register_policy
+class LevelingPolicy(CompactionPolicy):
+    """Tiering minor compaction into L1, leveled merges for L2+."""
+
+    name: ClassVar[str] = "leveling"
+    merges_on_absorb: ClassVar[bool] = True
+    l2_is_bottom: ClassVar[bool] = False
+    overflow_enabled: ClassVar[bool] = True
+    merges_on_overflow: ClassVar[bool] = True
+
+    def tree_overlapping(self, num_levels: int) -> frozenset[int]:
+        return frozenset({0})
+
+    def ingestor_overlapping(self) -> frozenset[int]:
+        return frozenset({0})
+
+    def compactor_overlapping(self) -> frozenset[int]:
+        return frozenset()
+
+    def compact_tree(self, tree: "LSMTree") -> None:
+        config = tree.config
+        manifest = tree.manifest
+        # Minor compaction: tiering of L0 + L1 into a fresh L1 run.
+        if len(manifest.level(0)) > config.level_thresholds[0]:
+            l0 = list(reversed(manifest.level(0)))  # newest first
+            l1 = manifest.level(1)
+            result = minor_compaction(
+                l0, l1, config.sstable_entries, tree._effective_keep_policy()
+            )
+            edit = LevelEdit().remove(0, l0).remove(1, list(l1)).add(1, result.tables)
+            manifest.apply(edit)
+            tree._record_compaction(1, result.stats)
+        # Major compactions: leveling, cascading down while over threshold.
+        for level in range(1, config.num_levels - 1):
+            threshold = config.level_thresholds[level]
+            tables = manifest.level(level)
+            if threshold == 0 or len(tables) <= threshold:
+                continue
+            kept, overflow, tree._compaction_pointers[level] = select_overflow_rotating(
+                tables, threshold, tree._compaction_pointers[level]
+            )
+            is_bottom_target = level + 1 == config.num_levels - 1
+            policy = tree._effective_keep_policy(bottom=is_bottom_target)
+            result, untouched = major_compaction(
+                overflow,
+                manifest.level(level + 1),
+                config.sstable_entries,
+                policy,
+            )
+            removed_next = [
+                t for t in manifest.level(level + 1)
+                if t not in untouched
+            ]
+            edit = (
+                LevelEdit()
+                .remove(level, overflow)
+                .remove(level + 1, removed_next)
+                .add(level + 1, result.tables)
+            )
+            manifest.apply(edit)
+            tree._record_compaction(level + 1, result.stats)
+
+    def minor_plan(
+        self, l0_newest_first: list["SSTable"], l1_tables: list["SSTable"]
+    ) -> tuple[list["SSTable"], list["SSTable"]]:
+        # Tiering: everything in both levels merges into a fresh L1 run.
+        return list(l0_newest_first) + list(l1_tables), list(l1_tables)
+
+    def select_forward(
+        self,
+        l1_tables: list["SSTable"],
+        threshold: int,
+        pointer: bytes | None,
+    ) -> tuple[list["SSTable"], bytes | None]:
+        _kept, overflow, new_pointer = select_overflow_rotating(
+            list(l1_tables), threshold, pointer
+        )
+        return overflow, new_pointer
+
+    def select_l2_overflow(
+        self,
+        l2_tables: list["SSTable"],
+        threshold: int,
+        pointer: bytes | None,
+    ) -> tuple[list["SSTable"], bytes | None]:
+        _kept, overflow, new_pointer = select_overflow_rotating(
+            list(l2_tables), threshold, pointer
+        )
+        return overflow, new_pointer

@@ -1,0 +1,150 @@
+"""Tiering and lazy-leveling policies.
+
+*Tiering* stacks sorted runs at every level: a compaction merges all
+runs of a full level into one new run appended to the level below, so
+each entry is rewritten once per level (write-optimised, read- and
+space-amplified).  *Lazy leveling* (Dostoevsky) tiers every level
+except the last, which stays a single leveled run — it keeps tiering's
+write cost on the upper levels while bounding space and point-read
+cost at the bottom where most data lives.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, ClassVar
+
+from ..compaction import major_compaction, merge_tables
+from ..manifest import LevelEdit
+from .base import CompactionPolicy, register_policy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sstable import SSTable
+    from ..tree import LSMTree
+
+
+def _stack_oldest(
+    tables: list["SSTable"], threshold: int, pointer: bytes | None
+) -> tuple[list["SSTable"], bytes | None]:
+    """Overflow selection for a stacked (run-per-flush) level: take the
+    oldest runs first — they are the fullest and the least likely to be
+    superseded — which is the level's list-prefix since runs append."""
+    excess = len(tables) - threshold
+    if excess <= 0:
+        return [], pointer
+    return list(tables)[:excess], pointer
+
+
+@register_policy
+class TieringPolicy(CompactionPolicy):
+    """Pure tiering: overlapping runs at every level, merge-whole-level
+    moves, no leveled merges anywhere (tombstones are never dropped,
+    since no merge ever covers the whole bottom level)."""
+
+    name: ClassVar[str] = "tiering"
+    merges_on_absorb: ClassVar[bool] = False
+    l2_is_bottom: ClassVar[bool] = False
+    overflow_enabled: ClassVar[bool] = True
+    merges_on_overflow: ClassVar[bool] = False
+
+    def tree_overlapping(self, num_levels: int) -> frozenset[int]:
+        return frozenset(range(num_levels))
+
+    def ingestor_overlapping(self) -> frozenset[int]:
+        return frozenset({0, 1})
+
+    def compactor_overlapping(self) -> frozenset[int]:
+        return frozenset({0, 1})
+
+    def _tier_level_down(self, tree: "LSMTree", level: int) -> None:
+        """Merge every run of ``level`` into one new run stacked on
+        ``level + 1``."""
+        config = tree.config
+        tables = list(tree.manifest.level(level))
+        result = merge_tables(
+            list(reversed(tables)),  # newest run first
+            config.sstable_entries,
+            tree._effective_keep_policy(),
+        )
+        edit = LevelEdit().remove(level, tables).add(level + 1, result.tables)
+        tree.manifest.apply(edit)
+        tree._record_compaction(level + 1, result.stats)
+
+    def compact_tree(self, tree: "LSMTree") -> None:
+        config = tree.config
+        for level in range(config.num_levels - 1):
+            threshold = config.level_thresholds[level]
+            if threshold == 0 or len(tree.manifest.level(level)) <= threshold:
+                continue
+            self._tier_level_down(tree, level)
+
+    def minor_plan(
+        self, l0_newest_first: list["SSTable"], l1_tables: list["SSTable"]
+    ) -> tuple[list["SSTable"], list["SSTable"]]:
+        # Only L0 merges; the output stacks on L1 as a new run.
+        return list(l0_newest_first), []
+
+    def select_forward(
+        self,
+        l1_tables: list["SSTable"],
+        threshold: int,
+        pointer: bytes | None,
+    ) -> tuple[list["SSTable"], bytes | None]:
+        return _stack_oldest(list(l1_tables), threshold, pointer)
+
+    def select_l2_overflow(
+        self,
+        l2_tables: list["SSTable"],
+        threshold: int,
+        pointer: bytes | None,
+    ) -> tuple[list["SSTable"], bytes | None]:
+        # Merge-whole-level: every L2 run moves down together.
+        return list(l2_tables), pointer
+
+
+@register_policy
+class LazyLevelingPolicy(TieringPolicy):
+    """Tiering on every level except the last, which is leveled: the
+    bottom merge is a classic major compaction (and, being the bottom,
+    may drop tombstones)."""
+
+    name: ClassVar[str] = "lazy_leveling"
+    merges_on_absorb: ClassVar[bool] = False
+    l2_is_bottom: ClassVar[bool] = False
+    overflow_enabled: ClassVar[bool] = True
+    merges_on_overflow: ClassVar[bool] = True
+
+    def tree_overlapping(self, num_levels: int) -> frozenset[int]:
+        return frozenset(range(num_levels - 1))
+
+    def compactor_overlapping(self) -> frozenset[int]:
+        return frozenset({0})  # L2 stacked, L3 leveled
+
+    def compact_tree(self, tree: "LSMTree") -> None:
+        config = tree.config
+        bottom = config.num_levels - 1
+        for level in range(config.num_levels - 1):
+            threshold = config.level_thresholds[level]
+            tables = list(tree.manifest.level(level))
+            if threshold == 0 or len(tables) <= threshold:
+                continue
+            if level + 1 < bottom:
+                self._tier_level_down(tree, level)
+                continue
+            # Leveled merge of the penultimate level into the bottom run.
+            result, untouched = major_compaction(
+                list(reversed(tables)),
+                tree.manifest.level(bottom),
+                config.sstable_entries,
+                tree._effective_keep_policy(bottom=True),
+            )
+            removed_next = [
+                t for t in tree.manifest.level(bottom) if t not in untouched
+            ]
+            edit = (
+                LevelEdit()
+                .remove(level, tables)
+                .remove(bottom, removed_next)
+                .add(bottom, result.tables)
+            )
+            tree.manifest.apply(edit)
+            tree._record_compaction(bottom, result.stats)

@@ -27,18 +27,12 @@ from typing import Callable, Iterator
 from repro.store.fsutil import fsync_dir
 
 from .cache import CacheStats, ReadCache
-from .compaction import (
-    CompactionStats,
-    KeepPolicy,
-    NEWEST_WINS,
-    major_compaction,
-    minor_compaction,
-    select_overflow_rotating,
-)
+from .compaction import CompactionStats, KeepPolicy, NEWEST_WINS
 from .entry import Entry, encode_key, make_tombstone, make_upsert
 from .errors import ClosedError, CorruptionError, InvalidConfigError
 from .manifest import LevelEdit, Manifest
 from .memtable import Memtable
+from .policy import make_policy, normalize_policy_name
 from .sstable import SSTable
 from .sstable_io import read_sstable, write_sstable
 from .wal import WriteAheadLog, replay
@@ -68,6 +62,10 @@ class LSMConfig:
             keyed by immutable table id, so the cache never needs
             invalidation).  0 disables caching.
         cache_policy: Eviction policy, ``"lru"`` or ``"clock"``.
+        compaction_policy: Which :mod:`repro.lsm.policy` strategy runs
+            the compaction cascade (``"leveling"`` — the paper's hybrid
+            and the historical behaviour — ``"tiering"``,
+            ``"lazy_leveling"``, or ``"one_leveling"``).
     """
 
     memtable_entries: int = 1_000
@@ -78,6 +76,7 @@ class LSMConfig:
     enable_snapshots: bool = False
     cache_capacity: int = 4_096
     cache_policy: str = "lru"
+    compaction_policy: str = "leveling"
 
     def __post_init__(self) -> None:
         if self.memtable_entries <= 0 or self.sstable_entries <= 0:
@@ -88,6 +87,7 @@ class LSMConfig:
             raise InvalidConfigError("thresholds must be non-negative")
         if self.cache_capacity < 0:
             raise InvalidConfigError("cache_capacity must be non-negative")
+        normalize_policy_name(self.compaction_policy)  # raises if unknown
 
     @classmethod
     def for_key_range(cls, key_range: int, **overrides) -> "LSMConfig":
@@ -198,7 +198,11 @@ class LSMTree:
         self._logical_time = 0.0
         self._seqno = 0
         self._closed = False
-        self.manifest = Manifest(self.config.num_levels)
+        self._policy = make_policy(self.config.compaction_policy)
+        self.manifest = Manifest(
+            self.config.num_levels,
+            overlapping_levels=self._policy.tree_overlapping(self.config.num_levels),
+        )
         self.stats = TreeStats()
         self._cache: ReadCache | None = (
             ReadCache(
@@ -236,6 +240,19 @@ class LSMTree:
         if os.path.exists(manifest_path):
             with open(manifest_path, "r", encoding="utf-8") as f:
                 listing = json.load(f)
+            # Refuse to reinterpret another policy's level structure:
+            # e.g. a tiered manifest holds overlapping runs a leveled
+            # tree would mis-read.  Manifests written before policies
+            # existed carry no field and are accepted as leveling-shaped.
+            persisted_policy = listing.get("policy")
+            expected_policy = normalize_policy_name(
+                (config or LSMConfig()).compaction_policy
+            )
+            if persisted_policy is not None and persisted_policy != expected_policy:
+                raise CorruptionError(
+                    f"{manifest_path}: written by compaction policy "
+                    f"{persisted_policy!r}, refusing to open as {expected_policy!r}"
+                )
             for level_str, filenames in listing["levels"].items():
                 level = int(level_str)
                 loaded = []
@@ -414,48 +431,14 @@ class LSMTree:
         self._maybe_compact()
 
     def _maybe_compact(self) -> None:
-        config = self.config
-        # Minor compaction: tiering of L0 + L1 into a fresh L1 run.
-        if len(self.manifest.level(0)) > config.level_thresholds[0]:
-            l0 = list(reversed(self.manifest.level(0)))  # newest first
-            l1 = self.manifest.level(1)
-            result = minor_compaction(
-                l0, l1, config.sstable_entries, self._effective_keep_policy()
-            )
-            edit = LevelEdit().remove(0, l0).remove(1, list(l1)).add(1, result.tables)
-            self.manifest.apply(edit)
-            self.stats.compactions.append(CompactionEvent(1, result.stats))
-            self._sync_persisted_tables()
-        # Major compactions: leveling, cascading down while over threshold.
-        for level in range(1, config.num_levels - 1):
-            threshold = config.level_thresholds[level]
-            tables = self.manifest.level(level)
-            if threshold == 0 or len(tables) <= threshold:
-                continue
-            kept, overflow, self._compaction_pointers[level] = select_overflow_rotating(
-                tables, threshold, self._compaction_pointers[level]
-            )
-            is_bottom_target = level + 1 == config.num_levels - 1
-            policy = self._effective_keep_policy(bottom=is_bottom_target)
-            result, untouched = major_compaction(
-                overflow,
-                self.manifest.level(level + 1),
-                config.sstable_entries,
-                policy,
-            )
-            removed_next = [
-                t for t in self.manifest.level(level + 1)
-                if t not in untouched
-            ]
-            edit = (
-                LevelEdit()
-                .remove(level, overflow)
-                .remove(level + 1, removed_next)
-                .add(level + 1, result.tables)
-            )
-            self.manifest.apply(edit)
-            self.stats.compactions.append(CompactionEvent(level + 1, result.stats))
-            self._sync_persisted_tables()
+        """Run the configured policy's compaction cascade."""
+        self._policy.compact_tree(self)
+
+    def _record_compaction(self, level: int, stats: CompactionStats) -> None:
+        """Policy callback after each applied compaction: collect stats
+        and re-sync the on-disk sstable set with the manifest."""
+        self.stats.compactions.append(CompactionEvent(level, stats))
+        self._sync_persisted_tables()
 
     # ------------------------------------------------------------------
     # Read path
@@ -493,10 +476,16 @@ class LSMTree:
         if best is not None:
             return best
         for level in range(1, self.manifest.num_levels):
+            # A non-overlapping level has at most one candidate; an
+            # overlapping (tiered) level may hold several versions, so
+            # the newest across the level's runs wins.  Either way, data
+            # only moves downward, so the first level with a hit is it.
             for table in self.manifest.tables_for_key(level, encoded):
                 found = table.get(encoded, cache)
-                if found is not None:
-                    return found
+                if found is not None and (best is None or found.version > best.version):
+                    best = found
+            if best is not None:
+                return best
         return None
 
     def scan(
@@ -524,9 +513,16 @@ class LSMTree:
                 lo_b is None or table.max_key >= lo_b
             ):
                 sources.append(table.scan(lo_b, hi_b))
+        overlapping = self.manifest.overlapping_levels
         for level in range(1, self.manifest.num_levels):
             run = self.manifest.tables_for_range(level, lo_b, hi_b)
-            if run:
+            if not run:
+                continue
+            if level in overlapping:
+                # Tiered level: runs overlap, so each table is its own
+                # merge source (chaining would break sort order).
+                sources.extend(t.scan(lo_b, hi_b) for t in run)
+            else:
                 sources.append(level_scan(run, lo_b, hi_b))
         for entry in dedup_newest(k_way_merge(sources)):
             if not entry.tombstone:
@@ -582,12 +578,13 @@ class LSMTree:
     def _write_manifest_file(self) -> None:
         assert self.directory is not None
         listing = {
+            "policy": self._policy.name,
             "levels": {
                 str(level): [
                     f"sst-{t.table_id:08d}.sst" for t in self.manifest.level(level)
                 ]
                 for level in range(self.manifest.num_levels)
-            }
+            },
         }
         tmp = os.path.join(self.directory, "MANIFEST.json.tmp")
         with open(tmp, "w", encoding="utf-8") as f:

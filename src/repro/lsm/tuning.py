@@ -90,6 +90,30 @@ def tiered_write_cost(shape: LSMShape) -> float:
     return 1.0 + shape.num_levels
 
 
+def lazy_leveling_write_cost(shape: LSMShape) -> float:
+    """Expected write amplification under lazy leveling (Dostoevsky):
+    tiering on every level but the last, leveling only at the largest.
+
+    An entry pays the flush, one rewrite per tiered level it descends
+    through (``L - 1`` of them), and the leveled merge into the last
+    level (``ratio/2`` on average) — the leveled term is paid once, not
+    per level, which is the whole point of the hybrid.
+    """
+    return 1.0 + max(0, shape.num_levels - 1) + shape.size_ratio / 2.0
+
+
+def one_leveling_write_cost(shape: LSMShape) -> float:
+    """Expected write amplification with a single leveled level.
+
+    Every buffer flush is merged into the one on-disk level, rewriting
+    it wholesale; by the time the data set reaches ``total`` entries the
+    level has been rewritten once per flush at an average size of half
+    the final one, so each entry is copied ``total / (2 * buffer)``
+    times on top of its flush.
+    """
+    return 1.0 + shape.total_entries / (2.0 * shape.buffer_entries)
+
+
 def leveled_space_amplification(shape: LSMShape) -> float:
     """Obsolete data is bounded by the next-to-last level: ~1 + 1/ratio."""
     return 1.0 + 1.0 / shape.size_ratio
@@ -100,6 +124,45 @@ def tiered_space_amplification(shape: LSMShape) -> float:
     versions of the same key: O(ratio) in the worst case; 2.0 is the
     standard planning number for ratio >= 2."""
     return 2.0
+
+
+def lazy_leveling_space_amplification(shape: LSMShape) -> float:
+    """The last (leveled) level holds ~``1 - 1/ratio`` of the data with
+    no duplicates; only the tiered upper levels (a ``~1/ratio``
+    fraction, up to ``ratio`` runs each) can hold stale versions —
+    roughly twice the leveled bound."""
+    return 1.0 + 2.0 / shape.size_ratio
+
+
+def one_leveling_space_amplification(shape: LSMShape) -> float:
+    """A single leveled level is fully deduplicated at every merge;
+    stale versions survive only in the not-yet-merged buffer residue."""
+    return 1.0 + shape.buffer_entries / shape.total_entries
+
+
+#: Analytic (write_cost, space_amplification) estimators per compaction
+#: policy name — keys match :data:`repro.lsm.policy.POLICY_NAMES`.
+POLICY_COST_MODELS: dict[str, tuple] = {
+    "leveling": (leveled_write_cost, leveled_space_amplification),
+    "tiering": (tiered_write_cost, tiered_space_amplification),
+    "lazy_leveling": (lazy_leveling_write_cost, lazy_leveling_space_amplification),
+    "one_leveling": (one_leveling_write_cost, one_leveling_space_amplification),
+}
+
+
+def policy_write_cost(policy: str, shape: LSMShape) -> float:
+    """Expected write amplification of ``policy`` (any accepted alias)
+    at ``shape``."""
+    from .policy import normalize_policy_name
+
+    return POLICY_COST_MODELS[normalize_policy_name(policy)][0](shape)
+
+
+def policy_space_amplification(policy: str, shape: LSMShape) -> float:
+    """Expected space amplification of ``policy`` at ``shape``."""
+    from .policy import normalize_policy_name
+
+    return POLICY_COST_MODELS[normalize_policy_name(policy)][1](shape)
 
 
 def bloom_false_positive_rate(bits_per_entry: float) -> float:

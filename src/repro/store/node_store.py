@@ -81,11 +81,13 @@ class NodeStore:
         node_name: str,
         role: str,
         wal_sync: bool = True,
+        policy: str | None = None,
     ) -> None:
         self.directory = str(directory)
         self.node_name = node_name
         self.role = role
         self.wal_sync = wal_sync
+        self.policy = policy
         self.version = 0
         self.wal_floor = 0
         self.recovered: RecoveredState | None = None
@@ -109,15 +111,21 @@ class NodeStore:
         node_name: str,
         role: str,
         wal_sync: bool = True,
+        policy: str | None = None,
     ) -> "NodeStore":
         """Open (or create) the store, recovering any prior state.
 
         Raises :class:`CorruptionError` when the manifest references a
-        missing sstable or belongs to a different node/role; orphan
-        sstables and temp files (a crash between sstable write and
-        manifest install) are silently deleted.
+        missing sstable, belongs to a different node/role, or was
+        written under a different compaction policy than ``policy``
+        (level contents are not interchangeable across policies —
+        reinterpreting a stacked level as leveled silently loses
+        versions); orphan sstables and temp files (a crash between
+        sstable write and manifest install) are silently deleted.
+        ``policy=None`` skips the policy check (and omits the key from
+        new manifests), preserving pre-policy manifests' behaviour.
         """
-        store = cls(directory, node_name, role, wal_sync=wal_sync)
+        store = cls(directory, node_name, role, wal_sync=wal_sync, policy=policy)
         os.makedirs(store.directory, exist_ok=True)
         manifest_path = os.path.join(store.directory, MANIFEST_NAME)
         if os.path.exists(manifest_path):
@@ -139,6 +147,16 @@ class NodeStore:
             raise CorruptionError(
                 f"{manifest_path}: belongs to {document.get('role')} "
                 f"{document.get('node')!r}, not {self.role} {self.node_name!r}"
+            )
+        persisted_policy = document.get("policy")
+        if (
+            self.policy is not None
+            and persisted_policy is not None
+            and persisted_policy != self.policy
+        ):
+            raise CorruptionError(
+                f"{manifest_path}: written by compaction policy "
+                f"{persisted_policy!r}, refusing to open as {self.policy!r}"
             )
         self.version = int(document["version"])
         self.wal_floor = int(document.get("wal_floor", 0))
@@ -241,17 +259,19 @@ class NodeStore:
         if wal_floor is not None:
             self.wal_floor = max(self.wal_floor, wal_floor)
         self._state = dict(state)
+        document = {
+            "format": FORMAT,
+            "version": self.version,
+            "node": self.node_name,
+            "role": self.role,
+            "wal_floor": self.wal_floor,
+            "tables": {str(tid): meta for tid, meta in live.items()},
+            "state": self._state,
+        }
+        if self.policy is not None:
+            document["policy"] = self.policy
         atomic_write_json(
-            os.path.join(self.directory, MANIFEST_NAME),
-            {
-                "format": FORMAT,
-                "version": self.version,
-                "node": self.node_name,
-                "role": self.role,
-                "wal_floor": self.wal_floor,
-                "tables": {str(tid): meta for tid, meta in live.items()},
-                "state": self._state,
-            },
+            os.path.join(self.directory, MANIFEST_NAME), document
         )
         dropped = [tid for tid in self._table_meta if tid not in live]
         for tid in dropped:

@@ -23,6 +23,7 @@ Entry point: ``python -m repro.cli verify --seed S``.
 from .explorer import (
     BUGS,
     LIVE_SHAPES,
+    POLICY_SHAPES,
     SHAPES,
     VERIFY_CONFIG,
     ExplorationReport,
@@ -53,6 +54,7 @@ __all__ = [
     "Explorer",
     "ModelMismatch",
     "ModelReport",
+    "POLICY_SHAPES",
     "PlannedOp",
     "SHAPES",
     "ScheduleOutcome",

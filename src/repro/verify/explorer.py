@@ -107,6 +107,10 @@ class ShapeSpec:
     sharded: bool = False
     spares: int = 0
     fault_focus: str | None = None  # None | "none" | "partition" | "crash"
+    #: Compaction policy override for every node (None = the config's
+    #: default).  Appended last, defaulted, so the long-standing
+    #: positional construction of the main corpus is untouched.
+    policy: str | None = None
 
     @property
     def label(self) -> str:
@@ -116,6 +120,8 @@ class ShapeSpec:
         tag += f"+{self.reconfig}" if self.reconfig else ""
         if self.fault_focus:
             tag += f"!{self.fault_focus}"
+        if self.policy:
+            tag += f"@{self.policy}"
         return tag
 
     @property
@@ -154,6 +160,18 @@ LIVE_SHAPES: tuple[ShapeSpec, ...] = (
     # Split concurrent with Ingestor crash/recover cycles.
     ShapeSpec(2, 2, 0, clients=2, sharded=True, spares=1,
               reconfig="shard-split", fault_focus="crash"),
+)
+
+#: Non-default compaction policies under crash/recover cycles: the
+#: schedules that stress table handoff (minor compaction, forward,
+#: absorb, Reader install) mid-crash, where a policy whose level shape
+#: differs from leveling would corrupt reads if any replace/recover
+#: path still assumed disjoint levels.  A separate corpus, like
+#: :data:`LIVE_SHAPES`, so the main corpus fingerprints stay stable.
+POLICY_SHAPES: tuple[ShapeSpec, ...] = (
+    ShapeSpec(1, 2, 0, clients=2, fault_focus="crash", policy="tiering"),
+    ShapeSpec(1, 2, 1, clients=2, fault_focus="crash", policy="lazy_leveling"),
+    ShapeSpec(1, 2, 0, clients=2, fault_focus="crash", policy="one_leveling"),
 )
 
 
@@ -415,6 +433,8 @@ def run_schedule(
 ) -> ScheduleOutcome:
     """Execute one schedule and check everything it observed."""
     shape = spec.shape
+    if shape.policy is not None:
+        config = replace(config, compaction_policy=shape.policy)
     cluster = build_cluster(
         ClusterSpec(
             config=config,
@@ -579,6 +599,7 @@ def differential_run(
     key_space: int = 16,
     config: CooLSMConfig = VERIFY_CONFIG,
     read_cache_capacity: int | None = None,
+    compaction_policy: str | None = None,
 ) -> dict[str, object]:
     """Drive the identical sequential trace against the CooLSM cluster,
     the monolithic baseline, and the in-memory model.
@@ -604,6 +625,8 @@ def differential_run(
 
     if read_cache_capacity is not None:
         config = replace(config, read_cache_capacity=read_cache_capacity)
+    if compaction_policy is not None:
+        config = replace(config, compaction_policy=compaction_policy)
 
     def run_deployment(spec: ClusterSpec) -> list[bytes | None]:
         cluster = build_cluster(spec)

@@ -613,3 +613,209 @@ class TestShardedChaosSoak:
         exit_codes = sharded_soak_run["exit_codes"]
         assert exit_codes == {name: 0 for name in exit_codes}, exit_codes
         assert sharded_soak_run["new_owner"] in exit_codes
+
+
+# ----------------------------------------------------------------------
+# Policy + flow-control soak: lazy-leveling with admission control on
+# ----------------------------------------------------------------------
+POLICY_SEED = 4042
+POLICY_HORIZON = 4.0
+POLICY_KEYS = 32
+POLICY_MIN_OPS = 40
+
+
+def _policy_schedule(spec):
+    return random_schedule(
+        random.Random(POLICY_SEED),
+        horizon=POLICY_HORIZON,
+        node_names=spec.node_names,
+        machine_names=[machine_of(name) for name in spec.node_names],
+        crashes=1,
+        partitions=1,
+        drop_bursts=1,
+        slowdowns=0,
+        mean_downtime=0.5,
+    )
+
+
+@pytest.fixture(scope="module")
+def policy_soak_run(tmp_path_factory):
+    """A durable cluster running a NON-default compaction policy
+    (lazy-leveling) with write flow control enabled, under chaos.
+
+    The acceptance claim: policy dispatch and admission control do not
+    weaken the layer's capstone guarantees — Backpressure rejections
+    surface as retryable errors, stacked L2 runs recover from SIGKILL,
+    and every acked write survives.
+    """
+    config = dataclasses.replace(
+        CooLSMConfig().scaled_down(10),
+        ack_timeout=1.0,
+        client_timeout=1.5,
+        compaction_policy="lazy_leveling",
+        flow_control=True,
+    )
+    spec = localhost_spec(
+        num_ingestors=1,
+        num_compactors=2,
+        num_readers=1,
+        config=config,
+        seed=POLICY_SEED,
+    )
+    events = _policy_schedule(spec)
+    work_dir = tmp_path_factory.mktemp("policy-soak")
+    data_dir = work_dir / "data"
+    history = History()
+    acked: dict[bytes, bytes] = {}
+    readback: dict[bytes, bytes | None] = {}
+    state = {"chaos_done": False}
+
+    with LocalCluster(
+        spec, work_dir, data_dir=data_dir, chaos=True, chaos_seed=POLICY_SEED
+    ) as cluster:
+        cluster.wait_ready(timeout=60.0)
+
+        async def drive():
+            control = ChaosControl(cluster.control_address)
+            supervisor = Supervisor(
+                cluster,
+                policy=RestartPolicy(base=0.2, cap=2.0, stable_after=5.0),
+                poll_interval=0.1,
+            )
+            nemesis = LiveNemesis(
+                events,
+                control=control,
+                cluster=cluster,
+                supervisor=supervisor,
+            )
+            async with ClientPool(
+                cluster.driver_spec, num_clients=2, history=history
+            ) as pool:
+                supervisor.start()
+
+                async def run_nemesis():
+                    try:
+                        return await nemesis.run()
+                    finally:
+                        state["chaos_done"] = True
+
+                def writer(client, base):
+                    index = 0
+                    retries = 0
+                    while not state["chaos_done"] or index < POLICY_MIN_OPS:
+                        key = base + index % POLICY_KEYS
+                        value = b"psoak-%d-%d" % (base, index)
+                        while True:
+                            try:
+                                yield from client.upsert(key, value)
+                                break
+                            except SimError:
+                                retries += 1
+                        acked[str(key).encode()] = value
+                        yield client.kernel.timeout(0.005)
+                        index += 1
+                    return {"ops": index, "retries": retries}
+
+                def batch_writer(client, base):
+                    index = 0
+                    retries = 0
+                    while not state["chaos_done"] or index < POLICY_MIN_OPS:
+                        items = [
+                            (
+                                base + (index + op) % POLICY_KEYS,
+                                b"psoak-%d-%d" % (base, index + op),
+                            )
+                            for op in range(8)
+                        ]
+                        while True:
+                            try:
+                                yield from client.upsert_many(items)
+                                break
+                            except SimError:
+                                retries += 1
+                        for key, value in items:
+                            acked[str(key).encode()] = value
+                        yield client.kernel.timeout(0.005)
+                        index += 8
+                    return {"ops": index, "retries": retries}
+
+                log, w0, w1 = await asyncio.gather(
+                    run_nemesis(),
+                    pool.run(writer(pool.clients[0], 40_000), "writer-0"),
+                    pool.run(batch_writer(pool.clients[1], 50_000), "writer-1"),
+                )
+
+                def read_all(client):
+                    for key in sorted(acked):
+                        for __ in range(10):
+                            try:
+                                value = yield from client.read(int(key))
+                                break
+                            except SimError:
+                                value = None
+                        readback[key] = value
+                    return len(readback)
+
+                await pool.run(read_all(pool.clients[0]), "readback")
+                await supervisor.stop()
+                await control.close()
+                return log, w0, w1
+
+        log, w0, w1 = asyncio.run(asyncio.wait_for(drive(), timeout=240.0))
+        exit_codes = cluster.stop(timeout=30.0)
+
+    manifests = [
+        path.read_text() for path in sorted(data_dir.rglob("NODE_MANIFEST.json"))
+    ]
+    return {
+        "events": events,
+        "log": log,
+        "writers": (w0, w1),
+        "acked": acked,
+        "readback": readback,
+        "history": history,
+        "exit_codes": exit_codes,
+        "manifests": manifests,
+    }
+
+
+class TestPolicyFlowChaosSoak:
+    def test_load_ran(self, policy_soak_run):
+        w0, w1 = policy_soak_run["writers"]
+        assert w0["ops"] >= POLICY_MIN_OPS and w1["ops"] >= POLICY_MIN_OPS
+
+    def test_zero_acked_write_loss(self, policy_soak_run):
+        acked = policy_soak_run["acked"]
+        readback = policy_soak_run["readback"]
+        assert len(acked) >= 2 * POLICY_KEYS
+        lost = {
+            key: (expected, readback.get(key))
+            for key, expected in acked.items()
+            if readback.get(key) != expected
+        }
+        assert not lost, f"acked writes lost or stale: {lost}"
+
+    def test_history_passes_both_checkers(self, policy_soak_run):
+        history = policy_soak_run["history"]
+        assert len(history) > 2 * POLICY_MIN_OPS
+        report = check_linearizable(history)
+        assert not report.violations, report.violations[:5]
+        model = check_history_realtime(history)
+        assert model.ok, model.mismatches[:5]
+
+    def test_nemesis_log_matches_oracle(self, policy_soak_run):
+        oracle = expected_fingerprint(policy_soak_run["events"])
+        assert policy_soak_run["log"].fingerprint() == oracle
+
+    def test_every_node_drained(self, policy_soak_run):
+        exit_codes = policy_soak_run["exit_codes"]
+        assert exit_codes == {name: 0 for name in exit_codes}, exit_codes
+
+    def test_durable_manifests_record_policy(self, policy_soak_run):
+        """Every store manifest written during the soak carries the
+        non-default policy name — the mismatch refusal on recovery
+        depends on it."""
+        manifests = policy_soak_run["manifests"]
+        assert manifests, "no durable store manifests were written"
+        for listing in manifests:
+            assert '"lazy_leveling"' in listing

@@ -1,0 +1,322 @@
+"""Differential coverage for the pluggable compaction-policy subsystem.
+
+Every policy must be invisible to readers: the same operation trace
+must produce bit-identical results under tiering, lazy-leveling, and
+1-leveling as under the default leveling hybrid — against the
+sequential model, against the monolithic baseline, under a YCSB-style
+zipfian mix, and under explorer schedules that crash nodes mid-handoff
+(DESIGN.md §18).  Policies differ only in *where bytes live*, which the
+tuning parity tests pin against the analytic cost models.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.core import ClusterSpec, CooLSMConfig, build_cluster
+from repro.lsm.amplification import measure_lsm_tree
+from repro.lsm.entry import encode_key
+from repro.lsm.errors import CorruptionError, InvalidConfigError
+from repro.lsm.policy import POLICY_NAMES, make_policy, normalize_policy_name
+from repro.lsm.tree import LSMConfig, LSMTree
+from repro.lsm.tuning import (
+    LSMShape,
+    policy_space_amplification,
+    policy_write_cost,
+)
+from repro.verify import POLICY_SHAPES, differential_run, generate_schedule, run_schedule
+from repro.workloads.distributions import Zipfian
+
+POLICIES = ("leveling", "tiering", "lazy_leveling", "one_leveling")
+NON_DEFAULT = tuple(p for p in POLICIES if p != "leveling")
+
+#: Small tree: compactions every few writes in every policy.
+TREE_KW = dict(memtable_entries=16, sstable_entries=8, level_thresholds=(2, 2, 4, 8))
+
+#: Small cluster config (same shape as tests/core/conftest.TINY).
+TINY = CooLSMConfig(
+    key_range=2_000,
+    memtable_entries=40,
+    sstable_entries=20,
+    l0_threshold=3,
+    l1_threshold=3,
+    l2_threshold=10,
+    l3_threshold=100,
+    max_inflight_tables=12,
+    delta=0.005,
+)
+
+
+class TestRegistry:
+    def test_all_policies_registered(self):
+        assert set(POLICY_NAMES) == set(POLICIES)
+
+    def test_aliases_normalize(self):
+        assert normalize_policy_name("Lazy-Leveling") == "lazy_leveling"
+        assert normalize_policy_name("lazyleveling") == "lazy_leveling"
+        assert normalize_policy_name("1-leveling") == "one_leveling"
+        assert normalize_policy_name("one leveling") == "one_leveling"
+        assert normalize_policy_name("tiering") == "tiering"
+
+    def test_unknown_policy_rejected_everywhere(self):
+        with pytest.raises(InvalidConfigError):
+            normalize_policy_name("fifo")
+        with pytest.raises(InvalidConfigError):
+            CooLSMConfig(compaction_policy="fifo")
+        with pytest.raises(InvalidConfigError):
+            LSMConfig(compaction_policy="fifo")
+
+    def test_make_policy_round_trips(self):
+        for name in POLICIES:
+            assert make_policy(name).name == name
+        assert make_policy("1-leveling").name == "one_leveling"
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+class TestTreeDifferential:
+    """Standalone LSMTree vs an in-memory dict, per policy."""
+
+    def test_reads_match_dict_model(self, policy):
+        tree = LSMTree(LSMConfig(compaction_policy=policy, **TREE_KW))
+        rng = random.Random(1234)
+        model: dict[int, bytes] = {}
+        for i in range(1_500):
+            key = rng.randrange(200)
+            roll = rng.random()
+            if roll < 0.65:
+                value = b"p-%d" % i
+                tree.put(key, value)
+                model[key] = value
+            elif roll < 0.75:
+                tree.delete(key)
+                model.pop(key, None)
+            else:
+                assert tree.get(key) == model.get(key)
+        for key in range(200):
+            assert tree.get(key) == model.get(key)
+
+    def test_scan_matches_sorted_model(self, policy):
+        tree = LSMTree(LSMConfig(compaction_policy=policy, **TREE_KW))
+        rng = random.Random(99)
+        model: dict[int, bytes] = {}
+        for i in range(800):
+            key = rng.randrange(150)
+            if rng.random() < 0.8:
+                value = b"s-%d" % i
+                tree.put(key, value)
+                model[key] = value
+            else:
+                tree.delete(key)
+                model.pop(key, None)
+        expect = sorted((encode_key(k), v) for k, v in model.items())
+        assert list(tree.scan()) == expect
+
+
+class TestClusterBitIdentity:
+    """Sequential trace: cluster + monolith + model agree under every
+    policy, and every policy's reads equal the leveling baseline's."""
+
+    def test_policies_bit_identical_to_leveling(self):
+        baseline = differential_run(7, ops=100)
+        assert baseline["mismatches"] == []
+        for policy in NON_DEFAULT:
+            result = differential_run(7, ops=100, compaction_policy=policy)
+            assert result["mismatches"] == [], policy
+            assert result["cluster"] == baseline["cluster"], policy
+            assert result["monolith"] == baseline["monolith"], policy
+
+    def test_second_seed(self):
+        baseline = differential_run(21, ops=80)
+        assert baseline["mismatches"] == []
+        for policy in NON_DEFAULT:
+            result = differential_run(21, ops=80, compaction_policy=policy)
+            assert result["mismatches"] == [], policy
+            assert result["cluster"] == baseline["cluster"], policy
+
+
+def _ycsb_mix_reads(policy: str, ops: int = 600, seed: int = 11) -> list:
+    """YCSB-A-style zipfian 50/50 update/read mix, capturing every read
+    result (the stock workload driver records latencies only)."""
+    config = replace(TINY, compaction_policy=policy)
+    cluster = build_cluster(ClusterSpec(config=config, num_ingestors=1, num_compactors=2))
+    client = cluster.add_client(colocate_with="ingestor-0")
+    picker = Zipfian(400, theta=0.99)
+    rng = random.Random(seed)
+    reads: list = []
+
+    def driver():
+        for i in range(ops):
+            key = picker.pick(rng)
+            if rng.random() < 0.5:
+                yield from client.upsert(key, b"y-%d" % i)
+            else:
+                reads.append((yield from client.read(key)))
+
+    cluster.run_process(driver())
+    cluster.run()
+    return reads
+
+
+class TestYcsbMixBitIdentity:
+    def test_zipfian_mix_reads_identical_across_policies(self):
+        baseline = _ycsb_mix_reads("leveling")
+        assert any(value is not None for value in baseline)
+        for policy in NON_DEFAULT:
+            assert _ycsb_mix_reads(policy) == baseline, policy
+
+
+@pytest.mark.parametrize("shape", POLICY_SHAPES, ids=lambda s: s.label)
+class TestPolicyCrashSchedules:
+    """Explorer crash-focused schedules per non-default policy: table
+    handoff (minor compaction, forward, absorb, Reader install) racing
+    node crash/recover must stay linearizable."""
+
+    def test_schedule_clean(self, shape):
+        spec = generate_schedule(seed=5, ops=40, faults=2, shapes=(shape,))
+        assert spec.shape.policy == shape.policy
+        outcome = run_schedule(spec)
+        assert outcome.violations == []
+        assert outcome.model_mismatches == 0
+
+    def test_replay_fingerprint_stable(self, shape):
+        spec = generate_schedule(seed=6, ops=30, faults=1, shapes=(shape,))
+        first = run_schedule(spec)
+        second = run_schedule(spec)
+        assert first.violations == [] and second.violations == []
+        assert first.fingerprint() == second.fingerprint()
+
+
+class TestPolicyPersistence:
+    """Store manifests remember their policy; recovery refuses to
+    reinterpret another policy's level structure."""
+
+    def _fill(self, directory: str, policy: str) -> None:
+        config = LSMConfig(compaction_policy=policy, wal_sync=False, **TREE_KW)
+        tree = LSMTree(config, directory=directory)
+        for i in range(300):
+            tree.put(i % 50, b"d-%d" % i)
+        tree.close()
+
+    def test_same_policy_reopens(self, tmp_path):
+        directory = str(tmp_path / "store")
+        self._fill(directory, "tiering")
+        config = LSMConfig(compaction_policy="tiering", **TREE_KW)
+        with LSMTree.open(directory, config) as tree:
+            assert tree.get(0) is not None
+
+    @pytest.mark.parametrize("wrong", ["leveling", "one_leveling"])
+    def test_mismatched_policy_refused(self, tmp_path, wrong):
+        directory = str(tmp_path / "store")
+        self._fill(directory, "tiering")
+        with pytest.raises(CorruptionError, match="compaction policy"):
+            LSMTree.open(directory, LSMConfig(compaction_policy=wrong, **TREE_KW))
+
+    def test_node_store_policy_mismatch_refused(self, tmp_path):
+        from repro.lsm.sstable import SSTable
+        from repro.lsm.entry import Entry
+        from repro.store.node_store import NodeStore
+
+        directory = str(tmp_path / "node")
+        with NodeStore.open(
+            directory, node_name="ingestor-0", role="ingestor", policy="tiering"
+        ) as store:
+            table = SSTable([Entry(encode_key(1), 1, 1.0, b"x")])
+            store.commit([table], state={"x": 1})
+        with pytest.raises(CorruptionError, match="compaction policy"):
+            NodeStore.open(
+                directory, node_name="ingestor-0", role="ingestor", policy="leveling"
+            )
+        # Same policy reopens; no policy skips the check (legacy path).
+        with NodeStore.open(
+            directory, node_name="ingestor-0", role="ingestor", policy="tiering"
+        ) as store:
+            assert store.recovered is not None
+        with NodeStore.open(
+            directory, node_name="ingestor-0", role="ingestor"
+        ) as store:
+            assert store.recovered is not None
+
+    def test_legacy_manifest_without_policy_accepted(self, tmp_path):
+        directory = str(tmp_path / "store")
+        self._fill(directory, "leveling")
+        manifest_path = os.path.join(directory, "MANIFEST.json")
+        with open(manifest_path, "r", encoding="utf-8") as f:
+            listing = json.load(f)
+        del listing["policy"]
+        with open(manifest_path, "w", encoding="utf-8") as f:
+            json.dump(listing, f)
+        with LSMTree.open(directory, LSMConfig(**TREE_KW)) as tree:
+            assert tree.get(0) is not None
+
+
+class TestTuningParity:
+    """Analytic write/space estimates vs measured amplification
+    counters, per policy (the Dostoevsky-style trade-off grid)."""
+
+    SHAPE = LSMShape(100_000, 1_000, 10.0)
+
+    def test_write_cost_ordering(self):
+        costs = {p: policy_write_cost(p, self.SHAPE) for p in POLICIES}
+        # Tiering writes each entry once per level; lazy-leveling adds a
+        # leveled bottom; leveling pays ratio/2 per level; 1-leveling
+        # rewrites the single level on every flush.
+        assert costs["tiering"] < costs["lazy_leveling"] < costs["leveling"]
+        assert costs["leveling"] < costs["one_leveling"]
+
+    def test_space_amplification_ordering(self):
+        space = {p: policy_space_amplification(p, self.SHAPE) for p in POLICIES}
+        assert space["one_leveling"] < space["lazy_leveling"] < space["tiering"]
+        assert space["leveling"] < space["tiering"]
+
+    def test_alias_dispatch(self):
+        assert policy_write_cost("1-leveling", self.SHAPE) == policy_write_cost(
+            "one_leveling", self.SHAPE
+        )
+
+    @staticmethod
+    def _drive(policy: str):
+        tree = LSMTree(LSMConfig(compaction_policy=policy, **TREE_KW))
+        for i in range(4_000):
+            tree.put(i % 300, b"v-%d" % i)
+        return measure_lsm_tree(tree)
+
+    def test_measured_ordering_matches_model(self):
+        """The measured counters must reproduce the model's headline
+        trade-off: tiering writes less and keeps more garbage than
+        leveling; 1-leveling writes the most."""
+        measured = {p: self._drive(p) for p in POLICIES}
+        assert (
+            measured["tiering"].write_amplification
+            < measured["leveling"].write_amplification
+        )
+        assert (
+            measured["lazy_leveling"].write_amplification
+            <= measured["leveling"].write_amplification
+        )
+        # 1-leveling's rewrite burden scales with the level's size,
+        # which this deliberately tiny workload keeps close to the
+        # buffer; assert only that its rewrites are real.
+        assert measured["one_leveling"].write_amplification > 1.5
+        assert (
+            measured["leveling"].space_amplification
+            <= measured["tiering"].space_amplification
+        )
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_measured_within_model_factor(self, policy):
+        """Loose parity: the analytic estimate and the measured write
+        amplification agree within a small constant factor (the model
+        assumes a full steady-state tree; the workload is small)."""
+        report = self._drive(policy)
+        shape = LSMShape(
+            total_entries=300, buffer_entries=TREE_KW["memtable_entries"], size_ratio=2.0
+        )
+        estimate = policy_write_cost(policy, shape)
+        measured = report.write_amplification
+        assert measured > 1.0
+        assert estimate / 8.0 <= measured <= estimate * 8.0
