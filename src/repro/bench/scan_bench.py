@@ -1,0 +1,466 @@
+"""Scan-path benchmark: Reader sorted view vs streaming merge.
+
+Produces the checked-in ``BENCH_scan.json``.  Three phases:
+
+* **direct** (the headline): a Reader at realistic area scale —
+  several overlapping per-Compactor areas, leveled L2/L3 runs installed
+  through the real ``BackupUpdate`` path so the sorted view is built by
+  its own incremental rebuilds — then the scan-heavy workload's range
+  sequence is timed wall-clock through both engines behind
+  :meth:`Reader.scan_pairs`: the streaming k-way merge and the
+  view-backed anchor walk.  Every scan's results are compared
+  (``identical`` must stay True — the view is only fast *and* right),
+  and the headline gate is the **p50 speedup ratio**, which is
+  machine-relative: both paths run in the same process on the same
+  state, so heterogeneous CI machines compare ratios, never seconds.
+
+* **sim**: the scan-heavy workload driven end-to-end through the
+  simulated cluster with ``sorted_view`` on and off.  Modelled compute
+  costs are charged identically on both paths, so the two runs must
+  produce the *same simulated schedule* (``schedule_identical``) — the
+  in-run restatement of the flag-off byte-identity guarantee.
+
+* **live** (skippable): the same workload against a real-socket durable
+  cluster with the view on — wall-clock analytics latencies through the
+  full RPC + persistence stack, recorded for context (not gated: a
+  single live run has no in-run baseline to be relative to).
+
+Run::
+
+    PYTHONPATH=src python -m repro.cli scan-bench --out BENCH_scan.json
+    PYTHONPATH=src python -m repro.cli scan-bench --smoke --check BENCH_scan.json
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import platform
+import sys
+import tempfile
+import time
+from dataclasses import replace
+
+from repro.core import ClusterSpec, CooLSMConfig, build_cluster
+from repro.core.messages import BackupUpdate
+from repro.lsm.entry import encode_key, make_upsert
+from repro.lsm.sstable import SSTable
+from repro.workloads.scan_heavy import scan_heavy, scan_ranges
+
+from .metrics import LatencySummary
+
+#: Invariant floor (acceptance criterion, not a tuning knob): the
+#: view-backed scan must at least double the streaming merge's p50.
+MIN_SCAN_P50_SPEEDUP = 2.0
+
+_SIM_PRELOAD = 1_200
+_SIM_SCAN_OPS = 150
+
+
+# ----------------------------------------------------------------------
+# Direct phase: one Reader, areas at scale, A/B the two scan engines
+# ----------------------------------------------------------------------
+def _area_tables(
+    area_index: int,
+    key_range: int,
+    table_entries: int,
+    overlay_stride: int,
+) -> tuple[list[SSTable], list[SSTable]]:
+    """One synthetic area: an L3 carpet over the whole key range plus a
+    newer L2 overlay of every ``overlay_stride``-th key.  Areas overlap
+    (each covers the full range at its own timestamp), the regime the
+    per-area merge exists for."""
+    base_ts = float(area_index + 1)
+    seqno = area_index * 10_000_000
+    l3_entries = [
+        make_upsert(key, b"a%d-%d" % (area_index, key), seqno + key, base_ts)
+        for key in range(key_range)
+    ]
+    l3_tables = [
+        SSTable(l3_entries[i : i + table_entries])
+        for i in range(0, len(l3_entries), table_entries)
+    ]
+    overlay = [
+        make_upsert(key, b"o%d-%d" % (area_index, key), seqno + key_range + key, base_ts + 100.0)
+        for key in range(0, key_range, overlay_stride)
+    ]
+    l2_tables = [
+        SSTable(overlay[i : i + table_entries])
+        for i in range(0, len(overlay), table_entries)
+    ]
+    return l2_tables, l3_tables
+
+
+def _build_reader(
+    num_areas: int,
+    key_range: int,
+    table_entries: int,
+    overlay_stride: int,
+    segment_entries: int,
+):
+    """A sim cluster whose Reader holds ``num_areas`` synthetic areas,
+    installed through real ``BackupUpdate`` casts (so the sorted view is
+    the product of its own incremental rebuild path)."""
+    config = CooLSMConfig(
+        key_range=key_range,
+        sorted_view=True,
+        sorted_view_segment_entries=segment_entries,
+    )
+    cluster = build_cluster(
+        ClusterSpec(config=config, num_ingestors=1, num_compactors=1, num_readers=1)
+    )
+    reader = cluster.readers[0]
+
+    def installer():
+        for area_index in range(num_areas):
+            l2_tables, l3_tables = _area_tables(
+                area_index, key_range, table_entries, overlay_stride
+            )
+            source = f"area-{area_index}"
+            cluster.compactors[0].cast(
+                "reader-0", "backup_update", BackupUpdate(3, tuple(l3_tables), source)
+            )
+            cluster.compactors[0].cast(
+                "reader-0", "backup_update", BackupUpdate(2, tuple(l2_tables), source)
+            )
+        yield cluster.kernel.timeout(60.0)
+
+    cluster.run_process(installer())
+    return cluster, reader
+
+
+def _time_scans(scan_fn, ranges: list[tuple[bytes, bytes]]):
+    latencies: list[float] = []
+    results = []
+    for lo, hi in ranges:
+        started = time.perf_counter()
+        results.append(scan_fn(lo, hi, None))
+        latencies.append(time.perf_counter() - started)
+    return latencies, results
+
+
+def run_direct_phase(
+    num_areas: int = 4,
+    key_range: int = 20_000,
+    table_entries: int = 200,
+    overlay_stride: int = 8,
+    segment_entries: int = 256,
+    num_scans: int = 600,
+    max_scan_length: int = 100,
+    seed: int = 7,
+) -> dict:
+    """Wall-clock A/B of the two scan engines on one Reader."""
+    cluster, reader = _build_reader(
+        num_areas, key_range, table_entries, overlay_stride, segment_entries
+    )
+    ranges = [
+        (encode_key(lo), encode_key(hi))
+        for lo, hi in scan_ranges(
+            num_scans, key_range, seed=seed, max_scan_length=max_scan_length
+        )
+    ]
+    # Warm both paths (and the block-range cache's first-touch misses)
+    # before timing, so the A/B measures steady state.
+    warmup = ranges[: max(1, len(ranges) // 10)]
+    _time_scans(reader._streaming_scan, warmup)
+    _time_scans(reader._view_scan, warmup)
+    if reader.read_cache is not None:
+        reader.read_cache.stats.reset()
+    streaming_lat, streaming_res = _time_scans(reader._streaming_scan, ranges)
+    view_lat, view_res = _time_scans(reader._view_scan, ranges)
+    identical = streaming_res == view_res
+    streaming = LatencySummary.from_samples(streaming_lat)
+    view = LatencySummary.from_samples(view_lat)
+    cache = reader.read_cache.stats if reader.read_cache is not None else None
+    gauges = reader.health_gauges()
+    return {
+        "areas": num_areas,
+        "key_range": key_range,
+        "entries": reader.manifest.total_entries(),
+        "scans": num_scans,
+        "identical": identical,
+        "streaming_p50_us": streaming.p50 * 1e6,
+        "streaming_p99_us": streaming.p99 * 1e6,
+        "view_p50_us": view.p50 * 1e6,
+        "view_p99_us": view.p99 * 1e6,
+        "speedup_p50": streaming.p50 / view.p50 if view.p50 else 0.0,
+        "speedup_p99": streaming.p99 / view.p99 if view.p99 else 0.0,
+        "sorted_view_segments": gauges["sorted_view_segments"],
+        "view_rebuild_count": gauges["view_rebuild_count"],
+        "view_reused_segments": gauges["view_reused_segments"],
+        "block_range_hits": cache.block_range_hits if cache else 0,
+        "block_range_misses": cache.block_range_misses if cache else 0,
+    }
+
+
+# ----------------------------------------------------------------------
+# Sim phase: the workload end-to-end, view on vs off, schedules equal
+# ----------------------------------------------------------------------
+def _run_sim_workload(sorted_view: bool, ops: int, seed: int) -> dict:
+    config = CooLSMConfig(
+        key_range=2_000,
+        memtable_entries=40,
+        sstable_entries=20,
+        l0_threshold=3,
+        l1_threshold=3,
+        l2_threshold=10,
+        l3_threshold=100,
+        max_inflight_tables=12,
+        sorted_view=sorted_view,
+        sorted_view_segment_entries=64,
+    )
+    cluster = build_cluster(
+        ClusterSpec(config=config, num_ingestors=1, num_compactors=2, num_readers=1)
+    )
+    client = cluster.add_client()
+
+    def preload():
+        for index in range(_SIM_PRELOAD):
+            yield from client.upsert(index % 700, b"p-%d" % index)
+        yield cluster.kernel.timeout(5.0)
+
+    cluster.run_process(preload())
+    result = cluster.run_process(
+        scan_heavy(client, ops=ops, seed=seed, reader="reader-0")
+    )
+    scans = result.latencies.get("scan", [])
+    summary = LatencySummary.from_samples(scans) if scans else None
+    gauges = cluster.readers[0].health_gauges()
+    return {
+        "sorted_view": sorted_view,
+        "ops": result.total_ops,
+        "scans": result.scans,
+        "inserts": result.inserts,
+        "sim_scan_p50_s": summary.p50 if summary else 0.0,
+        "sim_scan_p99_s": summary.p99 if summary else 0.0,
+        "sim_now": cluster.kernel.now,
+        "gauges": {
+            key: value
+            for key, value in gauges.items()
+            if key.startswith(("sorted_view", "view_"))
+        },
+    }
+
+
+def run_sim_phase(ops: int, seed: int) -> dict:
+    off = _run_sim_workload(False, ops, seed)
+    on = _run_sim_workload(True, ops, seed)
+    return {
+        "view_off": off,
+        "view_on": on,
+        # Identical modelled costs on both paths ⇒ the two deterministic
+        # runs must finish at the same simulated instant with the same
+        # latency profile.  Any drift means the flag changed behaviour
+        # beyond the scan engine — the in-run byte-identity tripwire.
+        "schedule_identical": (
+            off["sim_now"] == on["sim_now"]
+            and off["sim_scan_p50_s"] == on["sim_scan_p50_s"]
+            and off["scans"] == on["scans"]
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Live phase: real sockets, durable stores, view on
+# ----------------------------------------------------------------------
+def _run_live_phase(num_scans: int, seed: int) -> dict:
+    from repro.live.harness import ClientPool, LocalCluster, localhost_spec
+    from repro.sim.kernel import SimError
+
+    config = replace(
+        CooLSMConfig().scaled_down(10),
+        ack_timeout=1.0,
+        client_timeout=2.0,
+        sorted_view=True,
+    )
+    spec = localhost_spec(1, 1, 1, num_clients=1, config=config, seed=seed)
+    latencies: list[float] = []
+    counts = {"pairs": 0, "empty": 0}
+
+    def preload(client):
+        for index in range(_SIM_PRELOAD):
+            while True:
+                try:
+                    yield from client.upsert(index % config.key_range, b"l-%d" % index)
+                    break
+                except SimError:
+                    continue
+        return True
+
+    def scanner(client):
+        # Scan the populated prefix (preload wraps at _SIM_PRELOAD keys).
+        ranges = scan_ranges(
+            num_scans, min(config.key_range, _SIM_PRELOAD), seed=seed + 1
+        )
+        for lo, hi in ranges:
+            started = time.perf_counter()
+            try:
+                pairs = yield from client.analytics_query(lo, hi, reader="reader-0")
+            except SimError:
+                continue
+            latencies.append(time.perf_counter() - started)
+            counts["pairs"] += len(pairs)
+            counts["empty"] += not pairs
+        return len(latencies)
+
+    with tempfile.TemporaryDirectory(prefix="coolsm-scan-bench-") as work:
+        with LocalCluster(spec, work, data_dir=f"{work}/data") as cluster:
+            cluster.wait_ready()
+
+            async def drive():
+                async with ClientPool(spec, 1) as pool:
+                    await pool.run(preload(pool.clients[0]), "scan-preload")
+                    await asyncio.sleep(2.0)  # let compactions reach the Reader
+                    return await pool.run(scanner(pool.clients[0]), "scan-load")
+
+            completed = asyncio.run(drive())
+            cluster.stop()
+
+    summary = LatencySummary.from_samples(latencies) if latencies else None
+    return {
+        "sorted_view": True,
+        "requested_scans": num_scans,
+        "completed_scans": completed,
+        "pairs_returned": counts["pairs"],
+        "empty_scans": counts["empty"],
+        "scan_p50_s": summary.p50 if summary else 0.0,
+        "scan_p99_s": summary.p99 if summary else 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# Document, gates, CLI entry
+# ----------------------------------------------------------------------
+def run(
+    num_scans: int = 600,
+    sim_ops: int = _SIM_SCAN_OPS,
+    live_scans: int = 120,
+    seed: int = 7,
+    smoke: bool = False,
+) -> dict:
+    """Run the phases; returns the BENCH_scan.json document.
+
+    ``smoke`` shrinks the direct phase and skips live (CI-friendly);
+    ``live_scans <= 0`` skips the live phase only.
+    """
+    if smoke:
+        direct = run_direct_phase(
+            num_areas=2,
+            key_range=4_000,
+            table_entries=100,
+            num_scans=min(num_scans, 150),
+            seed=seed,
+        )
+        live_scans = 0
+    else:
+        direct = run_direct_phase(num_scans=num_scans, seed=seed)
+    sim = run_sim_phase(sim_ops, seed)
+    live = _run_live_phase(live_scans, seed) if live_scans > 0 else None
+    return {
+        "bench": "scan",
+        "config": {
+            "smoke": smoke,
+            "num_scans": num_scans,
+            "sim_ops": sim_ops,
+            "sim_preload": _SIM_PRELOAD,
+            "seed": seed,
+        },
+        "python": platform.python_version(),
+        "direct": direct,
+        "sim": sim,
+        "live": live,
+    }
+
+
+def check_regression(
+    current: dict, baseline: dict | None, max_regression: float = 2.0
+) -> list[str]:
+    """Failures (empty when healthy).  Correctness invariants are
+    absolute; the speed gate is the in-run p50 ratio (both engines run
+    in the same process on the same state), compared ratio-vs-ratio
+    against the baseline so heterogeneous CI machines never flake on
+    wall-clock."""
+    failures: list[str] = []
+    direct = current["direct"]
+    if not direct["identical"]:
+        failures.append("view-backed scans are not bit-identical to the streaming merge")
+    if direct["speedup_p50"] < MIN_SCAN_P50_SPEEDUP:
+        failures.append(
+            f"scan p50 speedup {direct['speedup_p50']:.2f}x < "
+            f"{MIN_SCAN_P50_SPEEDUP}x floor"
+        )
+    if not current["sim"]["schedule_identical"]:
+        failures.append(
+            "sorted_view on/off sim schedules diverged (byte-identity broken)"
+        )
+    if baseline is not None and _comparable(current, baseline):
+        base = baseline.get("direct", {}).get("speedup_p50", 0.0)
+        cur = direct["speedup_p50"]
+        if base > 0 and cur < base / max_regression:
+            failures.append(
+                f"direct.speedup_p50 regressed {base:.2f}x -> {cur:.2f}x "
+                f"(allowed factor {max_regression}x)"
+            )
+    return failures
+
+
+def _comparable(current: dict, baseline: dict) -> bool:
+    """Ratios only compare between runs of the same workload shape
+    (a smoke run against the full baseline is not)."""
+    return current.get("config") == baseline.get("config")
+
+
+def run_and_report(
+    out: str = "BENCH_scan.json",
+    num_scans: int = 600,
+    sim_ops: int = _SIM_SCAN_OPS,
+    live_scans: int = 120,
+    seed: int = 7,
+    smoke: bool = False,
+    check: str | None = None,
+    max_regression: float = 2.0,
+) -> int:
+    """CLI entrypoint: run, print, write JSON, gate against a baseline."""
+    document = run(
+        num_scans=num_scans,
+        sim_ops=sim_ops,
+        live_scans=live_scans,
+        seed=seed,
+        smoke=smoke,
+    )
+    direct = document["direct"]
+    print(
+        f"direct  {direct['scans']} scans over {direct['entries']} entries / "
+        f"{direct['areas']} areas — streaming p50 {direct['streaming_p50_us']:.0f}us, "
+        f"view p50 {direct['view_p50_us']:.0f}us "
+        f"(speedup {direct['speedup_p50']:.2f}x, identical={direct['identical']})"
+    )
+    sim = document["sim"]
+    print(
+        f"sim     {sim['view_on']['scans']} scans — "
+        f"schedule_identical={sim['schedule_identical']}, "
+        f"view gauges {sim['view_on']['gauges']}"
+    )
+    live = document["live"]
+    if live is not None:
+        print(
+            f"live    {live['completed_scans']}/{live['requested_scans']} scans — "
+            f"p50 {live['scan_p50_s'] * 1e3:.2f}ms, "
+            f"{live['pairs_returned']} pairs"
+        )
+    with open(out, "w") as sink:
+        json.dump(document, sink, indent=2, sort_keys=True)
+        sink.write("\n")
+    print(f"wrote {out}")
+    baseline = None
+    if check is not None:
+        with open(check) as source:
+            baseline = json.load(source)
+    failures = check_regression(document, baseline, max_regression)
+    for failure in failures:
+        print(f"  !! {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(run_and_report())

@@ -102,6 +102,16 @@ class CooLSMConfig:
         flow_max_delay: Delay, seconds, one admitted write pays when
             debt reaches ``flow_stall_debt`` (scales linearly from 0 at
             ``flow_slowdown_debt``).
+        sorted_view: Serve Reader range queries from a REMIX-style
+            persisted sorted view over the per-Compactor areas
+            (:mod:`repro.lsm.sortedview`), incrementally rebuilt on each
+            ``BackupUpdate`` install.  Off by default: the streaming
+            k-way merge stays the byte-identical historical path, and
+            every view-backed scan is required (and tested) to be
+            bit-identical to it.
+        sorted_view_segment_entries: Anchors per sorted-view segment —
+            the granularity at which an install invalidates and a
+            rebuild reuses view pieces.
         costs: The compute cost model.
     """
 
@@ -130,6 +140,8 @@ class CooLSMConfig:
     flow_slowdown_debt: float = 1.5
     flow_stall_debt: float = 2.5
     flow_max_delay: float = 0.01
+    sorted_view: bool = False
+    sorted_view_segment_entries: int = 256
     costs: CostModel = DEFAULT_COSTS
 
     def __post_init__(self) -> None:
@@ -170,6 +182,10 @@ class CooLSMConfig:
             raise InvalidConfigError("flow_stall_debt must exceed flow_slowdown_debt")
         if self.flow_max_delay < 0:
             raise InvalidConfigError("flow_max_delay must be non-negative")
+        if self.sorted_view_segment_entries <= 0:
+            raise InvalidConfigError(
+                "sorted_view_segment_entries must be positive"
+            )
 
     @property
     def request_timeout(self) -> float:

@@ -45,6 +45,7 @@ from .iterators import (
 )
 from .manifest import LevelEdit, LevelFenceIndex, Manifest
 from .memtable import Memtable, SkipList
+from .sortedview import SortedView, SortedViewManager, ViewSegment
 from .sstable import SSTable, sort_run
 from .sstable_io import SSTableReader, read_sstable, write_sstable
 from .tree import CompactionEvent, LSMConfig, LSMTree, Snapshot, TreeStats
@@ -92,7 +93,10 @@ __all__ = [
     "SSTableReader",
     "SkipList",
     "Snapshot",
+    "SortedView",
+    "SortedViewManager",
     "TreeStats",
+    "ViewSegment",
     "TuningComparison",
     "WriteAheadLog",
     "bloom_false_positive_rate",

@@ -286,6 +286,43 @@ class NodeStore:
         return self.version
 
     # ------------------------------------------------------------------
+    # Sidecars
+    # ------------------------------------------------------------------
+    # Auxiliary derived state (e.g. the Reader's sorted view) lives in
+    # named JSON documents beside the manifest.  Sidecars are installed
+    # atomically but are *not* covered by the manifest's crash
+    # atomicity with respect to ``commit`` — a crash between commit and
+    # sidecar write leaves a stale document, so every consumer must
+    # validate a loaded sidecar against the recovered state and treat a
+    # mismatch as "rebuild", never as truth.  ``_clean_orphans`` leaves
+    # them alone (it only removes ``sst-*.sst`` and ``*.tmp``).
+
+    def save_sidecar(self, name: str, document: dict) -> None:
+        """Atomically install the named sidecar document."""
+        self._check_open()
+        atomic_write_json(os.path.join(self.directory, name), document)
+
+    def load_sidecar(self, name: str) -> dict | None:
+        """The named sidecar's document, or None when absent/unreadable
+        (an unparseable sidecar is indistinguishable from a torn write,
+        and consumers rebuild in both cases)."""
+        path = os.path.join(self.directory, name)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                return json.load(f)
+        except (OSError, ValueError):
+            return None
+
+    def remove_sidecar(self, name: str) -> None:
+        """Delete the named sidecar (refuse-and-rebuild path)."""
+        path = os.path.join(self.directory, name)
+        if os.path.exists(path):
+            os.remove(path)
+            fsync_dir(self.directory)
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def data_bytes(self) -> int:

@@ -24,6 +24,7 @@ from .explorer import (
     BUGS,
     LIVE_SHAPES,
     POLICY_SHAPES,
+    SCAN_SHAPES,
     SHAPES,
     VERIFY_CONFIG,
     ExplorationReport,
@@ -56,6 +57,7 @@ __all__ = [
     "ModelReport",
     "POLICY_SHAPES",
     "PlannedOp",
+    "SCAN_SHAPES",
     "SHAPES",
     "ScheduleOutcome",
     "ScheduleSpec",

@@ -1,0 +1,97 @@
+"""Scan-heavy workload (YCSB-E shape, aimed at Readers).
+
+The first entry in ROADMAP item 4's workload matrix: a mix of **short
+Zipfian-start range scans** with a trickle of inserts — YCSB-E's shape —
+but served by the *analytics* path (Reader range queries) instead of the
+global Ingestor scan, because that is the path the paper dedicates
+Readers to (Figure 9b) and the path the sorted view accelerates.
+
+Two layers:
+
+:func:`scan_ranges`
+    The deterministic range sequence alone — ``(lo, hi)`` integer pairs
+    with Zipfian starts and uniform short lengths.  The scan bench times
+    :meth:`Reader.scan_pairs` directly over this same sequence, so the
+    driver-based and direct-timing phases measure one workload.
+
+:func:`scan_heavy`
+    The driver coroutine for sim and live harnesses: ``scan_fraction``
+    of ops are Reader range queries over :func:`scan_ranges`, the rest
+    are inserts through the Ingestor (which keep Compactors compacting
+    and therefore keep ``BackupUpdate`` installs — and view rebuilds —
+    flowing during the measurement).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.lsm.errors import InvalidConfigError
+
+from .distributions import Zipfian
+from .ycsb import YCSBResult, _timed
+
+
+def scan_ranges(
+    count: int,
+    key_range: int,
+    seed: int = 0,
+    max_scan_length: int = 100,
+) -> list[tuple[int, int]]:
+    """``count`` short ``(lo, hi)`` ranges: Zipfian-distributed starts
+    (hot prefixes get rescanned, which is what makes block-range caching
+    pay) and lengths uniform in ``[1, max_scan_length]``, clipped to the
+    key range."""
+    if count <= 0 or key_range <= 0:
+        raise InvalidConfigError("count and key_range must be positive")
+    if max_scan_length <= 0:
+        raise InvalidConfigError("max_scan_length must be positive")
+    rng = random.Random(seed)
+    picker = Zipfian(key_range)
+    ranges: list[tuple[int, int]] = []
+    for __ in range(count):
+        start = picker.pick(rng)
+        length = 1 + rng.randrange(max_scan_length)
+        ranges.append((start, min(start + length, key_range)))
+    return ranges
+
+
+def scan_heavy(
+    client,
+    ops: int = 200,
+    key_range: int | None = None,
+    seed: int = 0,
+    max_scan_length: int = 100,
+    scan_fraction: float = 0.95,
+    reader: str | None = None,
+):
+    """95% Reader range scans / 5% inserts (fractions adjustable).
+
+    Returns a driver generator compatible with the sim and live
+    harnesses; the result object is a :class:`~repro.workloads.ycsb.YCSBResult`
+    with ``scan`` and ``insert`` latency series.
+    """
+    if not 0.0 <= scan_fraction <= 1.0:
+        raise InvalidConfigError("scan_fraction must be within [0, 1]")
+    key_range = key_range or client.config.key_range
+    rng = random.Random(seed)
+    picker = Zipfian(key_range)
+    ranges = iter(scan_ranges(ops, key_range, seed=seed + 1, max_scan_length=max_scan_length))
+    result = YCSBResult()
+
+    def driver():
+        for index in range(ops):
+            if rng.random() >= scan_fraction:
+                finish = _timed(result, "insert", client.kernel)
+                yield from client.upsert(picker.pick(rng), b"sh-%d" % index)
+                finish()
+                result.inserts += 1
+            else:
+                lo, hi = next(ranges)
+                finish = _timed(result, "scan", client.kernel)
+                yield from client.analytics_query(lo, hi, reader=reader)
+                finish()
+                result.scans += 1
+        return result
+
+    return driver()

@@ -1,0 +1,122 @@
+"""The scan benchmark: document shape, invariants, regression gate."""
+
+import copy
+import json
+
+from repro.bench.scan_bench import (
+    MIN_SCAN_P50_SPEEDUP,
+    check_regression,
+    run,
+    run_and_report,
+    run_direct_phase,
+    run_sim_phase,
+)
+
+#: One tiny document per module run (the phases are deterministic apart
+#: from wall-clock latencies; every structural test can share it).
+_DOCUMENT = None
+
+
+def tiny_document():
+    global _DOCUMENT
+    if _DOCUMENT is None:
+        _DOCUMENT = run(num_scans=120, sim_ops=60, live_scans=0, smoke=True)
+    return _DOCUMENT
+
+
+class TestDocumentShape:
+    def test_sections(self):
+        document = tiny_document()
+        for section in ("bench", "config", "python", "direct", "sim", "live"):
+            assert section in document
+        assert document["bench"] == "scan"
+        assert document["live"] is None  # smoke skips live
+
+    def test_json_serialisable(self):
+        json.dumps(tiny_document())
+
+    def test_direct_phase_counters(self):
+        direct = tiny_document()["direct"]
+        for key in ("streaming_p50_us", "view_p50_us", "speedup_p50",
+                    "sorted_view_segments", "view_rebuild_count",
+                    "block_range_hits", "block_range_misses"):
+            assert key in direct
+        assert direct["view_rebuild_count"] > 0
+        assert direct["block_range_hits"] > 0
+
+
+class TestInvariants:
+    def test_view_scans_bit_identical(self):
+        assert tiny_document()["direct"]["identical"] is True
+
+    def test_speedup_meets_floor(self):
+        assert tiny_document()["direct"]["speedup_p50"] >= MIN_SCAN_P50_SPEEDUP
+
+    def test_sim_schedules_identical_on_vs_off(self):
+        sim = tiny_document()["sim"]
+        assert sim["schedule_identical"] is True
+        assert sim["view_off"]["sim_now"] == sim["view_on"]["sim_now"]
+        assert sim["view_on"]["gauges"]["view_rebuild_count"] > 0
+        assert sim["view_off"]["gauges"] == {}  # flag off: no view gauges
+
+
+class TestRegressionCheck:
+    def test_passes_against_itself(self):
+        document = tiny_document()
+        assert check_regression(document, document) == []
+
+    def test_passes_without_baseline(self):
+        assert check_regression(tiny_document(), None) == []
+
+    def test_fails_on_broken_identity(self):
+        document = copy.deepcopy(tiny_document())
+        document["direct"]["identical"] = False
+        assert any("identical" in f for f in check_regression(document, None))
+
+    def test_fails_on_schedule_divergence(self):
+        document = copy.deepcopy(tiny_document())
+        document["sim"]["schedule_identical"] = False
+        assert any("diverged" in f for f in check_regression(document, None))
+
+    def test_fails_on_speedup_ratio_regression(self):
+        document = tiny_document()
+        baseline = copy.deepcopy(document)
+        baseline["direct"]["speedup_p50"] = document["direct"]["speedup_p50"] * 10
+        failures = check_regression(document, baseline, max_regression=2.0)
+        assert any("regressed" in f for f in failures)
+
+    def test_mismatched_shapes_skip_ratio_comparison(self):
+        document = tiny_document()
+        baseline = copy.deepcopy(document)
+        baseline["config"]["num_scans"] = 999_999
+        baseline["direct"]["speedup_p50"] = document["direct"]["speedup_p50"] * 100
+        assert check_regression(document, baseline) == []
+
+
+class TestPhases:
+    def test_direct_phase_scales_with_areas(self):
+        report = run_direct_phase(
+            num_areas=2, key_range=2_000, table_entries=100, num_scans=60,
+        )
+        assert report["areas"] == 2
+        assert report["entries"] > 0
+        assert report["identical"] is True
+
+    def test_sim_phase_counts_workload_ops(self):
+        sim = run_sim_phase(40, seed=3)
+        assert sim["view_on"]["scans"] == sim["view_off"]["scans"] > 0
+
+
+class TestEntryPoint:
+    def test_writes_document_and_checks(self, tmp_path):
+        out = tmp_path / "scan.json"
+        assert run_and_report(
+            out=str(out), num_scans=120, sim_ops=60, live_scans=0, smoke=True
+        ) == 0
+        document = json.loads(out.read_text())
+        assert document["bench"] == "scan"
+        # Checking against an identically-shaped baseline passes.
+        assert run_and_report(
+            out=str(out), num_scans=120, sim_ops=60, live_scans=0,
+            smoke=True, check=str(out),
+        ) == 0

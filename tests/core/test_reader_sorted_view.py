@@ -1,0 +1,260 @@
+"""Reader sorted-view integration tests (DESIGN.md §19).
+
+The flag contract: ``sorted_view=False`` is byte-identical to the
+historical streaming merge (same results, same simulated schedule);
+``sorted_view=True`` serves range queries from the view and must be
+bit-identical to what the streaming merge would have returned — across
+every compaction policy, racing installs, crashes, and recovery from a
+persisted sidecar.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import replace
+
+from repro.core import ClusterSpec, build_cluster
+from repro.core.messages import BackupUpdate
+from repro.core.reader import SORTED_VIEW_NAME
+from repro.lsm.sstable import SSTable
+from repro.store.node_store import NodeStore
+from repro.workloads import scan_ranges
+
+from tests.conftest import entry
+from tests.core.conftest import TINY, fill
+
+POLICIES = ("leveling", "tiering", "lazy_leveling", "one_leveling")
+
+
+def view_cluster(sorted_view: bool, policy: str = "leveling", seed: int = 0):
+    config = replace(
+        TINY,
+        sorted_view=sorted_view,
+        sorted_view_segment_entries=32,
+        compaction_policy=policy,
+    )
+    return build_cluster(
+        ClusterSpec(
+            config=config,
+            num_ingestors=1,
+            num_compactors=2,
+            num_readers=1,
+            seed=seed,
+        )
+    )
+
+
+def run_scans(cluster, ranges):
+    client = cluster.add_client()
+
+    def driver():
+        results = []
+        for lo, hi in ranges:
+            results.append((yield from client.analytics_query(lo, hi)))
+        return results
+
+    return cluster.run_process(driver())
+
+
+def push_update(cluster, level, tables, compactor="compactor-0", **fields):
+    update = BackupUpdate(level, tuple(tables), compactor, **fields)
+
+    def driver():
+        cluster.compactors[0].cast("reader-0", "backup_update", update)
+        yield cluster.kernel.timeout(1.0)
+
+    cluster.run_process(driver())
+
+
+def assert_view_identity(reader):
+    """The subsystem's core invariant, checked at full range."""
+    assert reader.view_mgr is not None and reader.view_mgr.ready
+    assert reader._view_scan(None, None, None) == reader._streaming_scan(
+        None, None, None
+    )
+
+
+class TestDifferentialAcrossPolicies:
+    def test_view_scans_bit_identical_under_every_policy(self):
+        """Same seed, same workload, flag on vs off: every range query
+        answers byte-identically and the two sims tick identically (the
+        view charges no modelled compute, so the flag must not perturb
+        the schedule)."""
+        ranges = scan_ranges(15, TINY.key_range, seed=5, max_scan_length=200)
+        for policy in POLICIES:
+            results = {}
+            clocks = {}
+            for flag in (False, True):
+                cluster = view_cluster(flag, policy=policy, seed=3)
+                client = cluster.add_client()
+                cluster.run_process(fill(cluster, client, 1_200))
+                cluster.run()
+                results[flag] = run_scans(cluster, ranges)
+                clocks[flag] = cluster.kernel.now
+                if flag:
+                    reader = cluster.readers[0]
+                    assert reader.view_mgr.rebuild_count > 0, policy
+                    assert_view_identity(reader)
+            assert results[True] == results[False], policy
+            assert clocks[True] == clocks[False], policy
+
+
+class TestInstallPath:
+    def test_view_tracks_direct_installs(self):
+        cluster = view_cluster(True)
+        reader = cluster.readers[0]
+        push_update(cluster, 2, [
+            SSTable.from_entries([entry(k, seqno=k + 1, ts=1.0) for k in range(40)])
+        ])
+        assert reader.view_mgr.rebuild_count == 1
+        assert_view_identity(reader)
+        push_update(cluster, 3, [
+            SSTable.from_entries([entry(k, seqno=100 + k, ts=2.0) for k in range(20, 60)])
+        ])
+        assert reader.view_mgr.rebuild_count == 2
+        assert_view_identity(reader)
+
+    def test_stacked_replacement_set_installs(self):
+        """Lazy-leveling-style updates: ``replaced_ids`` names the exact
+        superseded tables (often none — a pure run append).  The view
+        must invalidate by the replacement set, not by key overlap."""
+        cluster = view_cluster(True)
+        reader = cluster.readers[0]
+        first = SSTable.from_entries([entry(k, seqno=k + 1, ts=1.0) for k in range(30)])
+        push_update(cluster, 2, [first], replaced_ids=())
+        # Overlapping sibling run appended — nothing replaced, both live.
+        second = SSTable.from_entries(
+            [entry(k, seqno=1_000 + k, ts=2.0) for k in range(30)]
+        )
+        push_update(cluster, 2, [second], replaced_ids=())
+        assert len(reader.level2) == 2
+        assert_view_identity(reader)
+        # Both stacked runs replaced by their merge.
+        merged = SSTable.from_entries(
+            [entry(k, seqno=2_000 + k, ts=3.0) for k in range(30)]
+        )
+        push_update(
+            cluster, 2, [merged],
+            replaced_ids=(first.table_id, second.table_id),
+        )
+        assert len(reader.level2) == 1
+        assert_view_identity(reader)
+        stale = {first.table_id, second.table_id}
+        assert all(
+            not (stale & set(s.source_ids))
+            for s in reader.view_mgr.view.segments
+        )
+
+    def test_scans_racing_installs(self):
+        """A scanner hammers the Reader while the write pipeline keeps
+        installing BackupUpdates underneath it: every observed scan must
+        be internally sorted, and the view coherent at quiescence."""
+        cluster = view_cluster(True, seed=9)
+        writer = cluster.add_client()
+        analyst = cluster.add_client()
+        observed = []
+
+        def scanner():
+            for __ in range(25):
+                yield cluster.kernel.timeout(0.02)
+                pairs = yield from analyst.analytics_query(0, TINY.key_range)
+                observed.append(pairs)
+
+        cluster.kernel.spawn(scanner(), "racing-scanner")
+        cluster.run_process(fill(cluster, writer, 1_500))
+        cluster.run()
+        assert len(observed) == 25
+        for pairs in observed:
+            keys = [k for k, __ in pairs]
+            assert keys == sorted(keys)
+        reader = cluster.readers[0]
+        assert reader.view_mgr.rebuild_count > 1
+        assert_view_identity(reader)
+
+
+class TestCrashRecovery:
+    def test_crash_tears_down_view_recover_rebuilds(self):
+        cluster = view_cluster(True)
+        reader = cluster.readers[0]
+        push_update(cluster, 2, [
+            SSTable.from_entries([entry(k, seqno=k + 1, ts=1.0) for k in range(50)])
+        ])
+        assert reader.view_mgr.ready
+        reader.crash()
+        assert not reader.view_mgr.ready
+        assert reader.view_mgr.tables == {}
+        reader.recover()
+        assert reader.view_mgr.ready
+        assert_view_identity(reader)
+
+
+class TestSidecarPersistence:
+    def _populated_reader(self, tmp_path, seed=0):
+        cluster = view_cluster(True, seed=seed)
+        reader = cluster.readers[0]
+        push_update(cluster, 3, [
+            SSTable.from_entries([entry(k, seqno=k + 1, ts=1.0) for k in range(80)])
+        ])
+        push_update(cluster, 2, [
+            SSTable.from_entries([entry(k, seqno=500 + k, ts=2.0) for k in range(20, 50)])
+        ])
+        store = NodeStore.open(str(tmp_path), "reader-0", "reader")
+        reader.attach_store(store)  # fresh dir: persists areas + sidecar
+        return cluster, reader, store
+
+    def test_sidecar_adopted_on_clean_restart(self, tmp_path):
+        __, reader, store = self._populated_reader(tmp_path)
+        expected = reader._view_scan(None, None, None)
+        store.close()
+        restarted = view_cluster(True).readers[0]
+        store2 = NodeStore.open(str(tmp_path), "reader-0", "reader")
+        restarted.attach_store(store2)
+        assert restarted.view_mgr.ready
+        assert restarted.view_mgr.invalidations == 0
+        # Adopted, not rebuilt: recovery paid zero merge work.
+        assert restarted.view_mgr.rebuild_count == 0
+        assert restarted._view_scan(None, None, None) == expected
+        assert_view_identity(restarted)
+        store2.close()
+
+    def test_stale_sidecar_is_refused_and_rebuilt(self, tmp_path):
+        """The satellite fix: a sidecar whose source table-id set no
+        longer matches the recovered areas (crash landed between manifest
+        commit and sidecar write) must be wiped and rebuilt — never
+        served."""
+        __, reader, store = self._populated_reader(tmp_path)
+        expected = reader._view_scan(None, None, None)
+        store.close()
+        sidecar_path = os.path.join(str(tmp_path), SORTED_VIEW_NAME)
+        with open(sidecar_path) as source:
+            document = json.load(source)
+        document["source_ids"] = [i + 10_000 for i in document["source_ids"]]
+        with open(sidecar_path, "w") as sink:
+            json.dump(document, sink)
+        restarted = view_cluster(True).readers[0]
+        store2 = NodeStore.open(str(tmp_path), "reader-0", "reader")
+        restarted.attach_store(store2)
+        assert restarted.view_mgr.invalidations == 1
+        assert restarted.view_mgr.ready  # rebuilt from the recovered areas
+        assert restarted.view_mgr.rebuild_count == 1
+        assert restarted._view_scan(None, None, None) == expected
+        # The poisoned sidecar was replaced by a valid one.
+        with open(sidecar_path) as source:
+            healed = json.load(source)
+        assert healed["source_ids"] != document["source_ids"]
+        store2.close()
+
+    def test_corrupt_sidecar_json_falls_back_to_rebuild(self, tmp_path):
+        __, reader, store = self._populated_reader(tmp_path)
+        expected = reader._view_scan(None, None, None)
+        store.close()
+        sidecar_path = os.path.join(str(tmp_path), SORTED_VIEW_NAME)
+        with open(sidecar_path, "w") as sink:
+            sink.write("{not json")
+        restarted = view_cluster(True).readers[0]
+        store2 = NodeStore.open(str(tmp_path), "reader-0", "reader")
+        restarted.attach_store(store2)
+        assert restarted.view_mgr.ready
+        assert restarted._view_scan(None, None, None) == expected
+        store2.close()

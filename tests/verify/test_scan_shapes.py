@@ -1,0 +1,63 @@
+"""Explorer corpus for the sorted-view scan subsystem (DESIGN.md §19).
+
+SCAN_SHAPES schedules race analytics range scans against BackupUpdate
+installs and Reader crash/recover cycles — with ``sorted_view`` on —
+and :func:`run_schedule` checks at quiescence that the view-backed scan
+is still bit-identical to the streaming merge.  A separate corpus so
+the main ``SHAPES`` seed -> shape mapping (and every checked-in
+fingerprint derived from it) stays frozen.
+"""
+
+import pytest
+
+from repro.verify import SCAN_SHAPES, SHAPES, generate_schedule, run_schedule
+
+
+class TestScanShapeCorpus:
+    def test_corpus_covers_install_race_and_crash_scenarios(self):
+        assert [shape.fault_focus for shape in SCAN_SHAPES] == [
+            "none", "crash", "crash"
+        ]
+        assert any(shape.policy == "lazy_leveling" for shape in SCAN_SHAPES)
+        for shape in SCAN_SHAPES:
+            assert shape.sorted_view
+            assert shape.num_readers >= 1
+            assert "~view" in shape.label
+
+    def test_scan_shapes_plan_scan_ops(self):
+        spec = generate_schedule(101, ops=60, faults=1, shapes=(SCAN_SHAPES[0],))
+        kinds = {op.kind for op in spec.ops}
+        assert "scan" in kinds
+        assert "backup_read" not in kinds
+
+    @pytest.mark.parametrize("index", range(len(SCAN_SHAPES)))
+    def test_scan_schedules_run_clean(self, index):
+        shape = SCAN_SHAPES[index]
+        for seed in (51, 52):
+            spec = generate_schedule(seed, ops=40, faults=2, shapes=(shape,))
+            outcome = run_schedule(spec)
+            assert not outcome.violations, (shape.label, outcome.violations)
+            # Scans actually executed (racing whatever the shape threw).
+            assert any(e.kind == "scan" for e in outcome.executed), shape.label
+
+    @pytest.mark.parametrize("index", range(len(SCAN_SHAPES)))
+    def test_fingerprints_replay_identically(self, index):
+        spec = generate_schedule(
+            61 + index, ops=40, faults=2, shapes=(SCAN_SHAPES[index],)
+        )
+        first = run_schedule(spec)
+        second = run_schedule(spec)
+        assert first.fingerprint() == second.fingerprint()
+        assert first.schedule_digest == second.schedule_digest
+        # Scan digests (the recorded pair hashes) replay identically too.
+        first_scans = [(e.key, e.value) for e in first.executed if e.kind == "scan"]
+        second_scans = [(e.key, e.value) for e in second.executed if e.kind == "scan"]
+        assert first_scans == second_scans
+
+    def test_main_corpus_untouched(self):
+        """SCAN_SHAPES must not perturb historical schedules: no main
+        shape runs the view, and a main-corpus schedule generates the
+        same ops as ever (no ``scan`` kind, same rng consumption)."""
+        assert all(not shape.sorted_view for shape in SHAPES)
+        spec = generate_schedule(17, ops=40, faults=2)
+        assert all(op.kind in ("write", "read", "backup_read") for op in spec.ops)

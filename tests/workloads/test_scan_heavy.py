@@ -1,0 +1,57 @@
+"""The scan-heavy (YCSB-E shape) workload generator."""
+
+import pytest
+
+from repro.lsm.errors import InvalidConfigError
+from repro.workloads import scan_heavy, scan_ranges
+
+from tests.core.conftest import fill, tiny_cluster
+
+
+class TestScanRanges:
+    def test_deterministic_and_bounded(self):
+        a = scan_ranges(50, 1_000, seed=3)
+        b = scan_ranges(50, 1_000, seed=3)
+        assert a == b
+        assert scan_ranges(50, 1_000, seed=4) != a
+        for lo, hi in a:
+            assert 0 <= lo < hi <= 1_000
+
+    def test_lengths_respect_cap(self):
+        for lo, hi in scan_ranges(200, 10_000, seed=1, max_scan_length=7):
+            assert 1 <= hi - lo <= 7
+
+    def test_zipfian_starts_skew_low(self):
+        # The lowest 10% of the key space must draw disproportionately
+        # many scan starts (that is what makes re-scans cache-friendly).
+        starts = [lo for lo, __ in scan_ranges(300, 10_000, seed=2)]
+        low_fraction = sum(1 for s in starts if s < 1_000) / len(starts)
+        assert low_fraction > 0.15  # uniform would give ~0.10
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(InvalidConfigError):
+            scan_ranges(0, 1_000)
+        with pytest.raises(InvalidConfigError):
+            scan_ranges(10, 1_000, max_scan_length=0)
+
+
+class TestScanHeavyDriver:
+    def test_drives_reader_scans_through_a_cluster(self):
+        cluster = tiny_cluster(num_readers=1)
+        writer = cluster.add_client()
+        cluster.run_process(fill(cluster, writer, 800))
+        cluster.run()
+        client = cluster.add_client()
+        result = cluster.run_process(
+            scan_heavy(client, ops=80, seed=5, reader="reader-0")
+        )
+        assert result.scans + result.inserts == 80
+        assert result.scans > result.inserts  # 95/5 default mix
+        assert len(result.latencies.get("scan", [])) == result.scans
+        assert cluster.readers[0].stats.range_queries == result.scans
+
+    def test_scan_fraction_validated(self):
+        cluster = tiny_cluster(num_readers=1)
+        client = cluster.add_client()
+        with pytest.raises(InvalidConfigError):
+            scan_heavy(client, ops=10, scan_fraction=1.5)
